@@ -1,0 +1,73 @@
+// Ablation bench (not a paper table): the engineering choices this
+// implementation adds on top of the paper's Figure-2 algorithm, each
+// toggled in isolation on two benchmark circuits:
+//
+//  * variable-shift decay        — shift size halves back after a success
+//    streak (the paper's "variable" idea made bidirectional);
+//  * break-even guard            — stop stitching when recent catches cost
+//    more tester data than traditional vectors would;
+//  * bridge cycles               — churn the retained state when
+//    generation stalls instead of giving up immediately;
+//  * greedy width (cubes×fills)  — candidate pool of the MostFaults pick.
+//
+// Env: VCOMP_QUICK=1 restricts to the first circuit.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace vcomp;
+
+int main() {
+  std::printf("=== Ablation: engine design choices (variable shift, "
+              "most-faults) ===\n\n");
+
+  std::vector<netgen::CircuitProfile> profiles = {netgen::profile("s526"),
+                                                  netgen::profile("s953")};
+  if (benchutil::quick_mode()) profiles.resize(1);
+
+  report::Table table({"circ", "variant", "TV", "ex", "m", "t"});
+
+  for (const auto& prof : profiles) {
+    benchutil::Stopwatch sw;
+    core::CircuitLab lab(prof);
+
+    struct Variant {
+      const char* name;
+      void (*tweak)(core::StitchOptions&);
+    };
+    const Variant variants[] = {
+        {"full engine", [](core::StitchOptions&) {}},
+        {"no decay",
+         [](core::StitchOptions& o) { o.variable_decay_after = 0; }},
+        {"no break-even guard",
+         [](core::StitchOptions& o) { o.marginal_window = 0; }},
+        {"no bridge cycles",
+         [](core::StitchOptions& o) { o.max_bridge_cycles = 0; }},
+        {"narrow greedy (1x1)",
+         [](core::StitchOptions& o) {
+           o.most_faults_cubes = 1;
+           o.fills_per_cube = 1;
+         }},
+        {"wide greedy (10x6)",
+         [](core::StitchOptions& o) {
+           o.most_faults_cubes = 10;
+           o.fills_per_cube = 6;
+         }},
+    };
+    for (const auto& v : variants) {
+      core::StitchOptions opts;
+      v.tweak(opts);
+      const auto r = lab.run(opts);
+      table.add_row({prof.name, v.name,
+                     report::Table::num(r.vectors_applied),
+                     report::Table::num(r.extra_full_vectors),
+                     report::Table::ratio(r.memory_ratio),
+                     report::Table::ratio(r.time_ratio)});
+    }
+    std::fprintf(stderr, "[ablation] %s done in %.1fs\n", prof.name.c_str(),
+                 sw.seconds());
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Table 2: varying the size and type of shifting.
+//
+// For each benchmark profile: fixed shifts at the 3/8, 5/8 and 7/8 info
+// points (unattainable points print '/', exactly as in the paper) and the
+// variable-shift policy.  Columns mirror the paper: aTV (baseline vector
+// count), shift (s/L), TV (stitched vectors), ex (appended traditional
+// vectors), m (memory ratio), t (time ratio).
+//
+// Paper reference values are printed alongside for shape comparison; the
+// substrate here is a synthetic profile-matched circuit, so absolute
+// numbers differ while trends (5/8 best among fixed; variable best overall;
+// tiny shifts explode `ex`) should hold.
+//
+// Env: VCOMP_QUICK=1 restricts to the four smallest circuits.
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hpp"
+
+using namespace vcomp;
+using benchutil::PaperRef;
+
+namespace {
+
+struct PaperRow {
+  PaperRef p38, p58, p78, var;
+};
+
+// Table 2 of the paper (m, t per info point; -1 = '/').
+const std::map<std::string, PaperRow> kPaper = {
+    {"s444", {{0.88, 0.82}, {0.64, 0.57}, {0.88, 0.86}, {0.73, 0.53}}},
+    {"s526", {{0.88, 0.82}, {0.66, 0.58}, {0.85, 0.83}, {0.72, 0.53}}},
+    {"s641", {{-1, -1}, {0.80, 0.46}, {0.62, 0.49}, {0.68, 0.24}}},
+    {"s953", {{-1, -1}, {0.63, 0.38}, {0.88, 0.79}, {0.52, 0.14}}},
+    {"s1196", {{-1, -1}, {0.63, 0.34}, {0.89, 0.79}, {0.49, 0.10}}},
+    {"s1423", {{0.76, 0.71}, {0.82, 0.78}, {0.73, 0.72}, {0.63, 0.43}}},
+    {"s5378", {{0.92, 0.89}, {0.83, 0.79}, {0.77, 0.75}, {0.57, 0.45}}},
+    {"s9234", {{0.96, 0.95}, {0.84, 0.82}, {0.61, 0.60}, {0.68, 0.63}}},
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 2: varying the size and type of shifting ===\n");
+  std::printf("(measured on synthetic profile-matched circuits; 'paper' "
+              "columns quote DATE'03 Table 2)\n\n");
+
+  auto profiles = netgen::table234_profiles();
+  if (benchutil::quick_mode()) profiles.resize(4);
+
+  report::Table table({"circ", "aTV", "info", "shift", "TV", "ex", "m", "t",
+                       "paper m", "paper t"});
+  benchutil::RatioAverager avg_m38, avg_t38, avg_m58, avg_t58, avg_m78,
+      avg_t78, avg_mv, avg_tv;
+
+  for (const auto& prof : profiles) {
+    benchutil::Stopwatch sw;
+    core::CircuitLab lab(prof);
+    const auto& paper = kPaper.at(prof.name);
+
+    struct Point {
+      const char* label;
+      double ratio;  // 0 = variable
+      PaperRef ref;
+      benchutil::RatioAverager* am;
+      benchutil::RatioAverager* at;
+    };
+    const Point points[] = {
+        {"3/8", 3.0 / 8, paper.p38, &avg_m38, &avg_t38},
+        {"5/8", 5.0 / 8, paper.p58, &avg_m58, &avg_t58},
+        {"7/8", 7.0 / 8, paper.p78, &avg_m78, &avg_t78},
+        {"var", 0.0, paper.var, &avg_mv, &avg_tv},
+    };
+
+    for (const auto& pt : points) {
+      core::StitchOptions opts;
+      std::string shift_desc;
+      if (pt.ratio > 0) {
+        if (!core::apply_info_ratio(opts, lab.netlist(), pt.ratio)) {
+          table.add_row({prof.name, report::Table::num(lab.atv()), pt.label,
+                         "/", "/", "/", "/", "/", benchutil::ref_str(pt.ref.m),
+                         benchutil::ref_str(pt.ref.t)});
+          continue;
+        }
+        shift_desc = std::to_string(opts.fixed_shift) + "/" +
+                     std::to_string(lab.netlist().num_dffs());
+      } else {
+        shift_desc = "variable";
+      }
+      const auto r = lab.run(opts);
+      pt.am->add(r.memory_ratio);
+      pt.at->add(r.time_ratio);
+      table.add_row({prof.name, report::Table::num(lab.atv()), pt.label,
+                     shift_desc, report::Table::num(r.vectors_applied),
+                     report::Table::num(r.extra_full_vectors),
+                     report::Table::ratio(r.memory_ratio),
+                     report::Table::ratio(r.time_ratio),
+                     benchutil::ref_str(pt.ref.m),
+                     benchutil::ref_str(pt.ref.t)});
+    }
+    std::fprintf(stderr, "[table2] %s done in %.1fs\n", prof.name.c_str(),
+                 sw.seconds());
+  }
+
+  table.add_row({"Ave", "", "3/8", "", "", "", avg_m38.str(), avg_t38.str(),
+                 "0.88", "0.84"});
+  table.add_row({"Ave", "", "5/8", "", "", "", avg_m58.str(), avg_t58.str(),
+                 "0.73", "0.59"});
+  table.add_row({"Ave", "", "7/8", "", "", "", avg_m78.str(), avg_t78.str(),
+                 "0.78", "0.73"});
+  table.add_row({"Ave", "", "var", "", "", "", avg_mv.str(), avg_tv.str(),
+                 "0.63", "0.38"});
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}

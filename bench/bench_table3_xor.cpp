@@ -1,0 +1,88 @@
+// Table 3: hidden-fault observability schemes — NXOR (plain), VXOR
+// (vertical XOR capture, Figure 3) and HXOR (horizontal XOR scan-out,
+// Figure 4) — under variable shift and most-faults selection.
+//
+// Env: VCOMP_QUICK=1 restricts to the four smallest circuits.
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hpp"
+
+using namespace vcomp;
+using benchutil::PaperRef;
+
+namespace {
+
+struct PaperRow {
+  PaperRef nxor, vxor, hxor;
+};
+
+// Table 3 of the paper.
+const std::map<std::string, PaperRow> kPaper = {
+    {"s444", {{0.88, 0.65}, {0.68, 0.47}, {0.89, 0.65}}},
+    {"s526", {{0.74, 0.57}, {0.77, 0.62}, {0.66, 0.49}}},
+    {"s641", {{0.89, 0.33}, {0.73, 0.23}, {0.86, 0.32}}},
+    {"s953", {{0.59, 0.25}, {0.59, 0.25}, {0.52, 0.13}}},
+    {"s1196", {{0.59, 0.22}, {0.49, 0.10}, {0.55, 0.17}}},
+    {"s1423", {{0.72, 0.53}, {0.75, 0.52}, {0.68, 0.48}}},
+    {"s5378", {{0.76, 0.57}, {0.60, 0.49}, {0.65, 0.51}}},
+    {"s9234", {{0.75, 0.68}, {0.67, 0.63}, {0.71, 0.65}}},
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 3: hidden fault observability (NXOR / VXOR / "
+              "HXOR) ===\n\n");
+
+  auto profiles = netgen::table234_profiles();
+  if (benchutil::quick_mode()) profiles.resize(4);
+
+  report::Table table({"circ", "scheme", "TV", "ex", "m", "t", "paper m",
+                       "paper t"});
+  benchutil::RatioAverager avg[3][2];
+
+  for (const auto& prof : profiles) {
+    benchutil::Stopwatch sw;
+    core::CircuitLab lab(prof);
+    const auto& paper = kPaper.at(prof.name);
+
+    struct Cfg {
+      const char* name;
+      scan::CaptureMode cap;
+      std::size_t taps;
+      PaperRef ref;
+    };
+    const Cfg cfgs[] = {
+        {"NXOR", scan::CaptureMode::Normal, 0, paper.nxor},
+        {"VXOR", scan::CaptureMode::VXor, 0, paper.vxor},
+        {"HXOR", scan::CaptureMode::Normal, 4, paper.hxor},
+    };
+    for (std::size_t k = 0; k < 3; ++k) {
+      core::StitchOptions opts;
+      opts.capture = cfgs[k].cap;
+      opts.hxor_taps = cfgs[k].taps;
+      const auto r = lab.run(opts);
+      avg[k][0].add(r.memory_ratio);
+      avg[k][1].add(r.time_ratio);
+      table.add_row({prof.name, cfgs[k].name,
+                     report::Table::num(r.vectors_applied),
+                     report::Table::num(r.extra_full_vectors),
+                     report::Table::ratio(r.memory_ratio),
+                     report::Table::ratio(r.time_ratio),
+                     benchutil::ref_str(cfgs[k].ref.m),
+                     benchutil::ref_str(cfgs[k].ref.t)});
+    }
+    std::fprintf(stderr, "[table3] %s done in %.1fs\n", prof.name.c_str(),
+                 sw.seconds());
+  }
+  table.add_row({"Ave", "NXOR", "", "", avg[0][0].str(), avg[0][1].str(),
+                 "0.74", "0.48"});
+  table.add_row({"Ave", "VXOR", "", "", avg[1][0].str(), avg[1][1].str(),
+                 "0.66", "0.41"});
+  table.add_row({"Ave", "HXOR", "", "", avg[2][0].str(), avg[2][1].str(),
+                 "0.69", "0.43"});
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Table 4: test-vector selection policies — Random (randomly ordered fault
+// list), Hardness (hardest-first order) and Most-faults (greedy candidate
+// scoring) — under variable shift, plain NXOR observation.
+//
+// Env: VCOMP_QUICK=1 restricts to the four smallest circuits.
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hpp"
+
+using namespace vcomp;
+using benchutil::PaperRef;
+
+namespace {
+
+struct PaperRow {
+  PaperRef random, hardness, most;
+};
+
+// Table 4 of the paper.
+const std::map<std::string, PaperRow> kPaper = {
+    {"s444", {{0.81, 0.54}, {0.77, 0.50}, {0.73, 0.53}}},
+    {"s526", {{0.86, 0.62}, {0.81, 0.58}, {0.71, 0.52}}},
+    {"s641", {{0.88, 0.26}, {0.84, 0.24}, {0.72, 0.20}}},
+    {"s953", {{0.70, 0.24}, {0.57, 0.17}, {0.52, 0.14}}},
+    {"s1196", {{0.66, 0.15}, {0.53, 0.09}, {0.48, 0.09}}},
+    {"s1423", {{0.75, 0.50}, {0.79, 0.55}, {0.68, 0.46}}},
+    {"s5378", {{0.73, 0.55}, {0.63, 0.48}, {0.57, 0.45}}},
+    {"s9234", {{1.02, 0.94}, {0.98, 0.91}, {0.68, 0.63}}},
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 4: selection of test vectors (Random / Hardness / "
+              "Most-faults) ===\n\n");
+
+  auto profiles = netgen::table234_profiles();
+  if (benchutil::quick_mode()) profiles.resize(4);
+
+  report::Table table({"circ", "selection", "TV", "ex", "m", "t", "paper m",
+                       "paper t"});
+  benchutil::RatioAverager avg[3][2];
+
+  for (const auto& prof : profiles) {
+    benchutil::Stopwatch sw;
+    core::CircuitLab lab(prof);
+    const auto& paper = kPaper.at(prof.name);
+
+    struct Cfg {
+      core::SelectionPolicy sel;
+      PaperRef ref;
+    };
+    const Cfg cfgs[] = {
+        {core::SelectionPolicy::Random, paper.random},
+        {core::SelectionPolicy::Hardness, paper.hardness},
+        {core::SelectionPolicy::MostFaults, paper.most},
+    };
+    for (std::size_t k = 0; k < 3; ++k) {
+      core::StitchOptions opts;
+      opts.selection = cfgs[k].sel;
+      const auto r = lab.run(opts);
+      avg[k][0].add(r.memory_ratio);
+      avg[k][1].add(r.time_ratio);
+      table.add_row({prof.name, core::to_string(cfgs[k].sel),
+                     report::Table::num(r.vectors_applied),
+                     report::Table::num(r.extra_full_vectors),
+                     report::Table::ratio(r.memory_ratio),
+                     report::Table::ratio(r.time_ratio),
+                     benchutil::ref_str(cfgs[k].ref.m),
+                     benchutil::ref_str(cfgs[k].ref.t)});
+    }
+    std::fprintf(stderr, "[table4] %s done in %.1fs\n", prof.name.c_str(),
+                 sw.seconds());
+  }
+  table.add_row({"Ave", "random", "", "", avg[0][0].str(), avg[0][1].str(),
+                 "0.80", "0.48"});
+  table.add_row({"Ave", "hardness", "", "", avg[1][0].str(), avg[1][1].str(),
+                 "0.74", "0.44"});
+  table.add_row({"Ave", "most-faults", "", "", avg[2][0].str(),
+                 avg[2][1].str(), "0.64", "0.38"});
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}

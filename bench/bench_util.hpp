@@ -1,0 +1,66 @@
+#pragma once
+
+/// Shared plumbing for the table-reproduction benchmark binaries: paper
+/// reference values (for side-by-side printing), environment knobs, and a
+/// tiny stopwatch.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "vcomp/core/experiment.hpp"
+#include "vcomp/report/table.hpp"
+
+namespace vcomp::benchutil {
+
+/// VCOMP_QUICK=1 trims each table to its smaller circuits (CI-friendly).
+inline bool quick_mode() {
+  const char* v = std::getenv("VCOMP_QUICK");
+  return v != nullptr && v[0] == '1';
+}
+
+/// One paper reference pair (m, t); negative = not reported.
+struct PaperRef {
+  double m = -1;
+  double t = -1;
+};
+
+inline std::string ref_str(double v) {
+  if (v < 0) return "-";
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Averages a column of ratios, paper-style ("Ave" row).
+class RatioAverager {
+ public:
+  void add(double v) {
+    sum_ += v;
+    ++n_;
+  }
+  std::string str() const {
+    return n_ == 0 ? "-" : report::Table::ratio(sum_ / double(n_));
+  }
+
+ private:
+  double sum_ = 0;
+  std::size_t n_ = 0;
+};
+
+}  // namespace vcomp::benchutil

@@ -1,0 +1,77 @@
+// Diagnosis demo: the paper's "no MISR, no aliasing" benefit in action.
+//
+// MISR-based compression schemes fold all scan-out data into one signature,
+// so a failing device yields one number — useless for locating the defect.
+// The stitching scheme's ATE reads raw scan-out bits every cycle; this demo
+// shows those observations pinpointing an injected fault:
+//
+//  1. generate a stitched test program for a circuit,
+//  2. "manufacture" a defective device by injecting a random stuck-at
+//     fault,
+//  3. run the test program on the device and record what the ATE sees,
+//  4. rank every candidate fault by how well its predicted observation
+//     stream matches — the defect surfaces at distance 0.
+//
+// Run:  ./diagnosis_demo [profile]     (default: s444)
+
+#include <cstdio>
+#include <string>
+
+#include "vcomp/core/diagnosis.hpp"
+#include "vcomp/core/experiment.hpp"
+#include "vcomp/util/rng.hpp"
+
+using namespace vcomp;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "s444";
+  core::CircuitLab lab(netgen::profile(name));
+  const auto& nl = lab.netlist();
+  const auto& cf = lab.faults();
+
+  core::StitchOptions opts;
+  const auto run = lab.run(opts);
+  const auto out = scan::ScanOutModel::direct(nl.num_dffs());
+  std::printf("stitched test program for '%s': %zu vectors (+%zu full), "
+              "t=%.2f m=%.2f\n\n",
+              name.c_str(), run.vectors_applied, run.extra_full_vectors,
+              run.time_ratio, run.memory_ratio);
+
+  Rng rng(2026);
+  int diagnosed = 0;
+  for (int trial = 0; trial < 5; ++trial) {
+    // Pick a random detectable defect.
+    std::size_t injected;
+    do {
+      injected = rng.below(cf.size());
+    } while (lab.baseline().classes[injected] !=
+             atpg::FaultClass::Detected);
+
+    const auto device = core::simulate_device(
+        nl, run.schedule, scan::CaptureMode::Normal, out, &cf[injected]);
+    const auto good = core::simulate_device(
+        nl, run.schedule, scan::CaptureMode::Normal, out, nullptr);
+    std::printf("device #%d: defect %-10s -> %zu observation mismatches\n",
+                trial + 1, fault_name(nl, cf[injected]).c_str(),
+                device.hamming(good));
+
+    const auto verdicts = core::diagnose(
+        nl, cf, run.schedule, scan::CaptureMode::Normal, out, device);
+    std::size_t perfect = 0;
+    bool found = false;
+    for (const auto& v : verdicts) {
+      if (v.mismatch != 0) break;
+      ++perfect;
+      if (v.fault_index == injected) found = true;
+    }
+    std::printf("  candidates at distance 0: %zu%s, top: %s%s\n", perfect,
+                perfect <= 2 ? " (precise)" : "",
+                fault_name(nl, cf[verdicts[0].fault_index]).c_str(),
+                found ? "  [defect identified]" : "  [MISSED]");
+    diagnosed += found;
+  }
+  std::printf("\n%d / 5 defects identified exactly — raw scan-out\n"
+              "observation makes the stitched scheme diagnosis-friendly.\n",
+              diagnosed);
+  return diagnosed == 5 ? 0 : 1;
+}

@@ -1,0 +1,82 @@
+// SOC core compression scenario.
+//
+// The paper motivates stitching with SOC testing: cores ship with a test
+// set, the integrator pays ATE time and memory per core, and no design
+// change is possible.  This example plays the integrator: given one core
+// (a synthetic s953-class circuit), it derives the full-shift baseline,
+// then evaluates the paper's recommended configuration (variable shift +
+// most-faults selection, no XOR hardware) plus a fixed-shift alternative,
+// and prints what the ATE bill looks like under each.
+//
+// Run:  ./soc_compression [profile]      (default: s953)
+
+#include <cstdio>
+#include <string>
+
+#include "vcomp/core/experiment.hpp"
+#include "vcomp/report/table.hpp"
+
+using namespace vcomp;
+
+namespace {
+
+void print_run(const char* label, const core::StitchResult& r) {
+  std::printf("  %-28s TV=%-4zu ex=%-3zu t=%.2f m=%.2f  (coverage %s)\n",
+              label, r.vectors_applied, r.extra_full_vectors, r.time_ratio,
+              r.memory_ratio, r.uncovered == 0 ? "kept" : "LOST");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "s953";
+  const auto prof = netgen::profile(name);
+  std::printf("SOC core '%s': %zu PIs, %zu POs, scan chain of %zu cells\n",
+              prof.name.c_str(), prof.num_pi, prof.num_po, prof.num_ff);
+
+  core::CircuitLab lab(prof);
+  const auto& base = lab.baseline();
+  std::printf("full-shift baseline: %zu vectors, %.1f%% fault coverage "
+              "(%zu redundant, %zu aborted)\n\n",
+              lab.atv(), 100.0 * base.coverage(), base.num_redundant,
+              base.num_aborted);
+
+  const auto full = scan::CostMeter::full_scan(
+      prof.num_pi, prof.num_po, prof.num_ff, lab.atv());
+  std::printf("ATE bill, full shifting: %llu shift cycles, %llu bits\n\n",
+              (unsigned long long)full.shift_cycles,
+              (unsigned long long)full.memory_bits());
+
+  // The paper's headline configuration (Section 7, Table 5): variable
+  // shift, most-faults greedy selection, no XOR hardware.
+  core::StitchOptions best;
+  best.selection = core::SelectionPolicy::MostFaults;
+  const auto r_best = lab.run(best);
+
+  // A conservative fixed-shift alternative at the 5/8 info point.
+  core::StitchOptions fixed;
+  const bool attainable = core::apply_info_ratio(fixed, lab.netlist(),
+                                                 5.0 / 8.0);
+
+  std::printf("Stitched alternatives:\n");
+  print_run("variable shift (paper pick)", r_best);
+  if (attainable) {
+    const auto r_fixed = lab.run(fixed);
+    const std::string label =
+        "fixed 5/8 info (s=" + std::to_string(fixed.fixed_shift) + ")";
+    print_run(label.c_str(), r_fixed);
+  } else {
+    std::printf("  fixed 5/8 info point unattainable for this I/O mix\n");
+  }
+
+  const auto saved_cycles = full.shift_cycles - r_best.cost.shift_cycles;
+  std::printf("\nvariable-shift stitching saves %llu shift cycles "
+              "(%.0f%%) and %llu tester bits (%.0f%%)\n",
+              (unsigned long long)saved_cycles,
+              100.0 * (1.0 - r_best.time_ratio),
+              (unsigned long long)(full.memory_bits() -
+                                   r_best.cost.memory_bits()),
+              100.0 * (1.0 - r_best.memory_ratio));
+  std::printf("with zero added hardware and no MISR aliasing.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Strategy explorer: sweep the implementation knobs of Section 6 on one
+// circuit and print a decision table — the workflow a DFT engineer would
+// use to pick a configuration for a new core.
+//
+// Knobs swept: shift size (fixed points between L/8 and 7L/8, plus the
+// variable policy) and test-vector selection (random / hardness /
+// most-faults).
+//
+// Run:  ./strategy_explorer [profile]     (default: s444)
+
+#include <cstdio>
+#include <string>
+
+#include "vcomp/core/experiment.hpp"
+#include "vcomp/report/table.hpp"
+
+using namespace vcomp;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "s444";
+  core::CircuitLab lab(netgen::profile(name));
+  const auto& nl = lab.netlist();
+  const std::size_t L = nl.num_dffs();
+
+  std::printf("strategy sweep on '%s' (L=%zu, aTV=%zu)\n\n", name.c_str(),
+              L, lab.atv());
+
+  // ---- shift-size sweep (most-faults selection) --------------------------
+  report::Table shift_table({"shift", "TV", "ex", "m", "t"});
+  for (std::size_t num = 1; num <= 7; num += 2) {  // L/8, 3L/8, 5L/8, 7L/8
+    const std::size_t s = std::max<std::size_t>(1, num * L / 8);
+    core::StitchOptions opts;
+    opts.fixed_shift = s;
+    const auto r = lab.run(opts);
+    shift_table.add_row({std::to_string(s) + "/" + std::to_string(L),
+                         report::Table::num(r.vectors_applied),
+                         report::Table::num(r.extra_full_vectors),
+                         report::Table::ratio(r.memory_ratio),
+                         report::Table::ratio(r.time_ratio)});
+  }
+  {
+    core::StitchOptions opts;  // variable
+    const auto r = lab.run(opts);
+    shift_table.add_row({"variable", report::Table::num(r.vectors_applied),
+                         report::Table::num(r.extra_full_vectors),
+                         report::Table::ratio(r.memory_ratio),
+                         report::Table::ratio(r.time_ratio)});
+  }
+  std::printf("shift-size sweep (most-faults selection):\n%s\n",
+              shift_table.to_string().c_str());
+
+  // ---- selection-policy sweep (variable shift) ---------------------------
+  report::Table sel_table({"selection", "TV", "ex", "m", "t"});
+  for (auto sel : {core::SelectionPolicy::Random,
+                   core::SelectionPolicy::Hardness,
+                   core::SelectionPolicy::MostFaults}) {
+    core::StitchOptions opts;
+    opts.selection = sel;
+    const auto r = lab.run(opts);
+    sel_table.add_row({core::to_string(sel),
+                       report::Table::num(r.vectors_applied),
+                       report::Table::num(r.extra_full_vectors),
+                       report::Table::ratio(r.memory_ratio),
+                       report::Table::ratio(r.time_ratio)});
+  }
+  std::printf("selection-policy sweep (variable shift):\n%s",
+              sel_table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file fill.hpp
+/// X-fill: completing a test cube into a fully specified vector.
+///
+/// Five-valued implication guarantees any completion of a PODEM cube still
+/// detects its target fault, so the fill is free to chase *secondary* goals;
+/// the stitching flow fills several ways and keeps the candidate that
+/// catches the most uncaught faults (the paper's "Most-faults" selection).
+
+#include <cstdint>
+#include <vector>
+
+#include "vcomp/atpg/podem.hpp"
+#include "vcomp/util/rng.hpp"
+
+namespace vcomp::atpg {
+
+/// A fully specified full-scan test vector.
+struct TestVector {
+  std::vector<std::uint8_t> pi;   ///< one bit per primary input
+  std::vector<std::uint8_t> ppi;  ///< one bit per scan cell
+
+  friend bool operator==(const TestVector&, const TestVector&) = default;
+};
+
+enum class FillMode : std::uint8_t { Random, Zeros, Ones };
+
+/// Completes \p cube into a vector, filling X positions per \p mode.
+TestVector fill_cube(const Cube& cube, FillMode mode, Rng& rng);
+
+/// Number of specified (non-X) bits in a cube.
+std::size_t specified_bits(const Cube& cube);
+
+}  // namespace vcomp::atpg

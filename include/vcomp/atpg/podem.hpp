@@ -1,0 +1,129 @@
+#pragma once
+
+/// \file podem.hpp
+/// PODEM test generation with scan-state constraints.
+///
+/// The generator works on the five-valued D-calculus, represented as a
+/// (good, faulty) pair of trits per signal.  Decisions are made only on
+/// *assignable* sources: primary inputs plus the free pseudo-primary inputs;
+/// PPIs pinned by a PpiConstraints object (the retained scan-chain bits the
+/// stitching flow must honour) are preloaded with their fixed values and are
+/// never touched by backtrace.
+///
+/// Engineering: implication is event-driven (assignments propagate through
+/// a levelized queue and are undone via a value trail on backtrack), and
+/// the D-frontier / detection / X-path scans are restricted to the target
+/// fault's output cone — the structures that make PODEM practical on
+/// multi-thousand-gate circuits.
+///
+/// A Success result carries a test cube whose unassigned positions are X;
+/// five-valued implication guarantees every completion of the cube detects
+/// the target fault at some primary output or capture point.  Untestable
+/// means the fault is redundant *under the given constraints* (with no
+/// constraints: combinationally redundant, like E-F/1 in the paper's
+/// example).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "vcomp/fault/fault.hpp"
+#include "vcomp/sim/trit.hpp"
+#include "vcomp/tmeas/scoap.hpp"
+
+namespace vcomp::atpg {
+
+/// Partially specified full-scan stimulus.
+struct Cube {
+  std::vector<sim::Trit> pi;   ///< one per primary input
+  std::vector<sim::Trit> ppi;  ///< one per state element (scan cell)
+};
+
+/// Pin a subset of scan cells to fixed values (Trit::X = free).
+struct PpiConstraints {
+  std::vector<sim::Trit> fixed;  ///< empty means "all free"
+
+  bool all_free() const { return fixed.empty(); }
+  sim::Trit at(std::size_t i) const {
+    return fixed.empty() ? sim::Trit::X : fixed[i];
+  }
+};
+
+enum class PodemStatus : std::uint8_t { Success, Untestable, Aborted };
+
+struct PodemOptions {
+  std::uint32_t max_backtracks = 512;
+};
+
+struct PodemResult {
+  PodemStatus status = PodemStatus::Aborted;
+  Cube cube;                   ///< valid when status == Success
+  std::uint32_t backtracks = 0;
+};
+
+/// Reusable PODEM engine (holds per-netlist scratch state).
+class Podem {
+ public:
+  Podem(const netlist::Netlist& nl, const tmeas::Scoap& scoap);
+
+  /// Generates a test cube for \p f honouring \p constraints (may be null).
+  PodemResult generate(const fault::Fault& f,
+                       const PpiConstraints* constraints = nullptr,
+                       const PodemOptions& options = {});
+
+ private:
+  struct Decision {
+    netlist::GateId source;
+    sim::Trit value;
+    bool flipped;
+    std::size_t trail_mark;
+  };
+  struct TrailEntry {
+    netlist::GateId gate;
+    sim::Trit good, bad;
+  };
+
+  void compute_cone(const fault::Fault& f);
+  void load_assignments();
+  void full_imply(const fault::Fault& f);
+  void eval_pair(netlist::GateId u, const fault::Fault& f, sim::Trit& good,
+                 sim::Trit& bad);
+  void assign_source(netlist::GateId src, sim::Trit v, const fault::Fault& f);
+  void undo_to(std::size_t mark);
+
+  bool detected(const fault::Fault& f) const;
+  bool activation_impossible(const fault::Fault& f) const;
+  bool fault_visible(const fault::Fault& f) const;
+  std::optional<std::pair<netlist::GateId, sim::Trit>> objective(
+      const fault::Fault& f);
+  std::pair<netlist::GateId, sim::Trit> backtrace(netlist::GateId g,
+                                                  sim::Trit v) const;
+  bool xpath_exists(const fault::Fault& f);
+
+  const netlist::Netlist* nl_;
+  const tmeas::Scoap* scoap_;
+
+  std::vector<sim::Trit> assign_;       // per source gate (X = unassigned)
+  std::vector<sim::Trit> good_, bad_;   // per gate
+  std::vector<Decision> stack_;
+  std::vector<TrailEntry> trail_;
+
+  std::vector<std::uint8_t> is_obs_;    // gate drives a PO or a DFF data pin
+  std::vector<netlist::GateId> cone_;       // comb gates in the fault cone
+  std::vector<netlist::GateId> cone_obs_;   // observation gates in the cone
+  std::vector<std::uint8_t> in_cone_;
+
+  // Levelized propagation queue for incremental implication.
+  std::vector<std::vector<netlist::GateId>> buckets_;
+  std::vector<std::uint8_t> queued_;
+
+  // Epoch-stamped memo for the X-path check.
+  std::vector<std::uint32_t> xpath_seen_;
+  std::vector<std::int8_t> xpath_val_;
+  std::uint32_t xpath_epoch_ = 0;
+
+  std::vector<sim::Trit> gather_good_, gather_bad_;
+  const PpiConstraints* constraints_ = nullptr;
+};
+
+}  // namespace vcomp::atpg

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file overlap.hpp
+/// Serial scan test vector overlap compression (Su & Hwang, ITC 1993) —
+/// baseline.
+///
+/// The scheme reorders a fixed test set so consecutive vectors share a
+/// maximal suffix/prefix overlap: after applying v_i, only the bits of
+/// v_{i+1} that are not already sitting in the chain are shifted in.  As
+/// the stitching paper notes, this presumes *separate* input and output
+/// scan chains (responses are captured into a different chain), an
+/// assumption the stitching approach removes — the comparison quantifies
+/// what that assumption buys.
+
+#include "vcomp/baselines/baselines.hpp"
+
+namespace vcomp::baselines {
+
+struct OverlapOptions {
+  /// Greedy nearest-neighbour restarts (best ordering kept).
+  std::size_t restarts = 4;
+  std::uint64_t seed = 1;
+};
+
+struct OverlapResult : BaselineResult {
+  std::size_t total_overlap_bits = 0;  ///< shift cycles saved by reordering
+};
+
+/// Overlap between consecutive vectors a then b: the longest suffix of
+/// a's scan content equal to a prefix of b's (in shift order).  Exposed
+/// for testing.
+std::size_t scan_overlap(const atpg::TestVector& a, const atpg::TestVector& b);
+
+OverlapResult run_overlap(const netlist::Netlist& nl,
+                          const atpg::TestSetResult& baseline,
+                          const OverlapOptions& options = {});
+
+}  // namespace vcomp::baselines

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file psfs.hpp
+/// Parallel Serial Full Scan (Hamzaoglu & Patel, FTCS 1999) — baseline.
+///
+/// The chain is split into k equal partitions with a broadcast scan-in: in
+/// *parallel* mode the same Lp = ceil(L/k) bits are shifted into every
+/// partition simultaneously (stimulus cost Lp per vector); every partition
+/// has its own scan-out pin, so responses stay fully observable without a
+/// MISR.  Faults the periodic patterns cannot catch are covered in *serial*
+/// mode with ordinary full-shift vectors.
+///
+/// This implementation runs a random parallel-pattern phase with fault
+/// dropping (the paper's deterministic parallel ATPG is approximated by
+/// pattern volume) followed by a serial phase drawn from the aTV pool.
+
+#include <cstdint>
+
+#include "vcomp/baselines/baselines.hpp"
+
+namespace vcomp::baselines {
+
+struct PsfsOptions {
+  std::size_t partitions = 4;
+  /// Parallel random phase: stop after this many useless 64-pattern blocks.
+  std::size_t idle_blocks = 2;
+  std::size_t max_blocks = 64;
+  std::uint64_t seed = 1;
+};
+
+BaselineResult run_psfs(const netlist::Netlist& nl,
+                        const fault::CollapsedFaults& faults,
+                        const atpg::TestSetResult& baseline,
+                        const PsfsOptions& options = {});
+
+}  // namespace vcomp::baselines

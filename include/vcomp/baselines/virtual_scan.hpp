@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file virtual_scan.hpp
+/// Virtual Scan Chains (Jas, Pouya & Touba, ITC 2000) — baseline.
+///
+/// The chain is split into k partitions; one is fed directly by the
+/// tester, the remaining k-1 are filled pseudorandomly by LFSRs whose
+/// seeds are shifted in first.  Per test, the tester supplies
+/// (k-1)·seed_len + Lp scan bits instead of L.
+///
+/// A test cube is *encodable* when, for every LFSR partition, some seed
+/// reproduces the cube's specified bits there — a GF(2) linear system over
+/// the seed (each LFSR output bit is a linear function of the seed).
+/// Encodable cubes go out in compressed form; the rest fall back to serial
+/// full-shift application.  Responses are compacted by a MISR (the
+/// hardware/aliasing cost the stitching paper's approach avoids), modeled
+/// as one signature read per vector.
+
+#include <cstdint>
+
+#include "vcomp/baselines/baselines.hpp"
+
+namespace vcomp::baselines {
+
+struct VirtualScanOptions {
+  std::size_t partitions = 4;
+  /// LFSR length per pseudorandom partition (0 = partition length).
+  std::size_t lfsr_length = 0;
+  /// MISR signature width read out per test.
+  std::size_t signature_bits = 32;
+  std::uint64_t seed = 1;
+  atpg::PodemOptions podem{.max_backtracks = 128};
+};
+
+struct VirtualScanResult : BaselineResult {
+  std::size_t encodable = 0;    ///< cubes the LFSRs could reproduce
+  std::size_t unencodable = 0;  ///< cubes that fell back to serial mode
+};
+
+VirtualScanResult run_virtual_scan(const netlist::Netlist& nl,
+                                   const fault::CollapsedFaults& faults,
+                                   const atpg::TestSetResult& baseline,
+                                   const VirtualScanOptions& options = {});
+
+}  // namespace vcomp::baselines

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file diagnosis.hpp
+/// Stuck-at fault diagnosis from stitched-test observations.
+///
+/// A headline benefit of the paper's scheme over MISR-based compression:
+/// the ATE observes *raw* scan-out bits every cycle, so a failing device's
+/// observation stream pinpoints the fault rather than collapsing into an
+/// aliased signature.  This module demonstrates that: it predicts, for
+/// every candidate fault, the exact observation stream a device carrying
+/// that fault would produce under a stitched schedule (including the
+/// fault's private mutated test vectors), and ranks candidates by Hamming
+/// distance to the device's stream.  Equivalent faults produce identical
+/// streams, so a perfect diagnosis returns the fault's equivalence class.
+
+#include <cstdint>
+#include <vector>
+
+#include "vcomp/core/stitch_engine.hpp"
+
+namespace vcomp::core {
+
+/// Everything the ATE reads while running a stitched schedule, in order:
+/// per cycle the shifted-out observations then the primary outputs at
+/// capture, then the terminal observation bits, then (for every appended
+/// traditional vector) the full unloaded response + POs.
+struct ObservationStream {
+  std::vector<std::uint8_t> bits;
+
+  std::size_t hamming(const ObservationStream& other) const;
+};
+
+/// Simulates the stream a device produces under \p schedule; \p fault is
+/// the device's defect (nullptr = fault-free).
+ObservationStream simulate_device(const netlist::Netlist& nl,
+                                  const StitchedSchedule& schedule,
+                                  scan::CaptureMode capture,
+                                  const scan::ScanOutModel& out,
+                                  const fault::Fault* fault);
+
+/// One diagnosis candidate.
+struct DiagnosisVerdict {
+  std::size_t fault_index;  ///< into the collapsed fault list
+  std::size_t mismatch;     ///< Hamming distance to the observed stream
+};
+
+/// Ranks every candidate fault against \p observed (best first; ties in
+/// fault-list order).  Distance 0 candidates are indistinguishable from
+/// the device — ideally exactly the defect's equivalence class.
+std::vector<DiagnosisVerdict> diagnose(const netlist::Netlist& nl,
+                                       const fault::CollapsedFaults& faults,
+                                       const StitchedSchedule& schedule,
+                                       scan::CaptureMode capture,
+                                       const scan::ScanOutModel& out,
+                                       const ObservationStream& observed);
+
+}  // namespace vcomp::core

@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file fault_sets.hpp
+/// The paper's three-way fault partition: f_c (caught), f_h (hidden),
+/// f_u (uncaught).
+///
+/// Every fault is in exactly one state.  Hidden faults carry a private
+/// scan-chain state — the faulty machine's chain content — because a hidden
+/// fault mutates the next test vector actually applied on a faulty chip and
+/// must be traced forward (Section 4 of the paper).  Faults may circulate
+/// between uncaught and hidden; caught is absorbing.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "vcomp/scan/scan_chain.hpp"
+#include "vcomp/util/assert.hpp"
+
+namespace vcomp::core {
+
+enum class FaultState : std::uint8_t { Uncaught, Hidden, Caught };
+
+class FaultSets {
+ public:
+  explicit FaultSets(std::size_t num_faults)
+      : state_(num_faults, FaultState::Uncaught),
+        catch_cycle_(num_faults, 0) {}
+
+  std::size_t size() const { return state_.size(); }
+  FaultState state(std::size_t i) const { return state_[i]; }
+
+  /// Moves a fault to f_c; \p cycle records when it was observed.
+  void set_caught(std::size_t i, std::size_t cycle) {
+    VCOMP_REQUIRE(state_[i] != FaultState::Caught, "fault already caught");
+    if (state_[i] == FaultState::Hidden) hidden_states_.erase(i);
+    state_[i] = FaultState::Caught;
+    catch_cycle_[i] = cycle;
+    ++num_caught_;
+  }
+
+  /// Moves a fault to f_h with its private chain state.
+  void set_hidden(std::size_t i, scan::ChainState chain) {
+    VCOMP_REQUIRE(state_[i] != FaultState::Caught,
+                  "caught faults never become hidden");
+    state_[i] = FaultState::Hidden;
+    hidden_states_.insert_or_assign(i, std::move(chain));
+  }
+
+  /// Hidden fault whose faulty machine re-converged: back to f_u.
+  void set_uncaught(std::size_t i) {
+    VCOMP_REQUIRE(state_[i] == FaultState::Hidden,
+                  "only hidden faults fall back to uncaught");
+    hidden_states_.erase(i);
+    state_[i] = FaultState::Uncaught;
+  }
+
+  const scan::ChainState& hidden_state(std::size_t i) const {
+    return hidden_states_.at(i);
+  }
+  scan::ChainState& mutable_hidden_state(std::size_t i) {
+    return hidden_states_.at(i);
+  }
+
+  std::size_t catch_cycle(std::size_t i) const {
+    VCOMP_REQUIRE(state_[i] == FaultState::Caught, "fault not caught");
+    return catch_cycle_[i];
+  }
+
+  std::size_t num_caught() const { return num_caught_; }
+  std::size_t num_hidden() const { return hidden_states_.size(); }
+
+  /// Snapshot of the current hidden set (indices).
+  std::vector<std::size_t> hidden_list() const {
+    std::vector<std::size_t> v;
+    v.reserve(hidden_states_.size());
+    for (const auto& [i, _] : hidden_states_) v.push_back(i);
+    return v;
+  }
+
+ private:
+  std::vector<FaultState> state_;
+  std::vector<std::size_t> catch_cycle_;
+  std::unordered_map<std::size_t, scan::ChainState> hidden_states_;
+  std::size_t num_caught_ = 0;
+};
+
+}  // namespace vcomp::core

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file schedule_io.hpp
+/// Text serialization of a stitched test program — the artifact an ATE (or
+/// a downstream flow) consumes.  Format, line oriented and re-parseable:
+///
+///     # vcomp stitched test program
+///     chain 21
+///     pis 3
+///     vector <shift> <pi bits> <scan bits>     (one per applied vector)
+///     observe <bits>                           (terminal observation)
+///     extra <pi bits> <scan bits>              (appended full vectors)
+///
+/// Scan bits are written head→tail (bit i = scan cell i); '-' stands for
+/// an empty PI field.
+
+#include <iosfwd>
+#include <string>
+
+#include "vcomp/core/stitch_engine.hpp"
+
+namespace vcomp::core {
+
+/// Serializes \p schedule (\p num_pi / \p chain_len give field widths).
+void write_schedule(std::ostream& out, const StitchedSchedule& schedule);
+
+std::string write_schedule_string(const StitchedSchedule& schedule);
+
+/// Parses a schedule written by write_schedule; throws vcomp::ContractError
+/// on malformed input.
+StitchedSchedule read_schedule(std::istream& in);
+
+StitchedSchedule read_schedule_string(const std::string& text);
+
+}  // namespace vcomp::core

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file selection.hpp
+/// Test-vector selection policies (Section 6.3 of the paper).
+///
+/// The stitching engine walks an ordered list of uncaught faults, asking
+/// constrained PODEM for a cube per target:
+///  * Random     — one fixed random order; first solvable target wins;
+///  * Hardness   — hardest-first order (random-sim detection counts with
+///                 SCOAP tie-breaks); first solvable target wins;
+///  * MostFaults — collect several cubes, complete each with several fills,
+///                 fault-simulate all candidates in one pattern-parallel
+///                 pass, and keep the candidate catching the most new
+///                 faults (observably caught weighted above newly hidden).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vcomp/fault/fault.hpp"
+#include "vcomp/tmeas/hardness.hpp"
+#include "vcomp/util/rng.hpp"
+
+namespace vcomp::core {
+
+enum class SelectionPolicy : std::uint8_t { Random, Hardness, MostFaults };
+
+std::string to_string(SelectionPolicy p);
+
+/// Builds the target-walk order over fault indices for a policy.
+/// \p faults is the collapsed representative list.
+std::vector<std::size_t> target_order(
+    SelectionPolicy policy, const netlist::Netlist& nl,
+    const std::vector<fault::Fault>& faults,
+    const tmeas::HardnessOptions& hardness, Rng& rng);
+
+}  // namespace vcomp::core

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file shift_policy.hpp
+/// Shift-size policies (Section 6.1 of the paper).
+///
+/// FixedShift always shifts the same number of bits; when constrained ATPG
+/// cannot catch any new fault the run terminates (remaining faults go to
+/// the extra-full-vector phase).  VariableShift starts at a small fraction
+/// of the chain and escalates on generation failure, trading per-cycle cost
+/// for controllability/observability exactly as the paper prescribes.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace vcomp::core {
+
+/// Strategy interface consulted by the stitching engine each cycle.
+class ShiftPolicy {
+ public:
+  virtual ~ShiftPolicy() = default;
+
+  /// Shift size to use for the next stitched cycle (1..L).
+  virtual std::size_t current() const = 0;
+
+  /// Called when no constrained test vector could be generated at the
+  /// current size.  Returns false when the policy is out of moves and the
+  /// stitched phase must end.
+  virtual bool on_failure() = 0;
+
+  /// Called after a successfully applied stitched vector.
+  virtual void on_success() = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Constant shift size; gives up on the first definitive failure.
+class FixedShift final : public ShiftPolicy {
+ public:
+  explicit FixedShift(std::size_t size);
+  std::size_t current() const override { return size_; }
+  bool on_failure() override { return false; }
+  void on_success() override {}
+  std::string name() const override;
+
+ private:
+  std::size_t size_;
+};
+
+/// Escalating shift size with decay: start small, double on failure (cap
+/// at the chain length), and halve back toward the start after a streak of
+/// successes — the "variable" strategy of Section 6.1, whose benefit the
+/// paper attributes partly to the pattern diversity of a *moving* shift
+/// size.  Gives up when a failure occurs at full length.
+class VariableShift final : public ShiftPolicy {
+ public:
+  /// \p start defaults to max(1, length/8) when 0; \p decay_after is the
+  /// success streak that halves the size (0 disables decay).
+  VariableShift(std::size_t chain_length, std::size_t start = 0,
+                std::size_t decay_after = 4);
+  std::size_t current() const override { return size_; }
+  bool on_failure() override;
+  void on_success() override;
+  std::string name() const override { return "variable"; }
+
+ private:
+  std::size_t length_;
+  std::size_t start_;
+  std::size_t size_;
+  std::size_t decay_after_;
+  std::size_t streak_ = 0;
+};
+
+}  // namespace vcomp::core

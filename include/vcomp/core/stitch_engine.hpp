@@ -1,0 +1,160 @@
+#pragma once
+
+/// \file stitch_engine.hpp
+/// The paper's test-vector stitching algorithm (Figure 2).
+///
+/// Each stitched cycle:
+///  1. pick a shift size s (ShiftPolicy);
+///  2. run PODEM constrained by the retained chain bits (the previous
+///     response slid s positions toward the tail) to find vectors catching
+///     new faults from f_u; pick a candidate per the SelectionPolicy;
+///  3. commit the vector through the StitchTracker (shift-phase catches,
+///     capture, hidden-fault classification and advancement);
+///  4. account shift cycles and tester bits in the CostMeter.
+///
+/// When no constrained vector can catch a new fault and the shift policy is
+/// out of escalations, the run ends: remaining f_u faults are covered by
+/// appended traditional full-shift vectors ("ex" in Table 2), whose first
+/// full shift also flushes — observes — every fault still hidden.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "vcomp/atpg/test_set.hpp"
+#include "vcomp/core/selection.hpp"
+#include "vcomp/core/shift_policy.hpp"
+#include "vcomp/core/tracker.hpp"
+#include "vcomp/scan/cost_model.hpp"
+
+namespace vcomp::core {
+
+struct StitchOptions {
+  /// Shift size: >0 fixes it; 0 selects the variable policy.
+  std::size_t fixed_shift = 0;
+  /// Variable policy start size (0 = chain length / 8).
+  std::size_t variable_start = 0;
+  /// Variable policy: success streak that halves the size back toward the
+  /// start (0 disables decay — escalation becomes monotonic).
+  std::size_t variable_decay_after = 4;
+
+  scan::CaptureMode capture = scan::CaptureMode::Normal;
+  /// 0 = direct scan-out; >0 = horizontal XOR with this many taps.
+  std::size_t hxor_taps = 0;
+
+  SelectionPolicy selection = SelectionPolicy::MostFaults;
+  /// PODEM attempts per cycle once at least one cube has been found.
+  std::uint32_t max_targets_per_cycle = 48;
+  /// PODEM attempts before declaring a cycle unable to catch *any* new
+  /// fault (the paper's generation-failure condition nominally scans all
+  /// of f_u; this caps the scan on large circuits).
+  std::uint32_t max_targets_on_failure = 320;
+  /// Cubes collected per cycle for the MostFaults greedy pick.
+  std::uint32_t most_faults_cubes = 6;
+  /// Random completions evaluated per cube (MostFaults only).
+  std::uint32_t fills_per_cube = 5;
+
+  std::uint64_t seed = 1;
+  atpg::PodemOptions podem{.max_backtracks = 128};
+  tmeas::HardnessOptions hardness{};
+  /// Hard cap on stitched cycles (0 = 6·aTV + 64).
+  std::size_t max_cycles = 0;
+  /// When the shift policy is out of escalations, up to this many
+  /// consecutive "bridge" cycles (random free bits, no ATPG target) churn
+  /// the retained chain state before the run gives up — the generation
+  /// failure is relative to the *current* response, so new state often
+  /// unlocks new targets.  Mostly relevant to fixed shifts.
+  std::size_t max_bridge_cycles = 6;
+  /// Break-even guard: over a sliding window of this many applied cycles,
+  /// if the faults caught fall below the window's cost measured in
+  /// full-shift-vector equivalents, the stitched phase is losing to the
+  /// traditional scheme and terminates (0 disables the guard).
+  std::size_t marginal_window = 12;
+};
+
+/// The deliverable test program of a stitched run: what the ATE applies.
+struct StitchedSchedule {
+  /// Applied vectors; vectors[0] is the full initial load.
+  std::vector<atpg::TestVector> vectors;
+  /// Shift sizes; shifts[0] = L (full load), shifts[c] = s of vector c+1.
+  std::vector<std::size_t> shifts;
+  /// Trailing observation of the last response (bits shifted out).
+  std::size_t terminal_observe = 0;
+  /// Traditional full-shift vectors appended after the stitched phase.
+  std::vector<atpg::TestVector> extra;
+};
+
+struct StitchResult {
+  std::size_t vectors_applied = 0;      ///< TV
+  std::size_t extra_full_vectors = 0;   ///< ex
+  std::size_t baseline_vectors = 0;     ///< aTV
+
+  StitchedSchedule schedule;            ///< the applied test program
+
+  scan::Cost cost;                      ///< stitched schedule
+  scan::Cost baseline_cost;             ///< (aTV+1)·L etc.
+  double time_ratio = 0.0;              ///< t
+  double memory_ratio = 0.0;            ///< m
+
+  std::size_t targets = 0;              ///< detectable faults to cover
+  std::size_t caught_stitched = 0;      ///< caught during stitched phase
+  std::size_t caught_flush = 0;         ///< caught by terminal observation
+  std::size_t caught_extra = 0;         ///< caught by appended full vectors
+  std::size_t uncovered = 0;            ///< must be 0: coverage preserved
+
+  std::size_t hidden_peak = 0;
+  std::vector<CycleStats> cycles;
+};
+
+/// One-shot stitched-test-generation engine.
+class StitchEngine {
+ public:
+  /// \p baseline classifies every collapsed fault (the detectable ones are
+  /// the coverage target) and provides the aTV vector set used both for
+  /// cost normalization and as the extra-vector pool.
+  StitchEngine(const netlist::Netlist& nl,
+               const fault::CollapsedFaults& faults,
+               const atpg::TestSetResult& baseline,
+               const StitchOptions& options = {});
+
+  /// Runs the full flow and returns the result summary.
+  StitchResult run();
+
+ private:
+  struct Candidate {
+    atpg::TestVector vector;
+    std::size_t target = 0;
+  };
+
+  std::unique_ptr<ShiftPolicy> make_policy() const;
+  atpg::PpiConstraints constraints_for(const scan::ChainState& chain,
+                                       std::size_t s) const;
+  std::optional<Candidate> generate(const FaultSets& sets,
+                                    const scan::ChainState& chain,
+                                    std::size_t s, bool first_vector,
+                                    std::size_t cycle);
+  void load_scoring_sim(const atpg::TestVector& v);
+
+  const netlist::Netlist* nl_;
+  const fault::CollapsedFaults* faults_;
+  const atpg::TestSetResult* baseline_;
+  StitchOptions opts_;
+
+  scan::ScanChain chain_map_;
+  scan::ScanOutModel out_model_;
+  tmeas::Scoap scoap_;
+  atpg::Podem podem_;
+  fault::DiffSim dsim_;  // candidate scoring and the ex-phase dropping sim
+  Rng rng_;
+
+  std::vector<std::size_t> order_;       // target walk order
+  std::vector<std::uint8_t> targetable_; // baseline-detected faults
+  std::size_t cursor_ = 0;               // rotating start for MostFaults
+  // Per-generation-call failure stamps: lets the wide failure scan skip
+  // targets the greedy phase already tried under the same constraints.
+  std::vector<std::uint64_t> tried_this_cycle_;
+  std::uint64_t cycle_stamp_ = 0;
+};
+
+}  // namespace vcomp::core

@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file tracker.hpp
+/// Cycle-accurate fault-set tracking for stitched test application.
+///
+/// StitchTracker owns the fault-free scan chain and every hidden fault's
+/// private chain, and advances them through applied test vectors:
+///
+///   apply_first(v)        — full load of vector 1, apply, classify;
+///   apply_stitched(v, s)  — shift s bits (hidden faults whose chains emit
+///                           different scan-out values are caught here),
+///                           apply, classify new hidden/caught faults, and
+///                           advance every surviving hidden fault through
+///                           its privately mutated vector T_f;
+///   terminal_observe(s)   — observe the tail s cells (or the whole chain)
+///                           once, catching hidden faults whose difference
+///                           is visible.
+///
+/// The StitchEngine drives it with ATPG-generated vectors; tests and the
+/// quickstart example drive it with the paper's scripted vectors to
+/// reproduce Table 1 event by event.
+
+#include <cstdint>
+#include <vector>
+
+#include "vcomp/atpg/fill.hpp"
+#include "vcomp/fault/collapse.hpp"
+#include "vcomp/fault/fault_parallel_sim.hpp"
+#include "vcomp/fault/fault_sim.hpp"
+#include "vcomp/core/fault_sets.hpp"
+#include "vcomp/scan/observe.hpp"
+
+namespace vcomp::core {
+
+/// Per-cycle trace entry.
+struct CycleStats {
+  std::size_t shift = 0;
+  std::size_t caught_at_shift = 0;  ///< hidden faults observed while shifting
+  std::size_t caught_at_po = 0;     ///< faults observed on primary outputs
+  std::size_t new_hidden = 0;
+  std::size_t hidden_reverted = 0;  ///< hidden faults back to uncaught
+  std::size_t hidden_after = 0;     ///< |f_h| at end of cycle
+};
+
+class StitchTracker {
+ public:
+  /// \p track marks the faults to follow (e.g. everything but proven
+  /// redundancies); empty means "track all".
+  StitchTracker(const netlist::Netlist& nl,
+                const fault::CollapsedFaults& faults,
+                scan::CaptureMode capture, scan::ScanOutModel out_model,
+                std::vector<std::uint8_t> track = {});
+
+  /// Applies the first vector (full chain load + capture).
+  CycleStats apply_first(const atpg::TestVector& v);
+
+  /// Applies a stitched vector with shift size \p s.  The vector's scan
+  /// bits at retained positions must equal the current chain content (the
+  /// stitching invariant); violations throw.
+  CycleStats apply_stitched(const atpg::TestVector& v, std::size_t s);
+
+  /// One terminal observation of the tail \p s cells (s = chain length ⇒
+  /// full flush).  Returns the number of hidden faults caught.
+  std::size_t terminal_observe(std::size_t s);
+
+  /// True iff observing the tail \p s cells would catch every remaining
+  /// hidden fault (used to decide between final_observe and flush).
+  bool partial_observe_suffices(std::size_t s) const;
+
+  /// Marks an uncaught fault as caught outside the stitched schedule (by an
+  /// appended traditional full-shift vector).
+  void catch_externally(std::size_t i) { sets_.set_caught(i, cycle_ + 1); }
+
+  const FaultSets& sets() const { return sets_; }
+  const scan::ChainState& chain() const { return chain_; }
+  std::size_t cycle() const { return cycle_; }
+  const netlist::Netlist& netlist() const { return *nl_; }
+
+  /// Catch cycle of fault \p i (requires it to be caught).
+  std::size_t catch_cycle(std::size_t i) const {
+    return sets_.catch_cycle(i);
+  }
+
+ private:
+  CycleStats apply(const atpg::TestVector& v, std::size_t s, bool first);
+  void load_good_sim(const atpg::TestVector& v);
+  std::vector<std::uint8_t> capture_bits_by_position() const;
+  std::vector<std::uint8_t> po_bits() const;
+
+  const netlist::Netlist* nl_;
+  const fault::CollapsedFaults* faults_;
+  scan::CaptureMode capture_;
+  scan::ScanOutModel out_model_;
+  scan::ScanChain chain_map_;
+  std::vector<std::uint8_t> track_;
+
+  FaultSets sets_;
+  scan::ChainState chain_;
+  fault::DiffSim dsim_;
+  fault::LaneSim lanes_;
+  std::size_t cycle_ = 0;
+};
+
+}  // namespace vcomp::core

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file collapse.hpp
+/// Structural fault-equivalence collapsing.
+///
+/// Rules applied (classical equivalence collapsing, no dominance):
+///  * fanout-free connection: a branch on a pin whose source drives only that
+///    pin is equivalent to the source's stem fault of the same polarity (our
+///    universe does not even generate such branches; the rule is applied when
+///    merging stems with gate-local classes);
+///  * AND:  every input s-a-0 ≡ output s-a-0      NAND: input s-a-0 ≡ out s-a-1
+///  * OR:   every input s-a-1 ≡ output s-a-1      NOR:  input s-a-1 ≡ out s-a-0
+///  * BUF:  input s-a-v ≡ output s-a-v            NOT:  input s-a-v ≡ out s-a-v̄
+///  * XOR / XNOR: no input/output equivalence.
+///  * DFF data pins: only the fanout-free rule (no collapsing across a
+///    flip-flop — different time frames).
+///
+/// On the paper's Figure-1 circuit these rules yield exactly the 18 collapsed
+/// faults of Table 1.
+
+#include <cstdint>
+#include <vector>
+
+#include "vcomp/fault/fault.hpp"
+
+namespace vcomp::fault {
+
+/// Result of collapsing: representative faults plus class bookkeeping.
+class CollapsedFaults {
+ public:
+  /// Representative faults, one per equivalence class.
+  const std::vector<Fault>& faults() const { return reps_; }
+  std::size_t size() const { return reps_.size(); }
+  const Fault& operator[](std::size_t i) const { return reps_[i]; }
+
+  /// All members of class \p i (the representative is members[i][0]).
+  const std::vector<Fault>& members(std::size_t i) const {
+    return members_[i];
+  }
+
+  /// Total number of uncollapsed faults.
+  std::size_t universe_size() const { return universe_size_; }
+
+ private:
+  friend CollapsedFaults collapse(const netlist::Netlist& nl,
+                                  const std::vector<Fault>& universe);
+  std::vector<Fault> reps_;
+  std::vector<std::vector<Fault>> members_;
+  std::size_t universe_size_ = 0;
+};
+
+/// Collapses \p universe (e.g. full_fault_universe(nl)).
+CollapsedFaults collapse(const netlist::Netlist& nl,
+                         const std::vector<Fault>& universe);
+
+/// Convenience: collapse the full universe of \p nl.
+CollapsedFaults collapsed_fault_list(const netlist::Netlist& nl);
+
+}  // namespace vcomp::fault

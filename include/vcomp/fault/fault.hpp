@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file fault.hpp
+/// Single stuck-at fault model.
+///
+/// Fault sites follow the classical full-scan convention the paper's example
+/// (Table 1) uses:
+///  * a *stem* fault on every signal (every gate output, including primary
+///    inputs and flip-flop outputs — the pseudo primary inputs);
+///  * a *branch* fault on every gate input pin whose driving signal fans out
+///    to more than one sink (including flip-flop data pins — the example's
+///    "D-c" / "E-b" faults are exactly such branches).
+///
+/// Faults across a flip-flop boundary are never merged: a PPI stem fault and
+/// a fault on the signal captured by the same flip-flop live in different
+/// time frames of the combinational test.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vcomp/netlist/netlist.hpp"
+
+namespace vcomp::fault {
+
+/// One stuck-at fault.
+struct Fault {
+  /// For a stem fault: the gate driving the faulted signal.
+  /// For a branch fault: the *sink* gate whose input pin is faulted.
+  netlist::GateId gate = netlist::kNoGate;
+  /// -1 for a stem fault; otherwise the pin index into gate's fanin.
+  std::int16_t pin = -1;
+  /// Stuck value, 0 or 1.
+  std::uint8_t stuck = 0;
+
+  bool is_stem() const { return pin < 0; }
+  friend bool operator==(const Fault&, const Fault&) = default;
+};
+
+/// Paper-style fault name: "D/0" for stems, "B-D/1" for the branch of B
+/// feeding the gate named D.
+std::string fault_name(const netlist::Netlist& nl, const Fault& f);
+
+/// The driving signal of the faulted line (the stem gate for stems, the
+/// source of the faulted pin for branches).
+netlist::GateId fault_source(const netlist::Netlist& nl, const Fault& f);
+
+/// Generates the complete uncollapsed fault universe described above.
+std::vector<Fault> full_fault_universe(const netlist::Netlist& nl);
+
+}  // namespace vcomp::fault

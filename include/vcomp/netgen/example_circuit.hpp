@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file example_circuit.hpp
+/// The paper's Figure-1 circuit, reconstructed exactly.
+///
+/// Three scan cells a, b, c (scan-in at a, scan-out at c) drive signals
+/// A, B, C; three gates compute D = AND(A,B), E = OR(B,C), F = AND(D,E);
+/// capture loads F into a, E into b and D into c.  The circuit has no
+/// primary inputs or outputs — all access is through the scan chain, which
+/// is why the paper's worked example counts only scan bits.
+///
+/// This reconstruction reproduces Figure 1 / Table 1 bit-for-bit:
+///  * the four test vectors 110, 001, 100, 010 (cells a,b,c) with fault-free
+///    responses 111, 010, 000, 010 — where a response string lists the
+///    captured values (F,E,D) in cells (a,b,c);
+///  * 18 collapsed faults, of which E-F/1 is redundant;
+///  * stitching with shift size 2 catches all 17 detectable faults in the
+///    four cycles of Table 1, with hidden faults F/0 (cycle 1) and
+///    F/1, D-F/1 (cycle 2).
+
+#include <cstdint>
+#include <vector>
+
+#include "vcomp/netlist/netlist.hpp"
+
+namespace vcomp::netgen {
+
+/// Builds the finalized Figure-1 circuit.  DFF order (a, b, c) matches scan
+/// chain order head→tail.
+netlist::Netlist example_circuit();
+
+/// The paper's four test vectors as scan-cell values (a, b, c).
+std::vector<std::vector<std::uint8_t>> example_test_vectors();
+
+/// The corresponding fault-free captured responses (cells a, b, c).
+std::vector<std::vector<std::uint8_t>> example_responses();
+
+}  // namespace vcomp::netgen

@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file netgen.hpp
+/// Seeded synthetic full-scan circuit generator.
+///
+/// Produces random-logic circuits with exact PI/PO/FF counts and a gate
+/// budget, with two structural guarantees the fault machinery relies on:
+/// every signal has at least one sink (no dangling logic, so no artificial
+/// undetectable faults from unobservable cones) and the combinational core
+/// is acyclic by construction.  A profile's `easiness` knob biases the
+/// generator toward shallow, low-XOR logic, mimicking random-pattern-
+/// testable designs like s35932.
+
+#include "vcomp/netgen/profiles.hpp"
+#include "vcomp/netlist/netlist.hpp"
+
+namespace vcomp::netgen {
+
+/// Generates the circuit for \p profile (deterministic per profile.seed).
+netlist::Netlist generate(const CircuitProfile& profile);
+
+/// Convenience: generate by profile name.
+netlist::Netlist generate(const std::string& profile_name);
+
+}  // namespace vcomp::netgen

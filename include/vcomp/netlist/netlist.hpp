@@ -1,0 +1,146 @@
+#pragma once
+
+/// \file netlist.hpp
+/// Gate-level netlist for full-scan sequential circuits.
+///
+/// The model matches the ISCAS89 world the paper evaluates on: primary
+/// inputs, primary outputs, D flip-flops, and simple combinational gates.
+/// Every gate drives exactly one signal, identified by its GateId; primary
+/// outputs are references to driving gates rather than gates themselves.
+///
+/// A netlist is built incrementally (add_* / mark_output / set_dff_input)
+/// and then sealed with finalize(), which computes fanout lists, a
+/// combinational levelization, and a topological evaluation order, and
+/// validates structural sanity (arities, no combinational cycles).
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace vcomp::netlist {
+
+/// Index of a gate within a Netlist; doubles as the id of the signal the
+/// gate drives.
+using GateId = std::uint32_t;
+
+/// Sentinel for "no gate".
+inline constexpr GateId kNoGate = std::numeric_limits<GateId>::max();
+
+/// Supported primitives.  Input and Dff are value *sources* for the
+/// combinational core (their values are set externally by simulators);
+/// a Dff additionally has exactly one fanin: its next-state signal.
+enum class GateType : std::uint8_t {
+  Input,
+  Dff,
+  Buf,
+  Not,
+  And,
+  Nand,
+  Or,
+  Nor,
+  Xor,
+  Xnor,
+};
+
+/// Human-readable name ("AND", "DFF", ...).
+std::string_view to_string(GateType t);
+
+/// Parse a .bench style gate keyword (case-insensitive).  Returns nullopt
+/// for unknown keywords.
+std::optional<GateType> gate_type_from_string(std::string_view s);
+
+/// True for gates whose output is the negation of the same gate without the
+/// bubble (NOT, NAND, NOR, XNOR).
+bool is_inverting(GateType t);
+
+/// One gate and its connectivity.
+struct Gate {
+  GateType type = GateType::Buf;
+  std::string name;
+  std::vector<GateId> fanin;   ///< driving gates, in pin order
+  std::vector<GateId> fanout;  ///< gates that read this gate's output
+  std::uint32_t level = 0;     ///< combinational level (Input/Dff = 0)
+};
+
+/// A gate-level full-scan circuit.
+class Netlist {
+ public:
+  /// \name Construction
+  /// @{
+
+  /// Adds a primary input.  Names must be unique within the netlist.
+  GateId add_input(std::string name);
+
+  /// Adds a D flip-flop.  Its next-state fanin may be provided now or later
+  /// via set_dff_input (needed when parsing forward references).
+  GateId add_dff(std::string name, GateId next_state = kNoGate);
+
+  /// Adds a combinational gate.  \p type must not be Input or Dff.
+  GateId add_gate(GateType type, std::string name, std::vector<GateId> fanin);
+
+  /// Sets / replaces the next-state fanin of a DFF.
+  void set_dff_input(GateId dff, GateId next_state);
+
+  /// Appends an extra fanin pin to a multi-input combinational gate (used
+  /// by generators to absorb otherwise-dangling signals).  To keep the
+  /// construction trivially acyclic, \p extra must have been created before
+  /// \p g.
+  void add_fanin(GateId g, GateId extra);
+
+  /// Declares the signal driven by \p g to be a primary output.
+  void mark_output(GateId g);
+
+  /// Seals the netlist: computes fanout lists, levels and topological order,
+  /// and validates structure.  Throws vcomp::ContractError on malformed
+  /// netlists (bad arity, dangling DFF input, combinational cycle).
+  void finalize();
+
+  /// @}
+  /// \name Accessors (most require finalize() first)
+  /// @{
+
+  bool finalized() const { return finalized_; }
+  std::size_t num_gates() const { return gates_.size(); }
+  const Gate& gate(GateId id) const { return gates_.at(id); }
+
+  /// Primary inputs, in insertion order.
+  const std::vector<GateId>& inputs() const { return inputs_; }
+  /// Flip-flops, in insertion order.  Index into this vector is the
+  /// canonical "state element index" used by simulators and scan chains.
+  const std::vector<GateId>& dffs() const { return dffs_; }
+  /// Primary outputs (ids of the driving gates), in declaration order.
+  const std::vector<GateId>& outputs() const { return outputs_; }
+  /// Combinational gates in dependency order (excludes Input / Dff).
+  const std::vector<GateId>& topo_order() const { return topo_; }
+
+  std::size_t num_inputs() const { return inputs_.size(); }
+  std::size_t num_outputs() const { return outputs_.size(); }
+  std::size_t num_dffs() const { return dffs_.size(); }
+  std::size_t num_comb_gates() const { return topo_.size(); }
+
+  /// Highest combinational level (0 for a netlist with no logic).
+  std::uint32_t depth() const { return depth_; }
+
+  /// Looks a gate up by name; kNoGate if absent.
+  GateId find(std::string_view name) const;
+
+  /// @}
+
+ private:
+  GateId add(Gate g);
+
+  std::vector<Gate> gates_;
+  std::vector<GateId> inputs_;
+  std::vector<GateId> dffs_;
+  std::vector<GateId> outputs_;
+  std::vector<GateId> topo_;
+  std::unordered_map<std::string, GateId> by_name_;
+  std::uint32_t depth_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace vcomp::netlist

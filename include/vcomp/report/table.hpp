@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file table.hpp
+/// Minimal ASCII table builder used by the benchmark binaries to print
+/// paper-style result tables (and optional CSV for post-processing).
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vcomp::report {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats value helpers.
+  static std::string num(std::uint64_t v);
+  static std::string ratio(double v);  // "0.73" style, 2 decimals
+
+  /// Renders with aligned columns and a header rule.
+  void print(std::ostream& out) const;
+  std::string to_string() const;
+
+  /// Comma-separated rendering.
+  void print_csv(std::ostream& out) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vcomp::report

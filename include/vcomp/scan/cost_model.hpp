@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file cost_model.hpp
+/// Test-time and tester-memory accounting for stitched and full-shift scan
+/// test application.
+///
+/// Validated against the paper's worked example (scan length 3, 4 vectors,
+/// shift size 2, no PIs/POs): full shifting costs 15 shift cycles / 24 bits;
+/// stitching costs 11 cycles / 17 bits.
+///
+/// Model:
+///  * test time is counted in shift cycles (capture cycles are negligible
+///    and omitted, as in the paper);
+///  * tester memory = stimulus bits stored (PI values + shifted-in scan
+///    bits) plus expected-response bits stored (PO values + observed
+///    scan-out bits);
+///  * full shifting of N vectors: time (N+1)·L, memory N·(PI+PO+2L);
+///  * a stitched run is accumulated event by event (initial load, stitched
+///    cycles, terminal observation / flush / appended full vectors).
+
+#include <cstdint>
+
+namespace vcomp::scan {
+
+/// Accumulated cost of one test-application schedule.
+struct Cost {
+  std::uint64_t shift_cycles = 0;
+  std::uint64_t stim_bits = 0;
+  std::uint64_t resp_bits = 0;
+
+  std::uint64_t memory_bits() const { return stim_bits + resp_bits; }
+};
+
+/// Event-driven cost accumulator for a stitched schedule.
+class CostMeter {
+ public:
+  CostMeter(std::size_t num_pi, std::size_t num_po, std::size_t chain_len);
+
+  /// Full L-bit load of the first vector, followed by its capture (POs are
+  /// observed at every capture).
+  void initial_load();
+
+  /// One stitched cycle: shift s bits (observing s bits of the previous
+  /// response), apply PIs, capture (observing POs).
+  void stitched_cycle(std::size_t s);
+
+  /// Terminal partial observation of the last response (s bits).
+  void final_observe(std::size_t s);
+
+  /// Terminal full-chain flush: observes every cell (catches all hidden
+  /// faults whose chain state still differs).
+  void flush();
+
+  /// Append \p ex traditional full-shift vectors after the stitched phase.
+  /// The first load's shift-out doubles as the flush of the stitched state.
+  void extra_full_vectors(std::size_t ex);
+
+  const Cost& cost() const { return cost_; }
+
+  /// Cost of the traditional full-shift scheme for \p num_vectors.
+  static Cost full_scan(std::size_t num_pi, std::size_t num_po,
+                        std::size_t chain_len, std::size_t num_vectors);
+
+ private:
+  std::size_t pi_, po_, len_;
+  Cost cost_;
+};
+
+}  // namespace vcomp::scan

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file lfsr.hpp
+/// Fibonacci linear feedback shift registers over GF(2).
+///
+/// Substrate for the Virtual-Scan-Chain baseline: the scheme fills most
+/// scan partitions from LFSRs, so "can this test cube be applied?" becomes
+/// "is there a seed whose output stream matches the cube's specified
+/// bits?".  symbolic_output_row() exposes each output bit as a linear
+/// function of the seed, which plugs straight into Gf2Solver.
+
+#include <cstdint>
+#include <vector>
+
+#include "vcomp/util/gf2.hpp"
+
+namespace vcomp::scan {
+
+class Lfsr {
+ public:
+  /// \p taps lists the register positions (0 = newest bit) XORed into the
+  /// feedback; positions must be < length.
+  Lfsr(std::size_t length, std::vector<std::size_t> taps);
+
+  /// A default primitive-ish tap set for common lengths (maximal period is
+  /// not required for encodability, only linear independence patterns).
+  static Lfsr standard(std::size_t length);
+
+  std::size_t length() const { return length_; }
+
+  /// Loads a seed (bit i = register cell i).
+  void seed(const std::vector<std::uint8_t>& bits);
+
+  /// Advances one step and returns the output bit (the oldest cell).
+  std::uint8_t step();
+
+  /// Concrete output stream of \p n bits from the current state.
+  std::vector<std::uint8_t> stream(std::size_t n);
+
+  /// Row of the linear map seed -> output bit \p t (0-based step index):
+  /// output_t = row · seed over GF(2).
+  Gf2Vector symbolic_output_row(std::size_t t) const;
+
+ private:
+  std::size_t length_;
+  std::vector<std::size_t> taps_;
+  std::vector<std::uint8_t> state_;  // state_[0] = newest
+  // Cache of symbolic state rows, advanced lazily.
+  mutable std::vector<Gf2Vector> sym_rows_;  // per output step
+};
+
+}  // namespace vcomp::scan

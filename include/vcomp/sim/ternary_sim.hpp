@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file ternary_sim.hpp
+/// Three-valued (0/1/X) combinational simulation over test cubes.
+///
+/// Used to reason about partially specified vectors: a cube with X's whose
+/// ternary simulation pins an output to 0/1 pins it for *every* completion
+/// of the X's (monotonicity), which is the property the stitching flow's
+/// fill step relies on.
+
+#include <vector>
+
+#include "vcomp/netlist/netlist.hpp"
+#include "vcomp/sim/trit.hpp"
+
+namespace vcomp::sim {
+
+/// Ternary combinational simulator; mirrors WordSim's interface.
+class TernarySim {
+ public:
+  explicit TernarySim(const netlist::Netlist& nl);
+
+  const netlist::Netlist& netlist() const { return *nl_; }
+
+  /// Sets all sources to X.
+  void clear();
+
+  void set_input(std::size_t i, Trit v);
+  void set_state(std::size_t i, Trit v);
+  void set_source(netlist::GateId g, Trit v);
+
+  /// Full combinational pass.
+  void eval();
+
+  Trit value(netlist::GateId g) const { return values_[g]; }
+  Trit output(std::size_t i) const;
+  Trit next_state(std::size_t i) const;
+
+ private:
+  const netlist::Netlist* nl_;
+  std::vector<Trit> values_;
+  std::vector<Trit> scratch_;
+};
+
+}  // namespace vcomp::sim

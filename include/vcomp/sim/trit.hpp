@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file trit.hpp
+/// Three-valued (0 / 1 / X) logic used by the ternary simulator and by the
+/// PODEM ATPG engine (whose five-valued D-calculus is a pair of trits).
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "vcomp/netlist/netlist.hpp"
+
+namespace vcomp::sim {
+
+/// A three-valued logic value.
+enum class Trit : std::uint8_t { Zero = 0, One = 1, X = 2 };
+
+inline char to_char(Trit t) {
+  switch (t) {
+    case Trit::Zero: return '0';
+    case Trit::One: return '1';
+    case Trit::X: return 'x';
+  }
+  return '?';
+}
+
+/// Negation; X stays X.
+inline Trit trit_not(Trit a) {
+  if (a == Trit::X) return Trit::X;
+  return a == Trit::Zero ? Trit::One : Trit::Zero;
+}
+
+inline Trit trit_and(Trit a, Trit b) {
+  if (a == Trit::Zero || b == Trit::Zero) return Trit::Zero;
+  if (a == Trit::One && b == Trit::One) return Trit::One;
+  return Trit::X;
+}
+
+inline Trit trit_or(Trit a, Trit b) {
+  if (a == Trit::One || b == Trit::One) return Trit::One;
+  if (a == Trit::Zero && b == Trit::Zero) return Trit::Zero;
+  return Trit::X;
+}
+
+inline Trit trit_xor(Trit a, Trit b) {
+  if (a == Trit::X || b == Trit::X) return Trit::X;
+  return a == b ? Trit::Zero : Trit::One;
+}
+
+/// Evaluates one gate over trit fanin values.  \p type must be a
+/// combinational type (Buf/Not/And/Nand/Or/Nor/Xor/Xnor).
+Trit trit_eval(netlist::GateType type, std::span<const Trit> fanin);
+
+}  // namespace vcomp::sim

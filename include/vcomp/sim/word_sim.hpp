@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file word_sim.hpp
+/// Two-valued, 64-way pattern-parallel logic simulation.
+///
+/// Each gate's value is a 64-bit word; bit k of every word belongs to
+/// pattern k, so one eval() pass simulates up to 64 stimuli.  This is the
+/// workhorse under fault simulation, hardness estimation and candidate-fill
+/// scoring.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "vcomp/netlist/netlist.hpp"
+
+namespace vcomp::sim {
+
+/// Word of 64 parallel pattern bits.
+using Word = std::uint64_t;
+
+/// Evaluates one combinational gate over word-valued fanins.
+Word word_eval(netlist::GateType type, std::span<const Word> fanin);
+
+/// Pattern-parallel combinational simulator for a finalized netlist.
+///
+/// Usage: set_input / set_state, eval(), then read values.  Input and Dff
+/// gates are value sources; eval() computes every combinational gate in
+/// topological order.
+class WordSim {
+ public:
+  explicit WordSim(const netlist::Netlist& nl);
+
+  const netlist::Netlist& netlist() const { return *nl_; }
+
+  /// Sets the value of the i-th primary input (index into netlist.inputs()).
+  void set_input(std::size_t i, Word v);
+
+  /// Sets the value of the i-th state element (index into netlist.dffs()).
+  void set_state(std::size_t i, Word v);
+
+  /// Directly sets the value word of any source gate (Input or Dff).
+  void set_source(netlist::GateId g, Word v);
+
+  /// Runs a full combinational evaluation pass.
+  void eval();
+
+  /// Value word of any gate (valid after eval() for combinational gates).
+  Word value(netlist::GateId g) const { return values_[g]; }
+
+  /// Value of the i-th primary output.
+  Word output(std::size_t i) const;
+
+  /// Next-state value captured by the i-th flip-flop (its fanin's value).
+  Word next_state(std::size_t i) const;
+
+  /// Whole value array (one word per gate), e.g. for diff-based fault sim.
+  std::span<const Word> values() const { return values_; }
+  std::span<Word> mutable_values() { return values_; }
+
+ private:
+  const netlist::Netlist* nl_;
+  std::vector<Word> values_;
+  std::vector<Word> scratch_;  // fanin gather buffer
+};
+
+}  // namespace vcomp::sim

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file hardness.hpp
+/// Empirical test-hardness estimation.
+///
+/// The paper's "Hardness" selection policy walks the fault list "ordered by
+/// hardness to test".  We estimate hardness the way ATPG practice does:
+/// fault-simulate a batch of random full-scan vectors and count how many
+/// detect each fault — random-pattern-resistant faults are hard.  SCOAP
+/// difficulty breaks ties (and ranks faults never detected randomly).
+
+#include <cstdint>
+#include <vector>
+
+#include "vcomp/fault/fault_sim.hpp"
+#include "vcomp/tmeas/scoap.hpp"
+#include "vcomp/util/rng.hpp"
+
+namespace vcomp::tmeas {
+
+struct HardnessOptions {
+  std::size_t random_patterns = 256;  ///< rounded up to a multiple of 64
+  std::uint64_t seed = 1;
+};
+
+/// Detection count per fault over \p opts.random_patterns random vectors
+/// (full observation: POs + all capture points).
+std::vector<std::uint32_t> detection_counts(
+    const netlist::Netlist& nl, const std::vector<fault::Fault>& faults,
+    const HardnessOptions& opts = {});
+
+/// Indices into \p faults ordered hardest-first: ascending random detection
+/// count, ties broken by descending SCOAP difficulty.
+std::vector<std::size_t> hardness_order(
+    const netlist::Netlist& nl, const std::vector<fault::Fault>& faults,
+    const HardnessOptions& opts = {});
+
+}  // namespace vcomp::tmeas

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file scoap.hpp
+/// SCOAP testability measures (Goldstein 1979) for full-scan circuits.
+///
+/// CC0/CC1 — combinational 0-/1-controllability: the minimum "effort"
+/// (number of line assignments) needed to set a signal; primary inputs and
+/// scan cells (PPIs) cost 1.  CO — observability: effort to propagate a
+/// signal's value to a primary output or a scan capture point (PPO), both of
+/// which full scan observes.
+///
+/// The PODEM backtrace uses CC0/CC1 to pick the cheapest input to satisfy an
+/// objective, and the stitching flow's "hardness" fault order uses
+/// CC + CO as a secondary key.
+
+#include <cstdint>
+#include <vector>
+
+#include "vcomp/fault/fault.hpp"
+#include "vcomp/netlist/netlist.hpp"
+
+namespace vcomp::tmeas {
+
+/// Saturating cost value used by SCOAP arithmetic.
+using Cost = std::uint32_t;
+inline constexpr Cost kInfCost = 1u << 30;
+
+/// Saturating add.
+inline Cost cost_add(Cost a, Cost b) {
+  const Cost s = a + b;
+  return s >= kInfCost ? kInfCost : s;
+}
+
+/// SCOAP measures for every signal of a finalized netlist.
+class Scoap {
+ public:
+  explicit Scoap(const netlist::Netlist& nl);
+
+  Cost cc0(netlist::GateId g) const { return cc0_[g]; }
+  Cost cc1(netlist::GateId g) const { return cc1_[g]; }
+  Cost co(netlist::GateId g) const { return co_[g]; }
+
+  /// Controllability of value \p v on signal \p g.
+  Cost cc(netlist::GateId g, bool v) const { return v ? cc1_[g] : cc0_[g]; }
+
+  /// SCOAP-based detection-difficulty estimate for a fault: cost of
+  /// activating the faulty value plus observing the fault site.
+  Cost fault_difficulty(const netlist::Netlist& nl,
+                        const fault::Fault& f) const;
+
+ private:
+  std::vector<Cost> cc0_, cc1_, co_;
+};
+
+}  // namespace vcomp::tmeas

@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file gf2.hpp
+/// Dense linear algebra over GF(2), bit-packed into 64-bit words.
+///
+/// Used by the Virtual-Scan-Chain baseline (Jas/Pouya/Touba, ITC 2000) to
+/// decide whether a test cube's specified bits are reproducible by an LFSR:
+/// each LFSR output bit is a linear function of the seed, so encodability
+/// is the solvability of a GF(2) system.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace vcomp {
+
+/// A row vector over GF(2) with a fixed bit width.
+class Gf2Vector {
+ public:
+  Gf2Vector() = default;
+  explicit Gf2Vector(std::size_t bits)
+      : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  std::size_t size() const { return bits_; }
+  bool get(std::size_t i) const {
+    return (words_[i / 64] >> (i % 64)) & 1;
+  }
+  void set(std::size_t i, bool v) {
+    const std::uint64_t m = std::uint64_t{1} << (i % 64);
+    if (v)
+      words_[i / 64] |= m;
+    else
+      words_[i / 64] &= ~m;
+  }
+  void flip(std::size_t i) { words_[i / 64] ^= std::uint64_t{1} << (i % 64); }
+
+  /// this ^= other (sizes must match).
+  void xor_with(const Gf2Vector& other);
+
+  /// Dot product over GF(2).
+  bool dot(const Gf2Vector& other) const;
+
+  bool any() const;
+
+  friend bool operator==(const Gf2Vector&, const Gf2Vector&) = default;
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Solver for A·x = b over GF(2) via Gaussian elimination.
+///
+/// Rows are added incrementally; add_equation returns false when the new
+/// equation is inconsistent with the ones already absorbed (useful for
+/// "keep adding specified bits until the cube stops being encodable").
+class Gf2Solver {
+ public:
+  explicit Gf2Solver(std::size_t num_vars);
+
+  std::size_t num_vars() const { return vars_; }
+  std::size_t rank() const { return pivots_.size(); }
+
+  /// Adds row·x = rhs.  Returns false (and leaves the system unchanged)
+  /// when the equation contradicts the current system; returns true when
+  /// the equation is consistent (it may be redundant).
+  bool add_equation(Gf2Vector row, bool rhs);
+
+  /// A solution of the current system (free variables set to 0).
+  Gf2Vector solve() const;
+
+ private:
+  struct PivotRow {
+    Gf2Vector row;
+    bool rhs;
+    std::size_t pivot;
+  };
+  std::size_t vars_;
+  std::vector<PivotRow> pivots_;
+};
+
+}  // namespace vcomp

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic pseudo-random number generation.
+///
+/// All stochastic choices in vcomp (synthetic netlist generation, X-fill,
+/// random fault ordering) flow through Rng so that every experiment is
+/// reproducible from a single 64-bit seed.
+
+#include <cstdint>
+#include <vector>
+
+namespace vcomp {
+
+/// xoshiro256** seeded via splitmix64.  Small, fast, and good enough for
+/// workload generation; NOT cryptographic.
+class Rng {
+ public:
+  /// Seeds the generator; equal seeds yield identical streams.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound); bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli draw: true with probability num/den.
+  bool chance(std::uint32_t num, std::uint32_t den);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// A single random bit.
+  bool bit() { return (next() >> 63) != 0; }
+
+  /// Fisher–Yates shuffle of a vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child generator (for parallel / nested use).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace vcomp

@@ -1,0 +1,39 @@
+#include "vcomp/atpg/fill.hpp"
+
+namespace vcomp::atpg {
+
+using sim::Trit;
+
+namespace {
+std::uint8_t complete(Trit t, FillMode mode, Rng& rng) {
+  switch (t) {
+    case Trit::Zero: return 0;
+    case Trit::One: return 1;
+    case Trit::X:
+      switch (mode) {
+        case FillMode::Zeros: return 0;
+        case FillMode::Ones: return 1;
+        case FillMode::Random: return rng.bit() ? 1 : 0;
+      }
+  }
+  return 0;
+}
+}  // namespace
+
+TestVector fill_cube(const Cube& cube, FillMode mode, Rng& rng) {
+  TestVector v;
+  v.pi.reserve(cube.pi.size());
+  for (Trit t : cube.pi) v.pi.push_back(complete(t, mode, rng));
+  v.ppi.reserve(cube.ppi.size());
+  for (Trit t : cube.ppi) v.ppi.push_back(complete(t, mode, rng));
+  return v;
+}
+
+std::size_t specified_bits(const Cube& cube) {
+  std::size_t n = 0;
+  for (Trit t : cube.pi) n += (t != Trit::X);
+  for (Trit t : cube.ppi) n += (t != Trit::X);
+  return n;
+}
+
+}  // namespace vcomp::atpg

@@ -1,0 +1,474 @@
+#include "vcomp/atpg/podem.hpp"
+
+#include <algorithm>
+
+#include "vcomp/util/assert.hpp"
+
+namespace vcomp::atpg {
+
+using fault::Fault;
+using netlist::GateId;
+using netlist::GateType;
+using sim::Trit;
+
+namespace {
+
+Trit stuck_trit(const Fault& f) { return f.stuck ? Trit::One : Trit::Zero; }
+
+bool definite(Trit t) { return t != Trit::X; }
+
+/// True when the fault is a branch into a flip-flop data pin: its effect is
+/// confined to the captured bit, which full scan observes directly.
+bool is_dff_pin_fault(const netlist::Netlist& nl, const Fault& f) {
+  return !f.is_stem() && nl.gate(f.gate).type == GateType::Dff;
+}
+
+/// Non-controlling value for propagating through a gate.
+Trit noncontrolling(GateType t) {
+  switch (t) {
+    case GateType::And:
+    case GateType::Nand:
+      return Trit::One;
+    case GateType::Or:
+    case GateType::Nor:
+      return Trit::Zero;
+    default:
+      return Trit::Zero;  // XOR-ish: any side value propagates
+  }
+}
+
+}  // namespace
+
+Podem::Podem(const netlist::Netlist& nl, const tmeas::Scoap& scoap)
+    : nl_(&nl), scoap_(&scoap) {
+  const std::size_t n = nl.num_gates();
+  assign_.assign(n, Trit::X);
+  good_.assign(n, Trit::X);
+  bad_.assign(n, Trit::X);
+  is_obs_.assign(n, 0);
+  for (GateId g : nl.outputs()) is_obs_[g] = 1;
+  for (GateId d : nl.dffs()) is_obs_[nl.gate(d).fanin[0]] = 1;
+  in_cone_.assign(n, 0);
+  buckets_.resize(nl.depth() + 1);
+  queued_.assign(n, 0);
+  xpath_seen_.assign(n, 0);
+  xpath_val_.assign(n, 0);
+}
+
+void Podem::compute_cone(const Fault& f) {
+  for (GateId g : cone_) in_cone_[g] = 0;
+  cone_.clear();
+  cone_obs_.clear();
+
+  // The cone starts at the faulted line's sink(s): for a stem fault the
+  // site's fanouts plus the site itself; for a branch fault the sink gate.
+  std::vector<GateId> work;
+  auto push = [&](GateId g) {
+    const GateType t = nl_->gate(g).type;
+    if (t == GateType::Dff || t == GateType::Input) return;
+    if (in_cone_[g]) return;
+    in_cone_[g] = 1;
+    cone_.push_back(g);
+    if (is_obs_[g]) cone_obs_.push_back(g);
+    work.push_back(g);
+  };
+  if (f.is_stem()) {
+    const GateType t = nl_->gate(f.gate).type;
+    if (t != GateType::Dff && t != GateType::Input) push(f.gate);
+    if (t == GateType::Dff || t == GateType::Input) {
+      // PPI / PI stem: cone is the fanout logic; the stem line itself is
+      // observable only through its sinks (it is never a PO in this model,
+      // but keep the stem observable if marked).
+      for (GateId s : nl_->gate(f.gate).fanout) push(s);
+      if (is_obs_[f.gate]) cone_obs_.push_back(f.gate);
+    }
+  } else if (!is_dff_pin_fault(*nl_, f)) {
+    push(f.gate);
+  }
+  while (!work.empty()) {
+    const GateId u = work.back();
+    work.pop_back();
+    for (GateId s : nl_->gate(u).fanout) push(s);
+  }
+}
+
+void Podem::load_assignments() {
+  std::fill(assign_.begin(), assign_.end(), Trit::X);
+  if (constraints_ != nullptr && !constraints_->all_free()) {
+    VCOMP_REQUIRE(constraints_->fixed.size() == nl_->num_dffs(),
+                  "constraint vector size must equal the number of DFFs");
+    for (std::size_t i = 0; i < nl_->num_dffs(); ++i)
+      assign_[nl_->dffs()[i]] = constraints_->fixed[i];
+  }
+}
+
+void Podem::eval_pair(GateId u, const Fault& f, Trit& good, Trit& bad) {
+  const auto& g = nl_->gate(u);
+  auto& gg = gather_good_;
+  auto& gb = gather_bad_;
+  gg.clear();
+  gb.clear();
+  for (GateId fin : g.fanin) {
+    gg.push_back(good_[fin]);
+    gb.push_back(bad_[fin]);
+  }
+  if (!f.is_stem() && f.gate == u)
+    gb[static_cast<std::size_t>(f.pin)] = stuck_trit(f);
+  good = sim::trit_eval(g.type, gg);
+  bad = (f.is_stem() && f.gate == u) ? stuck_trit(f)
+                                     : sim::trit_eval(g.type, gb);
+}
+
+void Podem::full_imply(const Fault& f) {
+  const Trit sv = stuck_trit(f);
+  for (GateId g : nl_->inputs()) {
+    good_[g] = assign_[g];
+    bad_[g] = assign_[g];
+  }
+  for (GateId g : nl_->dffs()) {
+    good_[g] = assign_[g];
+    bad_[g] = assign_[g];
+  }
+  if (f.is_stem()) {
+    const auto t = nl_->gate(f.gate).type;
+    if (t == GateType::Input || t == GateType::Dff) bad_[f.gate] = sv;
+  }
+  for (GateId u : nl_->topo_order()) eval_pair(u, f, good_[u], bad_[u]);
+}
+
+void Podem::assign_source(GateId src, Trit v, const Fault& f) {
+  trail_.push_back({src, good_[src], bad_[src]});
+  good_[src] = v;
+  const bool stem_here =
+      f.is_stem() && f.gate == src;
+  bad_[src] = stem_here ? stuck_trit(f) : v;
+
+  // Levelized event propagation.
+  auto schedule = [&](GateId g) {
+    const auto& gate = nl_->gate(g);
+    if (gate.type == GateType::Input || gate.type == GateType::Dff) return;
+    if (queued_[g]) return;
+    queued_[g] = 1;
+    buckets_[gate.level].push_back(g);
+  };
+  for (GateId s : nl_->gate(src).fanout) schedule(s);
+
+  for (std::uint32_t lvl = 0; lvl < buckets_.size(); ++lvl) {
+    auto& bucket = buckets_[lvl];
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const GateId u = bucket[i];
+      queued_[u] = 0;
+      Trit ng, nb;
+      eval_pair(u, f, ng, nb);
+      if (ng == good_[u] && nb == bad_[u]) continue;
+      trail_.push_back({u, good_[u], bad_[u]});
+      good_[u] = ng;
+      bad_[u] = nb;
+      for (GateId s : nl_->gate(u).fanout) schedule(s);
+    }
+    bucket.clear();
+  }
+}
+
+void Podem::undo_to(std::size_t mark) {
+  while (trail_.size() > mark) {
+    const auto& e = trail_.back();
+    good_[e.gate] = e.good;
+    bad_[e.gate] = e.bad;
+    trail_.pop_back();
+  }
+}
+
+bool Podem::detected(const Fault& f) const {
+  if (is_dff_pin_fault(*nl_, f)) {
+    const GateId src = fault::fault_source(*nl_, f);
+    return definite(good_[src]) && good_[src] != stuck_trit(f);
+  }
+  for (GateId g : cone_obs_)
+    if (definite(good_[g]) && definite(bad_[g]) && good_[g] != bad_[g])
+      return true;
+  return false;
+}
+
+bool Podem::activation_impossible(const Fault& f) const {
+  const GateId src = fault::fault_source(*nl_, f);
+  return definite(good_[src]) && good_[src] == stuck_trit(f);
+}
+
+bool Podem::fault_visible(const Fault& f) const {
+  const GateId src = fault::fault_source(*nl_, f);
+  return definite(good_[src]) && good_[src] != stuck_trit(f);
+}
+
+std::optional<std::pair<GateId, Trit>> Podem::objective(const Fault& f) {
+  const GateId src = fault::fault_source(*nl_, f);
+  if (!definite(good_[src]))
+    return std::make_pair(src, sim::trit_not(stuck_trit(f)));
+
+  // Activated: advance the D-frontier gate with the best observability.
+  GateId best = netlist::kNoGate;
+  tmeas::Cost best_co = tmeas::kInfCost + 1;
+  // A just-activated branch fault carries its D on the *pin* of the sink
+  // gate, not on any signal, so the sink gate is a frontier member that
+  // the signal-level scan below cannot see.
+  if (!f.is_stem() && nl_->gate(f.gate).type != GateType::Dff &&
+      (!definite(good_[f.gate]) || !definite(bad_[f.gate]))) {
+    best = f.gate;
+    best_co = scoap_->co(f.gate);
+  }
+  for (GateId u : cone_) {
+    const bool unresolved = !definite(good_[u]) || !definite(bad_[u]);
+    if (!unresolved) continue;
+    const auto& g = nl_->gate(u);
+    bool has_d = false;
+    for (GateId fin : g.fanin)
+      if (definite(good_[fin]) && definite(bad_[fin]) &&
+          good_[fin] != bad_[fin]) {
+        has_d = true;
+        break;
+      }
+    if (!has_d) continue;
+    const tmeas::Cost co = scoap_->co(u);
+    if (co < best_co) {
+      best_co = co;
+      best = u;
+    }
+  }
+  if (best == netlist::kNoGate) return std::nullopt;
+
+  const auto& g = nl_->gate(best);
+  // Pick an unspecified input to set to the non-controlling value.
+  GateId pick = netlist::kNoGate;
+  for (GateId fin : g.fanin) {
+    if (definite(good_[fin]) && definite(bad_[fin])) continue;
+    if (!definite(good_[fin])) {
+      pick = fin;
+      break;  // prefer good-side X (cleanest backtrace)
+    }
+    if (pick == netlist::kNoGate) pick = fin;
+  }
+  if (pick == netlist::kNoGate) return std::nullopt;
+  return std::make_pair(pick, noncontrolling(g.type));
+}
+
+std::pair<GateId, Trit> Podem::backtrace(GateId g, Trit v) const {
+  for (;;) {
+    const auto& gate = nl_->gate(g);
+    if (gate.type == GateType::Input || gate.type == GateType::Dff)
+      return {g, v};
+
+    // Desired value at this gate's inputs (strip the output bubble).
+    Trit want = netlist::is_inverting(gate.type) ? sim::trit_not(v) : v;
+
+    // Choose among unspecified fanins.
+    GateId pick = netlist::kNoGate;
+    bool want_all = false;  // must set *all* inputs (pick hardest) vs any one
+    switch (gate.type) {
+      case GateType::And:
+      case GateType::Nand:
+        want_all = (want == Trit::One);
+        break;
+      case GateType::Or:
+      case GateType::Nor:
+        want_all = (want == Trit::Zero);
+        break;
+      default:
+        want_all = false;
+        break;
+    }
+
+    tmeas::Cost best_cost = want_all ? 0 : tmeas::kInfCost + 1;
+    for (GateId fin : gate.fanin) {
+      if (definite(good_[fin])) continue;
+      const tmeas::Cost c = scoap_->cc(fin, want == Trit::One);
+      const bool better =
+          want_all ? (pick == netlist::kNoGate || c > best_cost)
+                   : (pick == netlist::kNoGate || c < best_cost);
+      if (better) {
+        best_cost = c;
+        pick = fin;
+      }
+    }
+    if (pick == netlist::kNoGate) {
+      // All good-side values specified; follow a bad-side X line instead.
+      for (GateId fin : gate.fanin)
+        if (!definite(bad_[fin])) {
+          pick = fin;
+          break;
+        }
+      VCOMP_ENSURE(pick != netlist::kNoGate,
+                   "backtrace stuck on fully specified gate");
+    }
+
+    if (gate.type == GateType::Xor || gate.type == GateType::Xnor) {
+      // Desired pick value = want ⊕ (xor of other inputs, X treated as 0).
+      Trit acc = Trit::Zero;
+      for (GateId fin : gate.fanin) {
+        if (fin == pick) continue;
+        if (good_[fin] == Trit::One) acc = sim::trit_not(acc);
+      }
+      want = (acc == Trit::One) ? sim::trit_not(want) : want;
+    }
+    g = pick;
+    v = want;
+  }
+}
+
+bool Podem::xpath_exists(const Fault& f) {
+  if (is_dff_pin_fault(*nl_, f)) return true;
+  ++xpath_epoch_;
+
+  // A gate continues an X-path if its value is unresolved.
+  auto unresolved = [&](GateId g) {
+    return !definite(good_[g]) || !definite(bad_[g]);
+  };
+  auto seen = [&](GateId g) { return xpath_seen_[g] == xpath_epoch_; };
+  auto memo_val = [&](GateId g) { return xpath_val_[g]; };
+  auto set_memo = [&](GateId g, std::int8_t v) {
+    xpath_seen_[g] = xpath_epoch_;
+    xpath_val_[g] = v;
+  };
+
+  // Iterative DFS from a gate, through unresolved gates, to an observation
+  // point.  Memo: 1 reaches, 0 does not (within this imply state).
+  auto reaches = [&](GateId start) -> bool {
+    if (seen(start)) return memo_val(start) == 1;
+    std::vector<GateId> stack{start};
+    std::vector<GateId> visited;
+    bool found = false;
+    while (!stack.empty() && !found) {
+      GateId u = stack.back();
+      stack.pop_back();
+      if (seen(u) && memo_val(u) == 0) continue;
+      if (seen(u) && memo_val(u) == 1) {
+        found = true;
+        break;
+      }
+      set_memo(u, 0);
+      visited.push_back(u);
+      if (is_obs_[u] && unresolved(u)) {
+        found = true;
+        break;
+      }
+      for (GateId s : nl_->gate(u).fanout) {
+        const auto st = nl_->gate(s).type;
+        if (st == GateType::Dff || st == GateType::Input) continue;
+        if (!unresolved(s)) continue;
+        if (seen(s) && memo_val(s) == 1) {
+          found = true;
+          break;
+        }
+        if (!seen(s)) stack.push_back(s);
+      }
+    }
+    if (found)
+      for (GateId u : visited) set_memo(u, 1);
+    return found;
+  };
+
+  // A just-activated branch fault carries its D on the *pin*, not on any
+  // signal; the sink gate itself is then the frontier.
+  if (!f.is_stem() && fault_visible(f) &&
+      (!definite(good_[f.gate]) || !definite(bad_[f.gate])) &&
+      reaches(f.gate))
+    return true;
+
+  // From every D/D' line in the cone: can its unresolved fanout reach an
+  // observation point?
+  auto check_line = [&](GateId g) -> bool {
+    if (!(definite(good_[g]) && definite(bad_[g]) && good_[g] != bad_[g]))
+      return false;
+    if (is_obs_[g]) return true;  // would have been `detected`
+    for (GateId s : nl_->gate(g).fanout) {
+      const auto st = nl_->gate(s).type;
+      if (st == GateType::Dff || st == GateType::Input) continue;
+      if ((!definite(good_[s]) || !definite(bad_[s])) && reaches(s))
+        return true;
+    }
+    return false;
+  };
+  // The stem line of a PPI-sited fault lives outside cone_.
+  if (f.is_stem()) {
+    const auto t = nl_->gate(f.gate).type;
+    if ((t == GateType::Dff || t == GateType::Input) && check_line(f.gate))
+      return true;
+  }
+  for (GateId g : cone_)
+    if (check_line(g)) return true;
+  return false;
+}
+
+PodemResult Podem::generate(const Fault& f, const PpiConstraints* constraints,
+                            const PodemOptions& options) {
+  constraints_ = constraints;
+  compute_cone(f);
+  load_assignments();
+  full_imply(f);
+  trail_.clear();
+
+  PodemResult result;
+  stack_.clear();
+
+  auto make_cube = [&]() {
+    Cube cube;
+    cube.pi.reserve(nl_->num_inputs());
+    for (GateId g : nl_->inputs()) cube.pi.push_back(assign_[g]);
+    cube.ppi.reserve(nl_->num_dffs());
+    for (GateId g : nl_->dffs()) cube.ppi.push_back(assign_[g]);
+    return cube;
+  };
+
+  for (;;) {
+    if (detected(f)) {
+      result.status = PodemStatus::Success;
+      result.cube = make_cube();
+      return result;
+    }
+
+    bool fail = activation_impossible(f);
+    if (!fail && fault_visible(f)) {
+      // Activated: require a live D-frontier with an X-path to observation.
+      if (!xpath_exists(f)) fail = true;
+    }
+
+    if (!fail) {
+      if (auto obj = objective(f)) {
+        auto [src, v] = backtrace(obj->first, obj->second);
+        VCOMP_ENSURE(assign_[src] == Trit::X, "backtrace hit assigned source");
+        stack_.push_back({src, v, false, trail_.size()});
+        assign_[src] = v;
+        assign_source(src, v, f);
+        continue;
+      }
+      fail = true;
+    }
+
+    // Backtrack.
+    while (!stack_.empty() && stack_.back().flipped) {
+      undo_to(stack_.back().trail_mark);
+      assign_[stack_.back().source] = Trit::X;
+      stack_.pop_back();
+    }
+    if (stack_.empty()) {
+      result.status = PodemStatus::Untestable;
+      return result;
+    }
+    if (++result.backtracks > options.max_backtracks) {
+      while (!stack_.empty()) {
+        undo_to(stack_.back().trail_mark);
+        assign_[stack_.back().source] = Trit::X;
+        stack_.pop_back();
+      }
+      result.status = PodemStatus::Aborted;
+      return result;
+    }
+    auto& top = stack_.back();
+    undo_to(top.trail_mark);
+    top.flipped = true;
+    top.value = sim::trit_not(top.value);
+    assign_[top.source] = top.value;
+    assign_source(top.source, top.value, f);
+  }
+}
+
+}  // namespace vcomp::atpg

@@ -1,0 +1,168 @@
+#include "vcomp/atpg/test_set.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "vcomp/fault/fault_sim.hpp"
+#include "vcomp/tmeas/scoap.hpp"
+#include "vcomp/util/assert.hpp"
+
+namespace vcomp::atpg {
+
+using fault::DiffSim;
+using fault::Fault;
+using sim::Word;
+
+namespace {
+
+/// Loads one fully specified vector into all 64 lanes of the good sim.
+void load_vector(DiffSim& sim, const netlist::Netlist& nl,
+                 const TestVector& v) {
+  for (std::size_t i = 0; i < nl.num_inputs(); ++i)
+    sim.good().set_input(i, v.pi[i] ? ~Word{0} : Word{0});
+  for (std::size_t i = 0; i < nl.num_dffs(); ++i)
+    sim.good().set_state(i, v.ppi[i] ? ~Word{0} : Word{0});
+  sim.commit_good();
+}
+
+}  // namespace
+
+TestSetResult generate_full_scan_tests(const netlist::Netlist& nl,
+                                       const std::vector<Fault>& faults,
+                                       const TestSetOptions& options) {
+  TestSetResult result;
+  result.classes.assign(faults.size(), FaultClass::Aborted);
+
+  DiffSim sim(nl);
+  Rng rng(options.seed);
+  std::vector<std::uint8_t> detected(faults.size(), 0);
+
+  const std::size_t npi = nl.num_inputs();
+  const std::size_t nff = nl.num_dffs();
+
+  // ---- Random phase with fault dropping -------------------------------
+  std::size_t idle = 0;
+  std::vector<Word> pi_words(npi), ppi_words(nff);
+  for (std::size_t block = 0;
+       options.random_idle_blocks > 0 && block < options.max_random_blocks &&
+       idle < options.random_idle_blocks;
+       ++block) {
+    for (std::size_t i = 0; i < npi; ++i) {
+      pi_words[i] = rng.next();
+      sim.good().set_input(i, pi_words[i]);
+    }
+    for (std::size_t i = 0; i < nff; ++i) {
+      ppi_words[i] = rng.next();
+      sim.good().set_state(i, ppi_words[i]);
+    }
+    sim.commit_good();
+
+    // Greedy set cover within the block: keep the fewest patterns that
+    // still detect every detectable fault (ATALANTA-grade compactness is
+    // what makes aTV a fair baseline).
+    std::vector<Word> det_words;
+    std::vector<std::size_t> det_faults;
+    for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+      if (detected[fi]) continue;
+      const Word det = sim.simulate(faults[fi]).any();
+      if (det == 0) continue;
+      det_words.push_back(det);
+      det_faults.push_back(fi);
+    }
+    Word used = 0;
+    const bool any_new = !det_words.empty();
+    while (!det_words.empty()) {
+      std::uint32_t count[64] = {};
+      for (Word w : det_words)
+        for (Word bits = w; bits != 0; bits &= bits - 1)
+          ++count[std::countr_zero(bits)];
+      int best = 0;
+      for (int k = 1; k < 64; ++k)
+        if (count[k] > count[best]) best = k;
+      used |= Word{1} << best;
+      std::size_t out = 0;
+      for (std::size_t i = 0; i < det_words.size(); ++i) {
+        if ((det_words[i] >> best) & 1) {
+          detected[det_faults[i]] = 1;
+        } else {
+          det_words[out] = det_words[i];
+          det_faults[out] = det_faults[i];
+          ++out;
+        }
+      }
+      det_words.resize(out);
+      det_faults.resize(out);
+    }
+    idle = any_new ? 0 : idle + 1;
+
+    for (int k = 0; k < 64; ++k) {
+      if (!((used >> k) & 1)) continue;
+      TestVector v;
+      v.pi.resize(npi);
+      v.ppi.resize(nff);
+      for (std::size_t i = 0; i < npi; ++i) v.pi[i] = (pi_words[i] >> k) & 1;
+      for (std::size_t i = 0; i < nff; ++i) v.ppi[i] = (ppi_words[i] >> k) & 1;
+      result.vectors.push_back(std::move(v));
+    }
+  }
+
+  // ---- Deterministic phase --------------------------------------------
+  tmeas::Scoap scoap(nl);
+  Podem podem(nl, scoap);
+  for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+    if (detected[fi]) continue;
+    const auto res = podem.generate(faults[fi], nullptr, options.podem);
+    if (res.status == PodemStatus::Untestable) {
+      result.classes[fi] = FaultClass::Redundant;
+      continue;
+    }
+    if (res.status == PodemStatus::Aborted) continue;
+
+    TestVector v = fill_cube(res.cube, FillMode::Random, rng);
+    load_vector(sim, nl, v);
+    for (std::size_t fj = fi; fj < faults.size(); ++fj) {
+      if (detected[fj]) continue;
+      if (result.classes[fj] == FaultClass::Redundant) continue;
+      if (sim.simulate(faults[fj]).any() != 0) detected[fj] = 1;
+    }
+    VCOMP_ENSURE(detected[fi], "PODEM vector failed to detect its target");
+    result.vectors.push_back(std::move(v));
+  }
+
+  // ---- Reverse-order static compaction --------------------------------
+  if (options.reverse_compaction && !result.vectors.empty()) {
+    std::vector<std::uint8_t> redetected(faults.size(), 0);
+    std::vector<TestVector> kept;
+    for (auto it = result.vectors.rbegin(); it != result.vectors.rend();
+         ++it) {
+      load_vector(sim, nl, *it);
+      bool useful = false;
+      for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+        if (!detected[fi] || redetected[fi]) continue;
+        if (sim.simulate(faults[fi]).any() != 0) {
+          redetected[fi] = 1;
+          useful = true;
+        }
+      }
+      if (useful) kept.push_back(std::move(*it));
+    }
+    std::reverse(kept.begin(), kept.end());
+    result.vectors = std::move(kept);
+    // Compaction must not lose coverage.
+    VCOMP_ENSURE(redetected == detected, "compaction lost fault coverage");
+  }
+
+  for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+    if (detected[fi]) {
+      result.classes[fi] = FaultClass::Detected;
+      ++result.num_detected;
+    } else if (result.classes[fi] == FaultClass::Redundant) {
+      ++result.num_redundant;
+    } else {
+      ++result.num_aborted;
+    }
+  }
+  return result;
+}
+
+}  // namespace vcomp::atpg

@@ -1,0 +1,14 @@
+#include "vcomp/baselines/baselines.hpp"
+
+namespace vcomp::baselines {
+
+void finalize_ratios(BaselineResult& r) {
+  if (r.full_cost.shift_cycles > 0)
+    r.time_ratio =
+        double(r.cost.shift_cycles) / double(r.full_cost.shift_cycles);
+  if (r.full_cost.memory_bits() > 0)
+    r.memory_ratio =
+        double(r.cost.memory_bits()) / double(r.full_cost.memory_bits());
+}
+
+}  // namespace vcomp::baselines

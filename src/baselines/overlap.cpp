@@ -1,0 +1,102 @@
+#include "vcomp/baselines/overlap.hpp"
+
+#include <algorithm>
+
+#include "vcomp/util/assert.hpp"
+#include "vcomp/util/rng.hpp"
+
+namespace vcomp::baselines {
+
+std::size_t scan_overlap(const atpg::TestVector& a,
+                         const atpg::TestVector& b) {
+  VCOMP_REQUIRE(a.ppi.size() == b.ppi.size(), "vector length mismatch");
+  const std::size_t L = a.ppi.size();
+  if (L == 0) return 0;
+  // After shifting j new bits into a chain holding `a`, position p >= j
+  // holds a[p-j]; the residue matches `b` iff b[p] == a[p-j] for all
+  // p >= j.  The largest overlap = L - (smallest such j).  Computed in
+  // O(L) with the KMP failure function of the string b # a.
+  std::vector<std::uint8_t> s;
+  s.reserve(2 * L + 1);
+  for (auto x : b.ppi) s.push_back(x);
+  s.push_back(2);  // separator never matches a bit
+  for (auto x : a.ppi) s.push_back(x);
+
+  std::vector<std::size_t> fail(s.size(), 0);
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    std::size_t k = fail[i - 1];
+    while (k > 0 && s[i] != s[k]) k = fail[k - 1];
+    if (s[i] == s[k]) ++k;
+    fail[i] = k;
+  }
+  // fail.back() = length of the longest prefix of b that is a suffix of a.
+  return fail.back();
+}
+
+OverlapResult run_overlap(const netlist::Netlist& nl,
+                          const atpg::TestSetResult& baseline,
+                          const OverlapOptions& options) {
+  const std::size_t L = nl.num_dffs();
+  const std::size_t npi = nl.num_inputs();
+  const std::size_t npo = nl.num_outputs();
+  const std::size_t n = baseline.vectors.size();
+
+  OverlapResult res;
+  res.scheme = "overlap";
+  res.full_cost = scan::CostMeter::full_scan(npi, npo, L, n);
+  res.needs_output_compactor = false;  // but needs a second scan chain
+  res.full_vectors = n;
+
+  if (n == 0) {
+    finalize_ratios(res);
+    return res;
+  }
+
+  // Pairwise overlap matrix (one KMP pass per ordered pair), shared by the
+  // greedy restarts.
+  std::vector<std::uint16_t> ov(n * n, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (i != j)
+        ov[i * n + j] = static_cast<std::uint16_t>(
+            scan_overlap(baseline.vectors[i], baseline.vectors[j]));
+
+  Rng rng(options.seed);
+  std::size_t best_total = 0;
+  for (std::size_t r = 0; r < std::max<std::size_t>(1, options.restarts);
+       ++r) {
+    std::vector<std::uint8_t> used(n, 0);
+    std::size_t cur = rng.below(n);
+    used[cur] = 1;
+    std::size_t total = 0;
+    for (std::size_t step = 1; step < n; ++step) {
+      std::size_t best = n;
+      std::uint16_t best_ov = 0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (used[j]) continue;
+        if (best == n || ov[cur * n + j] > best_ov) {
+          best = j;
+          best_ov = ov[cur * n + j];
+        }
+      }
+      used[best] = 1;
+      total += best_ov;
+      cur = best;
+    }
+    best_total = std::max(best_total, total);
+  }
+  res.total_overlap_bits = best_total;
+
+  // Cost: first full load, then L - overlap bits per subsequent vector,
+  // plus a final full response unload; responses are fully observed
+  // through the (assumed) separate output chain.
+  res.cost.shift_cycles = L + ((n - 1) * L - best_total) + L;
+  res.cost.stim_bits = n * (npi + L) - best_total;
+  res.cost.resp_bits = n * (npo + L);
+  res.cheap_vectors = n;
+  res.full_vectors = 0;
+  finalize_ratios(res);
+  return res;
+}
+
+}  // namespace vcomp::baselines

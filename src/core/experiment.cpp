@@ -1,0 +1,37 @@
+#include "vcomp/core/experiment.hpp"
+
+#include "vcomp/util/assert.hpp"
+
+namespace vcomp::core {
+
+CircuitLab::CircuitLab(const netgen::CircuitProfile& profile,
+                       const atpg::TestSetOptions& baseline_options)
+    : name_(profile.name),
+      nl_(netgen::generate(profile)),
+      faults_(fault::collapsed_fault_list(nl_)),
+      baseline_(atpg::generate_full_scan_tests(nl_, faults_.faults(),
+                                               baseline_options)) {}
+
+CircuitLab::CircuitLab(std::string name, netlist::Netlist nl,
+                       const atpg::TestSetOptions& baseline_options)
+    : name_(std::move(name)),
+      nl_(std::move(nl)),
+      faults_(fault::collapsed_fault_list(nl_)),
+      baseline_(atpg::generate_full_scan_tests(nl_, faults_.faults(),
+                                               baseline_options)) {}
+
+StitchResult CircuitLab::run(const StitchOptions& options) const {
+  StitchEngine engine(nl_, faults_, baseline_, options);
+  return engine.run();
+}
+
+bool apply_info_ratio(StitchOptions& options, const netlist::Netlist& nl,
+                      double ratio) {
+  const std::size_t s = scan::shift_for_info_ratio(
+      nl.num_inputs(), nl.num_outputs(), nl.num_dffs(), ratio);
+  if (s == 0) return false;
+  options.fixed_shift = s;
+  return true;
+}
+
+}  // namespace vcomp::core

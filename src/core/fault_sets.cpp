@@ -1,0 +1,3 @@
+// fault_sets is header-only; this TU exists to give the target a source
+// file and to anchor the vtable-free class in one place if it grows.
+#include "vcomp/core/fault_sets.hpp"

@@ -1,0 +1,110 @@
+#include "vcomp/core/schedule_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "vcomp/util/assert.hpp"
+
+namespace vcomp::core {
+
+namespace {
+
+std::string bits_str(const std::vector<std::uint8_t>& bits) {
+  if (bits.empty()) return "-";
+  std::string s;
+  s.reserve(bits.size());
+  for (auto b : bits) s.push_back(b ? '1' : '0');
+  return s;
+}
+
+std::vector<std::uint8_t> parse_bits(const std::string& s) {
+  if (s == "-") return {};
+  std::vector<std::uint8_t> bits;
+  bits.reserve(s.size());
+  for (char c : s) {
+    VCOMP_REQUIRE(c == '0' || c == '1', "bad bit character in schedule");
+    bits.push_back(c == '1');
+  }
+  return bits;
+}
+
+}  // namespace
+
+void write_schedule(std::ostream& out, const StitchedSchedule& schedule) {
+  VCOMP_REQUIRE(schedule.vectors.size() == schedule.shifts.size(),
+                "schedule shape mismatch");
+  out << "# vcomp stitched test program\n";
+  const std::size_t chain =
+      schedule.vectors.empty() ? 0 : schedule.vectors[0].ppi.size();
+  const std::size_t pis =
+      schedule.vectors.empty() ? 0 : schedule.vectors[0].pi.size();
+  out << "chain " << chain << "\n";
+  out << "pis " << pis << "\n";
+  for (std::size_t c = 0; c < schedule.vectors.size(); ++c) {
+    const auto& v = schedule.vectors[c];
+    out << "vector " << schedule.shifts[c] << " " << bits_str(v.pi) << " "
+        << bits_str(v.ppi) << "\n";
+  }
+  out << "observe " << schedule.terminal_observe << "\n";
+  for (const auto& v : schedule.extra)
+    out << "extra " << bits_str(v.pi) << " " << bits_str(v.ppi) << "\n";
+}
+
+std::string write_schedule_string(const StitchedSchedule& schedule) {
+  std::ostringstream os;
+  write_schedule(os, schedule);
+  return os.str();
+}
+
+StitchedSchedule read_schedule(std::istream& in) {
+  StitchedSchedule sched;
+  std::string line;
+  std::size_t chain = 0, pis = 0;
+  bool have_chain = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string kw;
+    ls >> kw;
+    if (kw == "chain") {
+      ls >> chain;
+      have_chain = true;
+    } else if (kw == "pis") {
+      ls >> pis;
+    } else if (kw == "vector") {
+      std::size_t shift;
+      std::string pi, ppi;
+      ls >> shift >> pi >> ppi;
+      VCOMP_REQUIRE(!ls.fail(), "malformed vector line");
+      atpg::TestVector v;
+      v.pi = parse_bits(pi);
+      v.ppi = parse_bits(ppi);
+      VCOMP_REQUIRE(!have_chain || v.ppi.size() == chain,
+                    "scan width mismatch in schedule");
+      VCOMP_REQUIRE(v.pi.size() == pis, "PI width mismatch in schedule");
+      sched.vectors.push_back(std::move(v));
+      sched.shifts.push_back(shift);
+    } else if (kw == "observe") {
+      ls >> sched.terminal_observe;
+    } else if (kw == "extra") {
+      std::string pi, ppi;
+      ls >> pi >> ppi;
+      VCOMP_REQUIRE(!ls.fail(), "malformed extra line");
+      atpg::TestVector v;
+      v.pi = parse_bits(pi);
+      v.ppi = parse_bits(ppi);
+      sched.extra.push_back(std::move(v));
+    } else {
+      VCOMP_REQUIRE(false, "unknown schedule keyword: " + kw);
+    }
+  }
+  return sched;
+}
+
+StitchedSchedule read_schedule_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_schedule(is);
+}
+
+}  // namespace vcomp::core

@@ -1,0 +1,39 @@
+#include "vcomp/core/selection.hpp"
+
+#include <numeric>
+
+namespace vcomp::core {
+
+std::string to_string(SelectionPolicy p) {
+  switch (p) {
+    case SelectionPolicy::Random: return "random";
+    case SelectionPolicy::Hardness: return "hardness";
+    case SelectionPolicy::MostFaults: return "most-faults";
+  }
+  return "?";
+}
+
+std::vector<std::size_t> target_order(
+    SelectionPolicy policy, const netlist::Netlist& nl,
+    const std::vector<fault::Fault>& faults,
+    const tmeas::HardnessOptions& hardness, Rng& rng) {
+  switch (policy) {
+    case SelectionPolicy::Random: {
+      std::vector<std::size_t> order(faults.size());
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      rng.shuffle(order);
+      return order;
+    }
+    case SelectionPolicy::Hardness:
+      return tmeas::hardness_order(nl, faults, hardness);
+    case SelectionPolicy::MostFaults: {
+      // Natural order; the greedy candidate scoring does the real work.
+      std::vector<std::size_t> order(faults.size());
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      return order;
+    }
+  }
+  return {};
+}
+
+}  // namespace vcomp::core

@@ -1,0 +1,41 @@
+#include "vcomp/core/shift_policy.hpp"
+
+#include <algorithm>
+
+#include "vcomp/util/assert.hpp"
+
+namespace vcomp::core {
+
+FixedShift::FixedShift(std::size_t size) : size_(size) {
+  VCOMP_REQUIRE(size >= 1, "fixed shift size must be at least 1");
+}
+
+std::string FixedShift::name() const {
+  return "fixed(" + std::to_string(size_) + ")";
+}
+
+VariableShift::VariableShift(std::size_t chain_length, std::size_t start,
+                             std::size_t decay_after)
+    : length_(chain_length), decay_after_(decay_after) {
+  VCOMP_REQUIRE(chain_length >= 1, "chain length must be positive");
+  start_ = start == 0 ? std::max<std::size_t>(1, chain_length / 8) : start;
+  VCOMP_REQUIRE(start_ <= chain_length, "start exceeds chain length");
+  size_ = start_;
+}
+
+bool VariableShift::on_failure() {
+  streak_ = 0;
+  if (size_ >= length_) return false;
+  size_ = std::min(length_, size_ * 2);
+  return true;
+}
+
+void VariableShift::on_success() {
+  if (decay_after_ == 0) return;
+  if (++streak_ >= decay_after_ && size_ > start_) {
+    size_ = std::max(start_, size_ / 2);
+    streak_ = 0;
+  }
+}
+
+}  // namespace vcomp::core

@@ -1,0 +1,425 @@
+#include "vcomp/core/stitch_engine.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "vcomp/atpg/fill.hpp"
+#include "vcomp/util/assert.hpp"
+
+namespace vcomp::core {
+
+using atpg::Cube;
+using atpg::PodemStatus;
+using atpg::PpiConstraints;
+using atpg::TestVector;
+using scan::ChainState;
+using sim::Trit;
+using sim::Word;
+
+namespace {
+
+/// Scoring weights for the MostFaults greedy pick: an observably caught
+/// fault is worth more than one merely driven into hiding.
+constexpr std::uint32_t kObservedWeight = 4;
+constexpr std::uint32_t kHiddenWeight = 1;
+
+}  // namespace
+
+StitchEngine::StitchEngine(const netlist::Netlist& nl,
+                           const fault::CollapsedFaults& faults,
+                           const atpg::TestSetResult& baseline,
+                           const StitchOptions& options)
+    : nl_(&nl),
+      faults_(&faults),
+      baseline_(&baseline),
+      opts_(options),
+      chain_map_(nl),
+      out_model_(options.hxor_taps > 0
+                     ? scan::ScanOutModel::hxor(nl.num_dffs(),
+                                                options.hxor_taps)
+                     : scan::ScanOutModel::direct(nl.num_dffs())),
+      scoap_(nl),
+      podem_(nl, scoap_),
+      dsim_(nl),
+      rng_(options.seed) {
+  VCOMP_REQUIRE(nl.num_dffs() > 0, "stitching requires a scan chain");
+  VCOMP_REQUIRE(baseline.classes.size() == faults.size(),
+                "baseline classification does not match fault list");
+  order_ = target_order(opts_.selection, nl, faults.faults(), opts_.hardness,
+                        rng_);
+  targetable_.assign(faults.size(), 0);
+  for (std::size_t i = 0; i < faults.size(); ++i)
+    if (baseline.classes[i] == atpg::FaultClass::Detected) targetable_[i] = 1;
+}
+
+std::unique_ptr<ShiftPolicy> StitchEngine::make_policy() const {
+  if (opts_.fixed_shift > 0)
+    return std::make_unique<FixedShift>(opts_.fixed_shift);
+  return std::make_unique<VariableShift>(nl_->num_dffs(),
+                                         opts_.variable_start,
+                                         opts_.variable_decay_after);
+}
+
+PpiConstraints StitchEngine::constraints_for(const ChainState& chain,
+                                             std::size_t s) const {
+  const std::size_t L = chain.length();
+  PpiConstraints cons;
+  cons.fixed.assign(L, Trit::X);
+  // After shifting s bits, the cell at position p >= s holds the value that
+  // is currently at position p - s; those are the stitched (fixed) bits.
+  for (std::size_t p = s; p < L; ++p) {
+    const auto dff = chain_map_.dff_at(p);
+    cons.fixed[dff] = chain.at(p - s) ? Trit::One : Trit::Zero;
+  }
+  return cons;
+}
+
+void StitchEngine::load_scoring_sim(const TestVector& v) {
+  for (std::size_t i = 0; i < nl_->num_inputs(); ++i)
+    dsim_.good().set_input(i, v.pi[i] ? ~Word{0} : Word{0});
+  for (std::size_t i = 0; i < nl_->num_dffs(); ++i)
+    dsim_.good().set_state(i, v.ppi[i] ? ~Word{0} : Word{0});
+}
+
+std::optional<StitchEngine::Candidate> StitchEngine::generate(
+    const FaultSets& sets, const ChainState& chain, std::size_t s,
+    bool first_vector, std::size_t cycle) {
+  PpiConstraints cons;
+  if (!first_vector) cons = constraints_for(chain, s);
+  if (tried_this_cycle_.empty())
+    tried_this_cycle_.assign(faults_->size(), 0);
+  ++cycle_stamp_;
+  (void)cycle;
+  struct TargetCube {
+    Cube cube;
+    std::size_t target;
+  };
+  std::vector<TargetCube> cubes;
+  const bool greedy = opts_.selection == SelectionPolicy::MostFaults;
+  const std::size_t want = greedy ? opts_.most_faults_cubes : 1;
+  const std::size_t n = order_.size();
+  const std::size_t start = greedy ? cursor_ : 0;
+  std::uint32_t attempts = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (cubes.size() >= want) break;
+    if (attempts >= opts_.max_targets_per_cycle) break;
+    const std::size_t idx = order_[(start + k) % n];
+    if (!targetable_[idx] || sets.state(idx) != FaultState::Uncaught)
+      continue;
+    ++attempts;
+    if (greedy) cursor_ = (start + k + 1) % n;
+    auto res = podem_.generate((*faults_)[idx], &cons, opts_.podem);
+    if (res.status == PodemStatus::Success)
+      cubes.push_back({std::move(res.cube), idx});
+    else
+      tried_this_cycle_[idx] = cycle_stamp_;
+  }
+
+  if (cubes.empty()) {
+    // Wide failure scan so that "generation failed" really means no
+    // examined target is catchable: every uncaught target at full
+    // backtrack strength.  This sweep only runs when the greedy phase came
+    // up empty, i.e. near stalls.
+    std::uint32_t scanned = 0;
+    for (std::size_t k = 0; k < n && scanned < opts_.max_targets_on_failure;
+         ++k) {
+      const std::size_t idx = order_[(start + k) % n];
+      if (!targetable_[idx] || sets.state(idx) != FaultState::Uncaught)
+        continue;
+      // Phase 1 already tried (and failed) some of these this cycle.
+      if (tried_this_cycle_[idx] == cycle_stamp_) continue;
+      ++scanned;
+      auto res = podem_.generate((*faults_)[idx], &cons, opts_.podem);
+      if (res.status == PodemStatus::Success) {
+        cubes.push_back({std::move(res.cube), idx});
+        if (greedy) cursor_ = (start + k + 1) % n;
+        if (cubes.size() >= want) break;  // keep the greedy pick diverse
+      } else {
+        tried_this_cycle_[idx] = cycle_stamp_;
+      }
+    }
+  }
+  if (cubes.empty()) return std::nullopt;
+
+  if (!greedy) {
+    Candidate c;
+    c.vector = atpg::fill_cube(cubes[0].cube, atpg::FillMode::Random, rng_);
+    c.target = cubes[0].target;
+    return c;
+  }
+
+  // MostFaults: complete every cube several ways and score all completions
+  // in one 64-way pattern-parallel fault-simulation pass.
+  std::vector<Candidate> cands;
+  for (const auto& tc : cubes) {
+    for (std::uint32_t f = 0; f < opts_.fills_per_cube && cands.size() < 64;
+         ++f) {
+      Candidate c;
+      c.vector = atpg::fill_cube(tc.cube, atpg::FillMode::Random, rng_);
+      c.target = tc.target;
+      cands.push_back(std::move(c));
+    }
+  }
+
+  for (std::size_t i = 0; i < nl_->num_inputs(); ++i) {
+    Word w = 0;
+    for (std::size_t k = 0; k < cands.size(); ++k)
+      if (cands[k].vector.pi[i]) w |= Word{1} << k;
+    dsim_.good().set_input(i, w);
+  }
+  for (std::size_t i = 0; i < nl_->num_dffs(); ++i) {
+    Word w = 0;
+    for (std::size_t k = 0; k < cands.size(); ++k)
+      if (cands[k].vector.ppi[i]) w |= Word{1} << k;
+    dsim_.good().set_state(i, w);
+  }
+  dsim_.commit_good();
+
+  // Approximate per-position observability for the scoring pass: a single
+  // difference at position p is visible within s shift cycles iff some tap
+  // t >= p lies within s steps.  (The commit path uses the exact,
+  // cancellation-aware check.)
+  const std::size_t L = nl_->num_dffs();
+  std::vector<std::uint8_t> observed_pos(L, 0);
+  for (std::uint32_t t : out_model_.taps)
+    for (std::size_t p = (t + 1 >= s ? t + 1 - s : 0); p <= t; ++p)
+      observed_pos[p] = 1;
+
+  // On very large uncaught sets, score against a deterministic stride
+  // sample — the argmax is statistics, not bookkeeping, so sampling is
+  // safe (catch classification in the tracker stays exact).
+  constexpr std::size_t kScoreSampleCap = 4096;
+  std::vector<std::size_t> scored;
+  scored.reserve(faults_->size());
+  for (std::size_t i = 0; i < faults_->size(); ++i) {
+    if (sets.state(i) != FaultState::Uncaught) continue;
+    if (baseline_->classes[i] == atpg::FaultClass::Redundant) continue;
+    scored.push_back(i);
+  }
+  if (scored.size() > kScoreSampleCap) {
+    const std::size_t stride = scored.size() / kScoreSampleCap + 1;
+    std::size_t out = 0;
+    for (std::size_t k = 0; k < scored.size(); k += stride)
+      scored[out++] = scored[k];
+    scored.resize(out);
+  }
+
+  std::vector<std::uint32_t> score(cands.size(), 0);
+  const Word active =
+      cands.size() == 64 ? ~Word{0} : ((Word{1} << cands.size()) - 1);
+  for (std::size_t i : scored) {
+    const auto eff = dsim_.simulate((*faults_)[i]);
+    Word obs = eff.po_any;
+    Word hid = 0;
+    for (const auto& d : eff.ppo_diffs) {
+      const std::size_t p = chain_map_.pos_of(d.dff_index);
+      (observed_pos[p] ? obs : hid) |= d.diff;
+    }
+    Word any = (obs | hid) & active;
+    if (any == 0) continue;
+    obs &= active;
+    for (int k = std::countr_zero(any); any != 0;
+         any &= any - 1, k = std::countr_zero(any))
+      score[static_cast<std::size_t>(k)] +=
+          ((obs >> k) & 1) ? kObservedWeight : kHiddenWeight;
+  }
+
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < cands.size(); ++k)
+    if (score[k] > score[best]) best = k;
+  return std::move(cands[best]);
+}
+
+StitchResult StitchEngine::run() {
+  const std::size_t L = nl_->num_dffs();
+  const std::size_t npi = nl_->num_inputs();
+  const std::size_t npo = nl_->num_outputs();
+  const std::size_t atv = baseline_->vectors.size();
+
+  StitchResult res;
+  res.baseline_vectors = atv;
+  res.baseline_cost = scan::CostMeter::full_scan(npi, npo, L, atv);
+  for (std::uint8_t t : targetable_) res.targets += t;
+
+  // Track everything except proven redundancies (which no vector can ever
+  // differentiate).
+  std::vector<std::uint8_t> track(faults_->size(), 1);
+  for (std::size_t i = 0; i < faults_->size(); ++i)
+    if (baseline_->classes[i] == atpg::FaultClass::Redundant) track[i] = 0;
+  StitchTracker tracker(*nl_, *faults_, opts_.capture, out_model_,
+                        std::move(track));
+
+  auto policy = make_policy();
+  scan::CostMeter meter(npi, npo, L);
+  const std::size_t max_cycles =
+      opts_.max_cycles > 0 ? opts_.max_cycles : 6 * atv + 64;
+  std::size_t last_shift = L;
+
+  auto uncaught_targets_remain = [&]() {
+    for (std::size_t i = 0; i < faults_->size(); ++i)
+      if (targetable_[i] &&
+          tracker.sets().state(i) == FaultState::Uncaught)
+        return true;
+    return false;
+  };
+
+  // ---- stitched phase ---------------------------------------------------
+  std::size_t bridges_used = 0;
+  // Sliding break-even guard: (catches, cost in full-vector equivalents).
+  std::vector<std::pair<double, double>> window;
+  double win_catches = 0, win_cost = 0;
+  const double full_vec_bits = double(npi + npo + 2 * L);
+  auto note_cycle = [&](const CycleStats& st) {
+    const double catches = double(st.caught_at_shift + st.caught_at_po);
+    const double cost = double(npi + npo + 2 * st.shift) / full_vec_bits;
+    window.emplace_back(catches, cost);
+    win_catches += catches;
+    win_cost += cost;
+    if (opts_.marginal_window > 0 && window.size() > opts_.marginal_window) {
+      const auto [c, k] = window[window.size() - 1 - opts_.marginal_window];
+      win_catches -= c;
+      win_cost -= k;
+    }
+  };
+  auto below_break_even = [&]() {
+    return opts_.marginal_window > 0 &&
+           window.size() >= opts_.marginal_window &&
+           win_catches < win_cost;
+  };
+  while (uncaught_targets_remain() && tracker.cycle() < max_cycles &&
+         !below_break_even()) {
+    const bool first = tracker.cycle() == 0;
+    auto cand = generate(tracker.sets(), tracker.chain(), policy->current(),
+                         first, tracker.cycle());
+    if (!cand) {
+      if (first) break;  // nothing generable at all — straight to ex phase
+      if (policy->on_failure()) continue;
+      // Out of escalations: churn the retained state with a bridge cycle
+      // and retry; the constraint set is a function of the chain content.
+      if (bridges_used >= opts_.max_bridge_cycles) break;
+      ++bridges_used;
+      const std::size_t s = policy->current();
+      atpg::TestVector bridge;
+      bridge.pi.resize(npi);
+      for (auto& b : bridge.pi) b = rng_.bit();
+      bridge.ppi.resize(L);
+      for (std::size_t p = 0; p < L; ++p) {
+        const auto dff = chain_map_.dff_at(p);
+        bridge.ppi[dff] = p >= s ? tracker.chain().at(p - s)
+                                 : static_cast<std::uint8_t>(rng_.bit());
+      }
+      const auto st = tracker.apply_stitched(bridge, s);
+      meter.stitched_cycle(s);
+      last_shift = s;
+      res.schedule.vectors.push_back(std::move(bridge));
+      res.schedule.shifts.push_back(s);
+      note_cycle(st);
+      res.hidden_peak = std::max(res.hidden_peak, st.hidden_after);
+      res.cycles.push_back(st);
+      continue;
+    }
+
+    CycleStats st;
+    if (first) {
+      st = tracker.apply_first(cand->vector);
+      meter.initial_load();
+      res.schedule.vectors.push_back(std::move(cand->vector));
+      res.schedule.shifts.push_back(L);
+    } else {
+      const std::size_t s = policy->current();
+      st = tracker.apply_stitched(cand->vector, s);
+      meter.stitched_cycle(s);
+      last_shift = s;
+      res.schedule.vectors.push_back(std::move(cand->vector));
+      res.schedule.shifts.push_back(s);
+    }
+    bridges_used = 0;
+    policy->on_success();
+    note_cycle(st);
+    res.hidden_peak = std::max(res.hidden_peak, st.hidden_after);
+    res.cycles.push_back(st);
+  }
+  res.vectors_applied = tracker.cycle();
+
+  for (std::size_t i = 0; i < faults_->size(); ++i)
+    if (targetable_[i] && tracker.sets().state(i) == FaultState::Caught)
+      ++res.caught_stitched;
+
+  // ---- terminal phase ---------------------------------------------------
+  std::vector<std::size_t> remaining;
+  for (std::size_t i = 0; i < faults_->size(); ++i)
+    if (targetable_[i] && tracker.sets().state(i) == FaultState::Uncaught)
+      remaining.push_back(i);
+
+  if (!remaining.empty()) {
+    // The first full load of the ex phase observes the entire chain, which
+    // provably catches every fault still hidden (the tail is always
+    // tapped, so no full-sweep cancellation is possible).
+    for (std::size_t i : tracker.sets().hidden_list())
+      if (targetable_[i]) ++res.caught_flush;
+    const std::size_t flushed = tracker.terminal_observe(L);
+    VCOMP_ENSURE(tracker.sets().num_hidden() == 0,
+                 "full flush must catch every hidden fault");
+    (void)flushed;
+
+    // Cover the leftovers with traditional vectors drawn from the baseline
+    // pool (greedy, with fault dropping).
+    std::size_t ex = 0;
+    for (const auto& bv : baseline_->vectors) {
+      if (remaining.empty()) break;
+      load_scoring_sim(bv);
+      dsim_.commit_good();
+      std::vector<std::size_t> still;
+      bool useful = false;
+      for (std::size_t i : remaining) {
+        if (dsim_.simulate((*faults_)[i]).any() != 0) {
+          tracker.catch_externally(i);
+          ++res.caught_extra;
+          useful = true;
+        } else {
+          still.push_back(i);
+        }
+      }
+      remaining = std::move(still);
+      if (useful) {
+        ++ex;
+        res.schedule.extra.push_back(bv);
+      }
+    }
+    res.extra_full_vectors = ex;
+    meter.extra_full_vectors(ex);
+    VCOMP_ENSURE(remaining.empty(),
+                 "baseline pool failed to cover remaining faults");
+  } else if (tracker.sets().num_hidden() > 0) {
+    // All of f_u is covered; observe the still-hidden faults.  Prefer the
+    // cheap partial observation when it provably catches all of them.
+    for (std::size_t i : tracker.sets().hidden_list())
+      if (targetable_[i]) ++res.caught_flush;
+    if (tracker.partial_observe_suffices(last_shift)) {
+      tracker.terminal_observe(last_shift);
+      meter.final_observe(last_shift);
+      res.schedule.terminal_observe = last_shift;
+    } else {
+      tracker.terminal_observe(L);
+      meter.flush();
+      res.schedule.terminal_observe = L;
+    }
+  } else if (tracker.cycle() > 0) {
+    meter.final_observe(last_shift);
+    res.schedule.terminal_observe = last_shift;
+  }
+
+  res.cost = meter.cost();
+  if (res.baseline_cost.shift_cycles > 0) {
+    res.time_ratio = double(res.cost.shift_cycles) /
+                     double(res.baseline_cost.shift_cycles);
+    res.memory_ratio = double(res.cost.memory_bits()) /
+                       double(res.baseline_cost.memory_bits());
+  }
+  for (std::size_t i = 0; i < faults_->size(); ++i)
+    if (targetable_[i] && tracker.sets().state(i) != FaultState::Caught)
+      ++res.uncovered;
+  return res;
+}
+
+}  // namespace vcomp::core

@@ -1,0 +1,221 @@
+#include "vcomp/core/tracker.hpp"
+
+#include <algorithm>
+
+#include "vcomp/util/assert.hpp"
+
+namespace vcomp::core {
+
+using atpg::TestVector;
+using scan::ChainState;
+using sim::Word;
+
+StitchTracker::StitchTracker(const netlist::Netlist& nl,
+                             const fault::CollapsedFaults& faults,
+                             scan::CaptureMode capture,
+                             scan::ScanOutModel out_model,
+                             std::vector<std::uint8_t> track)
+    : nl_(&nl),
+      faults_(&faults),
+      capture_(capture),
+      out_model_(std::move(out_model)),
+      chain_map_(nl),
+      track_(std::move(track)),
+      sets_(faults.size()),
+      chain_(nl.num_dffs()),
+      dsim_(nl),
+      lanes_(nl) {
+  VCOMP_REQUIRE(nl.num_dffs() > 0, "tracker requires a scan chain");
+  if (track_.empty()) track_.assign(faults.size(), 1);
+  VCOMP_REQUIRE(track_.size() == faults.size(), "track mask size mismatch");
+}
+
+void StitchTracker::load_good_sim(const TestVector& v) {
+  for (std::size_t i = 0; i < nl_->num_inputs(); ++i)
+    dsim_.good().set_input(i, v.pi[i] ? ~Word{0} : Word{0});
+  for (std::size_t i = 0; i < nl_->num_dffs(); ++i)
+    dsim_.good().set_state(i, v.ppi[i] ? ~Word{0} : Word{0});
+}
+
+std::vector<std::uint8_t> StitchTracker::capture_bits_by_position() const {
+  const std::size_t L = nl_->num_dffs();
+  std::vector<std::uint8_t> bits(L);
+  for (std::size_t p = 0; p < L; ++p)
+    bits[p] = static_cast<std::uint8_t>(
+        dsim_.good_sim().next_state(chain_map_.dff_at(p)) & 1);
+  return bits;
+}
+
+std::vector<std::uint8_t> StitchTracker::po_bits() const {
+  std::vector<std::uint8_t> bits(nl_->num_outputs());
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    bits[i] = static_cast<std::uint8_t>(dsim_.good_sim().output(i) & 1);
+  return bits;
+}
+
+CycleStats StitchTracker::apply_first(const TestVector& v) {
+  VCOMP_REQUIRE(cycle_ == 0, "apply_first must be the first application");
+  return apply(v, nl_->num_dffs(), /*first=*/true);
+}
+
+CycleStats StitchTracker::apply_stitched(const TestVector& v, std::size_t s) {
+  VCOMP_REQUIRE(cycle_ > 0, "apply_first must precede stitched vectors");
+  VCOMP_REQUIRE(s >= 1 && s <= nl_->num_dffs(), "shift size out of range");
+  // Stitching invariant: retained vector bits equal the chain content.
+  for (std::size_t p = s; p < nl_->num_dffs(); ++p)
+    VCOMP_REQUIRE(v.ppi[chain_map_.dff_at(p)] == chain_.at(p - s),
+                  "vector violates the stitched (retained) scan bits");
+  return apply(v, s, /*first=*/false);
+}
+
+CycleStats StitchTracker::apply(const TestVector& v, std::size_t s,
+                                bool first) {
+  const std::size_t L = nl_->num_dffs();
+  const std::size_t npi = nl_->num_inputs();
+  const std::size_t npo = nl_->num_outputs();
+  CycleStats st;
+  st.shift = s;
+
+  if (first) {
+    std::vector<std::uint8_t> by_pos(L);
+    for (std::size_t p = 0; p < L; ++p)
+      by_pos[p] = v.ppi[chain_map_.dff_at(p)];
+    chain_.load(by_pos);
+  } else {
+    // Shift phase: the ATE compares s scan-out observations against the
+    // fault-free values; a hidden fault emitting any different value is
+    // caught right here.
+    std::vector<std::uint8_t> in_bits(s);
+    for (std::size_t j = 0; j < s; ++j)
+      in_bits[j] = v.ppi[chain_map_.dff_at(s - 1 - j)];
+    const auto obs_ff = chain_.shift(in_bits, out_model_);
+    for (std::size_t i : sets_.hidden_list()) {
+      const auto obs_f =
+          sets_.mutable_hidden_state(i).shift(in_bits, out_model_);
+      if (obs_f != obs_ff) {
+        sets_.set_caught(i, cycle_ + 1);
+        ++st.caught_at_shift;
+      }
+    }
+  }
+  ++cycle_;
+
+  // Apply & capture the fault-free machine.
+  const std::vector<std::uint8_t> pre_capture = chain_.bits();
+  load_good_sim(v);
+  dsim_.commit_good();
+  const auto po_ff = po_bits();
+  const auto ppo_ff = capture_bits_by_position();
+  const auto hidden_before = sets_.hidden_list();
+  chain_.capture(ppo_ff, capture_);
+
+  // Classify freshly differentiated uncaught faults.  Their machines held
+  // the same chain content as the fault-free one, so they saw exactly v.
+  for (std::size_t i = 0; i < faults_->size(); ++i) {
+    if (!track_[i] || sets_.state(i) != FaultState::Uncaught) continue;
+    const auto eff = dsim_.simulate((*faults_)[i]);
+    if (eff.po_any & 1) {
+      sets_.set_caught(i, cycle_);
+      ++st.caught_at_po;
+      continue;
+    }
+    if (eff.ppo_diffs.empty()) continue;
+    bool any = false;
+    std::vector<std::uint8_t> faulty_next = ppo_ff;
+    for (const auto& d : eff.ppo_diffs) {
+      if ((d.diff & 1) == 0) continue;
+      faulty_next[chain_map_.pos_of(d.dff_index)] ^= 1;
+      any = true;
+    }
+    if (!any) continue;
+    ChainState s_f{pre_capture};
+    s_f.capture(faulty_next, capture_);
+    if (s_f == chain_) continue;  // VXor can cancel the difference
+    sets_.set_hidden(i, std::move(s_f));
+    ++st.new_hidden;
+  }
+
+  // Advance surviving hidden faults through their mutated vectors T_f, in
+  // 64-lane batches (each lane carries a private stimulus plus its fault).
+  for (std::size_t base = 0; base < hidden_before.size(); base += 64) {
+    const std::size_t count =
+        std::min<std::size_t>(64, hidden_before.size() - base);
+    lanes_.clear();
+    std::vector<std::size_t> batch;
+    batch.reserve(count);
+    for (std::size_t k = 0; k < count; ++k) {
+      const std::size_t i = hidden_before[base + k];
+      if (sets_.state(i) != FaultState::Hidden) continue;  // shift-caught
+      const int lane = lanes_.add_lane();
+      batch.push_back(i);
+      for (std::size_t pi = 0; pi < npi; ++pi)
+        lanes_.set_pi(lane, pi, v.pi[pi] != 0);
+      const auto& bits = sets_.hidden_state(i).bits();
+      for (std::size_t p = 0; p < L; ++p)
+        lanes_.set_state(lane, chain_map_.dff_at(p), bits[p] != 0);
+      lanes_.inject(lane, (*faults_)[i]);
+    }
+    if (batch.empty()) continue;
+    lanes_.eval();
+    for (std::size_t lane = 0; lane < batch.size(); ++lane) {
+      const std::size_t i = batch[lane];
+      bool po_diff = false;
+      for (std::size_t j = 0; j < npo; ++j)
+        if (lanes_.output(static_cast<int>(lane), j) != (po_ff[j] != 0)) {
+          po_diff = true;
+          break;
+        }
+      if (po_diff) {
+        sets_.set_caught(i, cycle_);
+        ++st.caught_at_po;
+        continue;
+      }
+      std::vector<std::uint8_t> faulty_next(L);
+      for (std::size_t p = 0; p < L; ++p)
+        faulty_next[p] =
+            lanes_.next_state(static_cast<int>(lane), chain_map_.dff_at(p))
+                ? 1
+                : 0;
+      ChainState s_f = sets_.hidden_state(i);
+      s_f.capture(faulty_next, capture_);
+      if (s_f == chain_) {
+        sets_.set_uncaught(i);
+        ++st.hidden_reverted;
+      } else {
+        sets_.mutable_hidden_state(i) = std::move(s_f);
+      }
+    }
+  }
+
+  st.hidden_after = sets_.num_hidden();
+  return st;
+}
+
+bool StitchTracker::partial_observe_suffices(std::size_t s) const {
+  const std::size_t L = nl_->num_dffs();
+  std::vector<std::uint8_t> diff(L);
+  for (std::size_t i : sets_.hidden_list()) {
+    const auto& bits = sets_.hidden_state(i).bits();
+    for (std::size_t p = 0; p < L; ++p) diff[p] = bits[p] ^ chain_.at(p);
+    if (!scan::diff_observable(diff, s, out_model_)) return false;
+  }
+  return true;
+}
+
+std::size_t StitchTracker::terminal_observe(std::size_t s) {
+  VCOMP_REQUIRE(s <= nl_->num_dffs(), "observe size out of range");
+  const std::size_t L = nl_->num_dffs();
+  std::vector<std::uint8_t> diff(L);
+  std::size_t caught = 0;
+  for (std::size_t i : sets_.hidden_list()) {
+    const auto& bits = sets_.hidden_state(i).bits();
+    for (std::size_t p = 0; p < L; ++p) diff[p] = bits[p] ^ chain_.at(p);
+    if (scan::diff_observable(diff, s, out_model_)) {
+      sets_.set_caught(i, cycle_ + 1);
+      ++caught;
+    }
+  }
+  return caught;
+}
+
+}  // namespace vcomp::core

@@ -1,0 +1,165 @@
+#include "vcomp/fault/collapse.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "vcomp/util/assert.hpp"
+
+namespace vcomp::fault {
+
+using netlist::GateId;
+using netlist::GateType;
+
+namespace {
+
+/// Dense key space over *all* potential fault sites (stems plus every pin,
+/// fanout-free or not) so the union-find can traverse fanout-free links.
+class KeySpace {
+ public:
+  explicit KeySpace(const netlist::Netlist& nl) : nl_(&nl) {
+    base_.resize(nl.num_gates());
+    std::size_t acc = 0;
+    for (GateId g = 0; g < nl.num_gates(); ++g) {
+      base_[g] = acc;
+      acc += 1 + nl.gate(g).fanin.size();  // slot 0 = stem, then pins
+    }
+    total_ = acc * 2;
+  }
+
+  std::size_t stem(GateId g, int v) const { return base_[g] * 2 + v; }
+  std::size_t pin(GateId g, std::size_t p, int v) const {
+    return (base_[g] + 1 + p) * 2 + v;
+  }
+  std::size_t size() const { return total_; }
+
+ private:
+  const netlist::Netlist* nl_;
+  std::vector<std::size_t> base_;
+  std::size_t total_ = 0;
+};
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent_[a] = b;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+CollapsedFaults collapse(const netlist::Netlist& nl,
+                         const std::vector<Fault>& universe) {
+  VCOMP_REQUIRE(nl.finalized(), "collapse needs a finalized netlist");
+  KeySpace keys(nl);
+  UnionFind uf(keys.size());
+
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    const auto& gate = nl.gate(g);
+    for (std::size_t p = 0; p < gate.fanin.size(); ++p) {
+      const GateId src = gate.fanin[p];
+      // Fanout-free connection: pin fault == source stem fault.
+      if (nl.gate(src).fanout.size() == 1) {
+        uf.unite(keys.pin(g, p, 0), keys.stem(src, 0));
+        uf.unite(keys.pin(g, p, 1), keys.stem(src, 1));
+      }
+      // Gate-local input/output equivalences (combinational only).
+      switch (gate.type) {
+        case GateType::And:
+          uf.unite(keys.pin(g, p, 0), keys.stem(g, 0));
+          break;
+        case GateType::Nand:
+          uf.unite(keys.pin(g, p, 0), keys.stem(g, 1));
+          break;
+        case GateType::Or:
+          uf.unite(keys.pin(g, p, 1), keys.stem(g, 1));
+          break;
+        case GateType::Nor:
+          uf.unite(keys.pin(g, p, 1), keys.stem(g, 0));
+          break;
+        case GateType::Buf:
+          uf.unite(keys.pin(g, p, 0), keys.stem(g, 0));
+          uf.unite(keys.pin(g, p, 1), keys.stem(g, 1));
+          break;
+        case GateType::Not:
+          uf.unite(keys.pin(g, p, 0), keys.stem(g, 1));
+          uf.unite(keys.pin(g, p, 1), keys.stem(g, 0));
+          break;
+        case GateType::Xor:
+        case GateType::Xnor:
+        case GateType::Dff:    // never collapse across a flip-flop
+        case GateType::Input:  // inputs have no pins
+          break;
+      }
+    }
+  }
+
+  auto key_of = [&](const Fault& f) {
+    return f.is_stem() ? keys.stem(f.gate, f.stuck)
+                       : keys.pin(f.gate, static_cast<std::size_t>(f.pin),
+                                  f.stuck);
+  };
+
+  // Group universe faults by class root.
+  std::unordered_map<std::size_t, std::vector<Fault>> classes;
+  for (const Fault& f : universe) classes[uf.find(key_of(f))].push_back(f);
+
+  CollapsedFaults out;
+  out.universe_size_ = universe.size();
+  // Deterministic order: by smallest (gate, pin, stuck) member of each class.
+  std::vector<std::pair<std::size_t, std::vector<Fault>>> ordered(
+      classes.begin(), classes.end());
+  auto fault_less = [](const Fault& a, const Fault& b) {
+    return std::tie(a.gate, a.pin, a.stuck) < std::tie(b.gate, b.pin, b.stuck);
+  };
+  for (auto& [root, members] : ordered)
+    std::sort(members.begin(), members.end(), fault_less);
+  std::sort(ordered.begin(), ordered.end(),
+            [&](const auto& a, const auto& b) {
+              return fault_less(a.second.front(), b.second.front());
+            });
+
+  for (auto& [root, members] : ordered) {
+    // Representative: prefer a stem fault on the deepest (output-side) gate,
+    // matching the paper's naming (e.g. D/0 represents {A/0, B-D/0, D/0}).
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < members.size(); ++i) {
+      const Fault& cand = members[i];
+      const Fault& cur = members[best];
+      const bool cand_stem = cand.is_stem();
+      const bool cur_stem = cur.is_stem();
+      if (cand_stem != cur_stem) {
+        if (cand_stem) best = i;
+        continue;
+      }
+      if (cand_stem &&
+          nl.gate(cand.gate).level > nl.gate(cur.gate).level)
+        best = i;
+    }
+    std::swap(members[0], members[best]);
+    out.reps_.push_back(members[0]);
+    out.members_.push_back(std::move(members));
+  }
+  return out;
+}
+
+CollapsedFaults collapsed_fault_list(const netlist::Netlist& nl) {
+  return collapse(nl, full_fault_universe(nl));
+}
+
+}  // namespace vcomp::fault

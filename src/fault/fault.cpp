@@ -1,0 +1,42 @@
+#include "vcomp/fault/fault.hpp"
+
+#include "vcomp/util/assert.hpp"
+
+namespace vcomp::fault {
+
+using netlist::GateId;
+using netlist::GateType;
+
+std::string fault_name(const netlist::Netlist& nl, const Fault& f) {
+  const auto& g = nl.gate(f.gate);
+  if (f.is_stem()) return g.name + "/" + std::to_string(int(f.stuck));
+  const auto src = g.fanin.at(static_cast<std::size_t>(f.pin));
+  return nl.gate(src).name + "-" + g.name + "/" + std::to_string(int(f.stuck));
+}
+
+GateId fault_source(const netlist::Netlist& nl, const Fault& f) {
+  if (f.is_stem()) return f.gate;
+  return nl.gate(f.gate).fanin.at(static_cast<std::size_t>(f.pin));
+}
+
+std::vector<Fault> full_fault_universe(const netlist::Netlist& nl) {
+  VCOMP_REQUIRE(nl.finalized(), "fault universe needs a finalized netlist");
+  std::vector<Fault> faults;
+  for (GateId id = 0; id < nl.num_gates(); ++id) {
+    // Stem faults on every signal.
+    faults.push_back({id, -1, 0});
+    faults.push_back({id, -1, 1});
+    // Branch faults on pins fed by multi-fanout signals.  DFF data pins
+    // participate; Input gates have no pins.
+    const auto& g = nl.gate(id);
+    for (std::size_t p = 0; p < g.fanin.size(); ++p) {
+      if (nl.gate(g.fanin[p]).fanout.size() > 1) {
+        faults.push_back({id, static_cast<std::int16_t>(p), 0});
+        faults.push_back({id, static_cast<std::int16_t>(p), 1});
+      }
+    }
+  }
+  return faults;
+}
+
+}  // namespace vcomp::fault

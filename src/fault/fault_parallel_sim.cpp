@@ -1,0 +1,111 @@
+#include "vcomp/fault/fault_parallel_sim.hpp"
+
+#include "vcomp/util/assert.hpp"
+
+namespace vcomp::fault {
+
+using netlist::GateId;
+using netlist::GateType;
+using sim::Word;
+
+LaneSim::LaneSim(const netlist::Netlist& nl) : nl_(&nl) {
+  VCOMP_REQUIRE(nl.finalized(), "LaneSim requires a finalized netlist");
+  values_.assign(nl.num_gates(), 0);
+  gather_.reserve(16);
+}
+
+void LaneSim::clear() {
+  lanes_ = 0;
+  std::fill(values_.begin(), values_.end(), 0);
+  stem_forces_.clear();
+  pin_forces_.clear();
+}
+
+int LaneSim::add_lane() {
+  VCOMP_REQUIRE(lanes_ < 64, "LaneSim holds at most 64 lanes");
+  return lanes_++;
+}
+
+void LaneSim::set_pi(int lane, std::size_t input_index, bool v) {
+  VCOMP_REQUIRE(lane >= 0 && lane < lanes_, "bad lane index");
+  VCOMP_REQUIRE(input_index < nl_->num_inputs(), "input index out of range");
+  const Word m = Word{1} << lane;
+  Word& w = values_[nl_->inputs()[input_index]];
+  w = v ? (w | m) : (w & ~m);
+}
+
+void LaneSim::set_state(int lane, std::size_t dff_index, bool v) {
+  VCOMP_REQUIRE(lane >= 0 && lane < lanes_, "bad lane index");
+  VCOMP_REQUIRE(dff_index < nl_->num_dffs(), "state index out of range");
+  const Word m = Word{1} << lane;
+  Word& w = values_[nl_->dffs()[dff_index]];
+  w = v ? (w | m) : (w & ~m);
+}
+
+void LaneSim::inject(int lane, const Fault& f) {
+  VCOMP_REQUIRE(lane >= 0 && lane < lanes_, "bad lane index");
+  const Word m = Word{1} << lane;
+  if (f.is_stem()) {
+    auto& force = stem_forces_[f.gate];
+    (f.stuck ? force.mask1 : force.mask0) |= m;
+  } else {
+    auto& forces = pin_forces_[f.gate];
+    const auto pin = static_cast<std::uint16_t>(f.pin);
+    PinForce* slot = nullptr;
+    for (auto& pf : forces)
+      if (pf.pin == pin) slot = &pf;
+    if (slot == nullptr) {
+      forces.push_back(PinForce{pin, 0, 0});
+      slot = &forces.back();
+    }
+    (f.stuck ? slot->mask1 : slot->mask0) |= m;
+  }
+}
+
+void LaneSim::eval() {
+  // Stem forces on sources (PI / PPI stem faults).
+  for (const auto& [g, force] : stem_forces_) {
+    const GateType t = nl_->gate(g).type;
+    if (t == GateType::Input || t == GateType::Dff)
+      values_[g] = apply_force(values_[g], force.mask0, force.mask1);
+  }
+
+  for (GateId id : nl_->topo_order()) {
+    const auto& gate = nl_->gate(id);
+    gather_.clear();
+    for (GateId f : gate.fanin) gather_.push_back(values_[f]);
+    if (auto it = pin_forces_.find(id); it != pin_forces_.end())
+      for (const auto& pf : it->second)
+        gather_[pf.pin] = apply_force(gather_[pf.pin], pf.mask0, pf.mask1);
+    Word v = sim::word_eval(gate.type, gather_);
+    if (auto it = stem_forces_.find(id); it != stem_forces_.end())
+      v = apply_force(v, it->second.mask0, it->second.mask1);
+    values_[id] = v;
+  }
+}
+
+bool LaneSim::output(int lane, std::size_t po_index) const {
+  return (output_word(po_index) >> lane) & 1;
+}
+
+bool LaneSim::next_state(int lane, std::size_t dff_index) const {
+  return (next_state_word(dff_index) >> lane) & 1;
+}
+
+Word LaneSim::output_word(std::size_t po_index) const {
+  VCOMP_REQUIRE(po_index < nl_->num_outputs(), "output index out of range");
+  return values_[nl_->outputs()[po_index]];
+}
+
+Word LaneSim::next_state_word(std::size_t dff_index) const {
+  VCOMP_REQUIRE(dff_index < nl_->num_dffs(), "state index out of range");
+  const GateId dff = nl_->dffs()[dff_index];
+  Word v = values_[nl_->gate(dff).fanin[0]];
+  // Branch faults on the flip-flop data pin perturb only the captured bit.
+  if (auto it = pin_forces_.find(dff); it != pin_forces_.end())
+    for (const auto& pf : it->second)
+      if (pf.pin == 0) v = apply_force(v, pf.mask0, pf.mask1);
+  return v;
+}
+
+}  // namespace vcomp::fault

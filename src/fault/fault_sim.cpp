@@ -1,0 +1,125 @@
+#include "vcomp/fault/fault_sim.hpp"
+
+#include "vcomp/util/assert.hpp"
+
+namespace vcomp::fault {
+
+using netlist::GateId;
+using netlist::GateType;
+using sim::Word;
+
+DiffSim::DiffSim(const netlist::Netlist& nl) : nl_(&nl), good_(nl) {
+  const std::size_t n = nl.num_gates();
+  delta_.assign(n, 0);
+  touched_.assign(n, 0);
+  queued_.assign(n, 0);
+  buckets_.resize(nl.depth() + 1);
+  is_po_.assign(n, 0);
+  feeds_dff_.resize(n);
+  for (GateId po : nl.outputs()) is_po_[po] = 1;
+  for (std::uint32_t i = 0; i < nl.num_dffs(); ++i)
+    feeds_dff_[nl.gate(nl.dffs()[i]).fanin[0]].push_back(i);
+  ppo_out_.reserve(16);
+  gather_.reserve(16);
+}
+
+void DiffSim::commit_good() { good_.eval(); }
+
+void DiffSim::reset_deltas() {
+  for (GateId g : touched_list_) {
+    delta_[g] = 0;
+    touched_[g] = 0;
+  }
+  touched_list_.clear();
+}
+
+void DiffSim::schedule(GateId g) {
+  const auto& gate = nl_->gate(g);
+  if (gate.type == GateType::Input || gate.type == GateType::Dff) return;
+  if (queued_[g]) return;
+  queued_[g] = 1;
+  buckets_[gate.level].push_back(g);
+}
+
+void DiffSim::set_origin(GateId g, Word d) {
+  delta_[g] = d;
+  touched_[g] = 1;
+  touched_list_.push_back(g);
+  for (GateId s : nl_->gate(g).fanout) schedule(s);
+}
+
+DiffSim::Effect DiffSim::simulate(const Fault& f) {
+  reset_deltas();
+  ppo_out_.clear();
+  Effect effect;
+
+  const auto& good_vals = good_.values();
+  const auto& site = nl_->gate(f.gate);
+
+  if (f.is_stem()) {
+    const Word forced = f.stuck ? ~Word{0} : Word{0};
+    const Word d = good_vals[f.gate] ^ forced;
+    if (d == 0) return effect;
+    set_origin(f.gate, d);
+  } else {
+    const std::size_t pin = static_cast<std::size_t>(f.pin);
+    const GateId src = site.fanin.at(pin);
+    const Word forced = f.stuck ? ~Word{0} : Word{0};
+    if (site.type == GateType::Dff) {
+      // A branch into a flip-flop data pin only perturbs the captured state.
+      const Word d = good_vals[src] ^ forced;
+      if (d == 0) return effect;
+      // Locate the dff index.
+      for (std::uint32_t i = 0; i < nl_->num_dffs(); ++i)
+        if (nl_->dffs()[i] == f.gate) {
+          ppo_out_.push_back({i, d});
+          break;
+        }
+      effect.ppo_diffs = ppo_out_;
+      return effect;
+    }
+    gather_.clear();
+    for (std::size_t p = 0; p < site.fanin.size(); ++p)
+      gather_.push_back(p == pin ? forced : good_vals[site.fanin[p]]);
+    const Word faulty = sim::word_eval(site.type, gather_);
+    const Word d = faulty ^ good_vals[f.gate];
+    if (d == 0) return effect;
+    set_origin(f.gate, d);
+  }
+
+  // Levelized event propagation.  Deltas only flow to strictly higher
+  // levels, so a single low-to-high sweep suffices.
+  for (std::uint32_t lvl = 0; lvl < buckets_.size(); ++lvl) {
+    auto& bucket = buckets_[lvl];
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const GateId u = bucket[i];
+      queued_[u] = 0;
+      const auto& gate = nl_->gate(u);
+      gather_.clear();
+      for (GateId fin : gate.fanin)
+        gather_.push_back(good_vals[fin] ^ delta_[fin]);
+      const Word faulty = sim::word_eval(gate.type, gather_);
+      const Word d = faulty ^ good_vals[u];
+      if (d == delta_[u]) continue;
+      delta_[u] = d;
+      if (!touched_[u]) {
+        touched_[u] = 1;
+        touched_list_.push_back(u);
+      }
+      for (GateId s : gate.fanout) schedule(s);
+    }
+    bucket.clear();
+  }
+
+  // Harvest observation points from the touched set.
+  for (GateId g : touched_list_) {
+    const Word d = delta_[g];
+    if (d == 0) continue;
+    if (is_po_[g]) effect.po_any |= d;
+    for (std::uint32_t dff : feeds_dff_[g]) ppo_out_.push_back({dff, d});
+  }
+  effect.ppo_diffs = ppo_out_;
+  return effect;
+}
+
+}  // namespace vcomp::fault

@@ -1,0 +1,31 @@
+#include "vcomp/netgen/example_circuit.hpp"
+
+namespace vcomp::netgen {
+
+using netlist::GateType;
+using netlist::Netlist;
+
+Netlist example_circuit() {
+  Netlist nl;
+  const auto a = nl.add_dff("a");
+  const auto b = nl.add_dff("b");
+  const auto c = nl.add_dff("c");
+  const auto d = nl.add_gate(GateType::And, "D", {a, b});
+  const auto e = nl.add_gate(GateType::Or, "E", {b, c});
+  const auto f = nl.add_gate(GateType::And, "F", {d, e});
+  nl.set_dff_input(a, f);
+  nl.set_dff_input(b, e);
+  nl.set_dff_input(c, d);
+  nl.finalize();
+  return nl;
+}
+
+std::vector<std::vector<std::uint8_t>> example_test_vectors() {
+  return {{1, 1, 0}, {0, 0, 1}, {1, 0, 0}, {0, 1, 0}};
+}
+
+std::vector<std::vector<std::uint8_t>> example_responses() {
+  return {{1, 1, 1}, {0, 1, 0}, {0, 0, 0}, {0, 1, 0}};
+}
+
+}  // namespace vcomp::netgen

@@ -1,0 +1,56 @@
+#include "vcomp/netgen/profiles.hpp"
+
+#include "vcomp/util/assert.hpp"
+
+namespace vcomp::netgen {
+
+namespace {
+
+// PI / PO / FF counts follow the originals (and the paper's Table 5 "I/O"
+// and "scan#" columns).  Gate budgets track the originals up to the three
+// largest, which are capped at ~6 gates per flip-flop.
+const CircuitProfile kProfiles[] = {
+    //  name      PI  PO   FF   gates  easiness  arity  seed
+    {"s444",       3,  6,   21,   181,  0.25, 4, 0, 0x4440},
+    {"s526",       3,  6,   21,   193,  0.20, 4, 0, 0x5260},
+    {"s641",      35, 24,   19,   379,  0.35, 4, 0, 0x6410},
+    {"s953",      16, 23,   29,   395,  0.35, 4, 0, 0x9530},
+    {"s1196",     14, 14,   18,   529,  0.15, 4, 0, 0x1196},
+    {"s1423",     17,  5,   74,   657,  0.30, 4, 0, 0x1423},
+    {"s5378",     35, 49,  179,  2779,  0.35, 4, 0, 0x5378},
+    {"s9234",     19, 22,  228,  5597,  0.25, 4, 0, 0x9234},
+    {"s13207",    31,121,  669,  7951,  0.35, 4, 0, 0x13207},
+    {"s15850",    14, 87,  597,  9772,  0.35, 4, 0, 0x15850},
+    // s35932 models the paper's "most faults are easy-to-test" outlier:
+    // narrow gates (arity 2) keep it random-pattern friendly.
+    {"s35932",    35,320, 1728, 10368,  0.00, 2, 0, 0x35932},
+    {"s38417",    28,106, 1636,  9816,  0.40, 4, 0, 0x38417},
+    {"s38584",    12,278, 1452,  8712,  0.45, 4, 0, 0x38584},
+};
+
+}  // namespace
+
+CircuitProfile profile(const std::string& name) {
+  for (const auto& p : kProfiles)
+    if (p.name == name) return p;
+  VCOMP_REQUIRE(false, "unknown circuit profile: " + name);
+  return {};
+}
+
+std::vector<CircuitProfile> table234_profiles() {
+  return {profile("s444"),  profile("s526"),  profile("s641"),
+          profile("s953"),  profile("s1196"), profile("s1423"),
+          profile("s5378"), profile("s9234")};
+}
+
+std::vector<CircuitProfile> table5_profiles() {
+  return {profile("s5378"),  profile("s9234"),  profile("s13207"),
+          profile("s15850"), profile("s35932"), profile("s38417"),
+          profile("s38584")};
+}
+
+std::vector<CircuitProfile> all_profiles() {
+  return {std::begin(kProfiles), std::end(kProfiles)};
+}
+
+}  // namespace vcomp::netgen

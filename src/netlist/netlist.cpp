@@ -1,0 +1,190 @@
+#include "vcomp/netlist/netlist.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "vcomp/util/assert.hpp"
+
+namespace vcomp::netlist {
+
+std::string_view to_string(GateType t) {
+  switch (t) {
+    case GateType::Input: return "INPUT";
+    case GateType::Dff: return "DFF";
+    case GateType::Buf: return "BUF";
+    case GateType::Not: return "NOT";
+    case GateType::And: return "AND";
+    case GateType::Nand: return "NAND";
+    case GateType::Or: return "OR";
+    case GateType::Nor: return "NOR";
+    case GateType::Xor: return "XOR";
+    case GateType::Xnor: return "XNOR";
+  }
+  return "?";
+}
+
+std::optional<GateType> gate_type_from_string(std::string_view s) {
+  std::string up;
+  up.reserve(s.size());
+  for (char c : s) up.push_back(static_cast<char>(std::toupper(c)));
+  if (up == "DFF") return GateType::Dff;
+  if (up == "BUF" || up == "BUFF") return GateType::Buf;
+  if (up == "NOT") return GateType::Not;
+  if (up == "AND") return GateType::And;
+  if (up == "NAND") return GateType::Nand;
+  if (up == "OR") return GateType::Or;
+  if (up == "NOR") return GateType::Nor;
+  if (up == "XOR") return GateType::Xor;
+  if (up == "XNOR") return GateType::Xnor;
+  return std::nullopt;
+}
+
+bool is_inverting(GateType t) {
+  return t == GateType::Not || t == GateType::Nand || t == GateType::Nor ||
+         t == GateType::Xnor;
+}
+
+GateId Netlist::add(Gate g) {
+  VCOMP_REQUIRE(!finalized_, "cannot modify a finalized netlist");
+  VCOMP_REQUIRE(!g.name.empty(), "gate name must not be empty");
+  auto [it, inserted] = by_name_.emplace(g.name, GateId(gates_.size()));
+  VCOMP_REQUIRE(inserted, "duplicate gate name: " + g.name);
+  gates_.push_back(std::move(g));
+  return it->second;
+}
+
+GateId Netlist::add_input(std::string name) {
+  GateId id = add(Gate{GateType::Input, std::move(name), {}, {}, 0});
+  inputs_.push_back(id);
+  return id;
+}
+
+GateId Netlist::add_dff(std::string name, GateId next_state) {
+  Gate g{GateType::Dff, std::move(name), {}, {}, 0};
+  if (next_state != kNoGate) g.fanin.push_back(next_state);
+  GateId id = add(std::move(g));
+  dffs_.push_back(id);
+  return id;
+}
+
+GateId Netlist::add_gate(GateType type, std::string name,
+                         std::vector<GateId> fanin) {
+  VCOMP_REQUIRE(type != GateType::Input && type != GateType::Dff,
+                "add_gate is for combinational gates only");
+  for (GateId f : fanin)
+    VCOMP_REQUIRE(f < gates_.size(), "fanin id out of range");
+  return add(Gate{type, std::move(name), std::move(fanin), {}, 0});
+}
+
+void Netlist::set_dff_input(GateId dff, GateId next_state) {
+  VCOMP_REQUIRE(!finalized_, "cannot modify a finalized netlist");
+  VCOMP_REQUIRE(dff < gates_.size() && gates_[dff].type == GateType::Dff,
+                "set_dff_input target is not a DFF");
+  VCOMP_REQUIRE(next_state < gates_.size(), "next_state id out of range");
+  gates_[dff].fanin.assign(1, next_state);
+}
+
+void Netlist::add_fanin(GateId g, GateId extra) {
+  VCOMP_REQUIRE(!finalized_, "cannot modify a finalized netlist");
+  VCOMP_REQUIRE(g < gates_.size() && extra < gates_.size(),
+                "gate id out of range");
+  VCOMP_REQUIRE(extra < g, "extra fanin must precede the gate (acyclicity)");
+  Gate& gate = gates_[g];
+  switch (gate.type) {
+    case GateType::And:
+    case GateType::Nand:
+    case GateType::Or:
+    case GateType::Nor:
+    case GateType::Xor:
+    case GateType::Xnor:
+      break;
+    default:
+      VCOMP_REQUIRE(false, "add_fanin needs a multi-input gate");
+  }
+  gate.fanin.push_back(extra);
+}
+
+void Netlist::mark_output(GateId g) {
+  VCOMP_REQUIRE(!finalized_, "cannot modify a finalized netlist");
+  VCOMP_REQUIRE(g < gates_.size(), "output id out of range");
+  outputs_.push_back(g);
+}
+
+GateId Netlist::find(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? kNoGate : it->second;
+}
+
+void Netlist::finalize() {
+  VCOMP_REQUIRE(!finalized_, "finalize called twice");
+
+  // Arity checks.
+  for (const Gate& g : gates_) {
+    switch (g.type) {
+      case GateType::Input:
+        VCOMP_REQUIRE(g.fanin.empty(), "input must have no fanin: " + g.name);
+        break;
+      case GateType::Dff:
+        VCOMP_REQUIRE(g.fanin.size() == 1,
+                      "DFF must have exactly one fanin: " + g.name);
+        break;
+      case GateType::Buf:
+      case GateType::Not:
+        VCOMP_REQUIRE(g.fanin.size() == 1,
+                      "BUF/NOT must have one fanin: " + g.name);
+        break;
+      default:
+        VCOMP_REQUIRE(g.fanin.size() >= 2,
+                      "multi-input gate needs >= 2 fanins: " + g.name);
+    }
+  }
+
+  // Fanout lists.
+  for (GateId id = 0; id < gates_.size(); ++id)
+    for (GateId f : gates_[id].fanin) gates_[f].fanout.push_back(id);
+
+  // Kahn levelization of the combinational core.  Input and Dff outputs are
+  // level-0 sources; a Dff's *fanin* edge is a next-timeframe edge and does
+  // not participate (so feedback through flip-flops is legal).
+  std::vector<std::uint32_t> pending(gates_.size(), 0);
+  std::vector<GateId> ready;
+  for (GateId id = 0; id < gates_.size(); ++id) {
+    const Gate& g = gates_[id];
+    if (g.type == GateType::Input || g.type == GateType::Dff) continue;
+    pending[id] = static_cast<std::uint32_t>(g.fanin.size());
+    std::uint32_t sources = 0;
+    for (GateId f : g.fanin) {
+      const GateType ft = gates_[f].type;
+      if (ft == GateType::Input || ft == GateType::Dff) ++sources;
+    }
+    pending[id] -= sources;
+    if (pending[id] == 0) ready.push_back(id);
+  }
+
+  topo_.clear();
+  std::size_t head = 0;
+  std::vector<GateId> queue = std::move(ready);
+  while (head < queue.size()) {
+    GateId id = queue[head++];
+    const Gate& g = gates_[id];
+    std::uint32_t lvl = 0;
+    for (GateId f : g.fanin) lvl = std::max(lvl, gates_[f].level + 1);
+    gates_[id].level = lvl;
+    depth_ = std::max(depth_, lvl);
+    topo_.push_back(id);
+    for (GateId s : g.fanout) {
+      const Gate& sink = gates_[s];
+      if (sink.type == GateType::Input || sink.type == GateType::Dff) continue;
+      if (--pending[s] == 0) queue.push_back(s);
+    }
+  }
+
+  const std::size_t comb_count =
+      gates_.size() - inputs_.size() - dffs_.size();
+  VCOMP_ENSURE(topo_.size() == comb_count,
+               "combinational cycle detected in netlist");
+
+  finalized_ = true;
+}
+
+}  // namespace vcomp::netlist

@@ -1,0 +1,78 @@
+#include "vcomp/report/table.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "vcomp/util/assert.hpp"
+
+namespace vcomp::report {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  VCOMP_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  VCOMP_REQUIRE(cells.size() == headers_.size(),
+                "row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(std::uint64_t v) { return std::to_string(v); }
+
+std::string Table::ratio(double v) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2) << v;
+  return os.str();
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << (c == 0 ? "| " : " | ");
+      out << cells[c] << std::string(width[c] - cells[c].size(), ' ');
+    }
+    out << " |\n";
+  };
+  auto rule = [&]() {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      out << (c == 0 ? "+-" : "-+-");
+      out << std::string(width[c], '-');
+    }
+    out << "-+\n";
+  };
+
+  rule();
+  emit(headers_);
+  rule();
+  for (const auto& row : rows_) emit(row);
+  rule();
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+void Table::print_csv(std::ostream& out) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) out << ',';
+      out << cells[c];
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace vcomp::report

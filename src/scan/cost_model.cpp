@@ -1,0 +1,55 @@
+#include "vcomp/scan/cost_model.hpp"
+
+#include "vcomp/util/assert.hpp"
+
+namespace vcomp::scan {
+
+CostMeter::CostMeter(std::size_t num_pi, std::size_t num_po,
+                     std::size_t chain_len)
+    : pi_(num_pi), po_(num_po), len_(chain_len) {
+  VCOMP_REQUIRE(chain_len > 0, "cost model needs a non-empty scan chain");
+}
+
+void CostMeter::initial_load() {
+  cost_.shift_cycles += len_;
+  cost_.stim_bits += pi_ + len_;
+  cost_.resp_bits += po_;
+}
+
+void CostMeter::stitched_cycle(std::size_t s) {
+  VCOMP_REQUIRE(s >= 1 && s <= len_, "shift size out of range");
+  cost_.shift_cycles += s;
+  cost_.stim_bits += pi_ + s;
+  cost_.resp_bits += po_ + s;
+}
+
+void CostMeter::final_observe(std::size_t s) {
+  VCOMP_REQUIRE(s <= len_, "observe size out of range");
+  cost_.shift_cycles += s;
+  cost_.resp_bits += s;
+}
+
+void CostMeter::flush() {
+  cost_.shift_cycles += len_;
+  cost_.resp_bits += len_;
+}
+
+void CostMeter::extra_full_vectors(std::size_t ex) {
+  if (ex == 0) return;
+  // ex loads (the first of which flushes the stitched state) plus the final
+  // response shift-out.
+  cost_.shift_cycles += (ex + 1) * len_;
+  cost_.stim_bits += ex * (pi_ + len_);
+  cost_.resp_bits += len_ + ex * (po_ + len_);
+}
+
+Cost CostMeter::full_scan(std::size_t num_pi, std::size_t num_po,
+                          std::size_t chain_len, std::size_t num_vectors) {
+  Cost c;
+  c.shift_cycles = (num_vectors + 1) * chain_len;
+  c.stim_bits = num_vectors * (num_pi + chain_len);
+  c.resp_bits = num_vectors * (num_po + chain_len);
+  return c;
+}
+
+}  // namespace vcomp::scan

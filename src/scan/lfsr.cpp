@@ -1,0 +1,79 @@
+#include "vcomp/scan/lfsr.hpp"
+
+#include "vcomp/util/assert.hpp"
+
+namespace vcomp::scan {
+
+Lfsr::Lfsr(std::size_t length, std::vector<std::size_t> taps)
+    : length_(length), taps_(std::move(taps)), state_(length, 0) {
+  VCOMP_REQUIRE(length > 0, "LFSR needs at least one cell");
+  VCOMP_REQUIRE(!taps_.empty(), "LFSR needs at least one tap");
+  for (auto t : taps_)
+    VCOMP_REQUIRE(t < length, "LFSR tap position out of range");
+}
+
+Lfsr Lfsr::standard(std::size_t length) {
+  // Tap sets from primitive polynomials (maximal period) for common
+  // lengths; generic two-tap fallback elsewhere.  Encodability only needs
+  // the linear structure, but long periods make the pseudorandom fill more
+  // useful.
+  if (length == 1) return Lfsr(1, {0});
+  switch (length) {
+    case 2: return Lfsr(2, {1, 0});
+    case 3: return Lfsr(3, {2, 1});
+    case 4: return Lfsr(4, {3, 2});
+    case 5: return Lfsr(5, {4, 2});
+    case 6: return Lfsr(6, {5, 4});
+    case 7: return Lfsr(7, {6, 5});
+    case 8: return Lfsr(8, {7, 5, 4, 3});
+    case 9: return Lfsr(9, {8, 4});
+    case 10: return Lfsr(10, {9, 6});
+    case 11: return Lfsr(11, {10, 8});
+    case 12: return Lfsr(12, {11, 10, 9, 3});
+    case 13: return Lfsr(13, {12, 11, 10, 7});
+    case 14: return Lfsr(14, {13, 12, 11, 1});
+    case 15: return Lfsr(15, {14, 13});
+    case 16: return Lfsr(16, {15, 14, 12, 3});
+    default:
+      return Lfsr(length, {length - 1, (length - 1) / 2});
+  }
+}
+
+void Lfsr::seed(const std::vector<std::uint8_t>& bits) {
+  VCOMP_REQUIRE(bits.size() == length_, "seed width mismatch");
+  for (std::size_t i = 0; i < length_; ++i) state_[i] = bits[i] & 1;
+}
+
+std::uint8_t Lfsr::step() {
+  const std::uint8_t out = state_[length_ - 1];
+  std::uint8_t fb = 0;
+  for (auto t : taps_) fb ^= state_[t];
+  for (std::size_t i = length_; i-- > 1;) state_[i] = state_[i - 1];
+  state_[0] = fb;
+  return out;
+}
+
+std::vector<std::uint8_t> Lfsr::stream(std::size_t n) {
+  std::vector<std::uint8_t> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(step());
+  return out;
+}
+
+Gf2Vector Lfsr::symbolic_output_row(std::size_t t) const {
+  if (sym_rows_.size() > t) return sym_rows_[t];
+  // Symbolic state: one row per cell, starting as the identity.
+  std::vector<Gf2Vector> cell(length_, Gf2Vector(length_));
+  for (std::size_t i = 0; i < length_; ++i) cell[i].set(i, true);
+  // Replay the already-cached steps plus the new ones.
+  for (std::size_t step_idx = 0; step_idx <= t; ++step_idx) {
+    if (sym_rows_.size() <= step_idx) sym_rows_.push_back(cell[length_ - 1]);
+    Gf2Vector fb(length_);
+    for (auto tap : taps_) fb.xor_with(cell[tap]);
+    for (std::size_t i = length_; i-- > 1;) cell[i] = cell[i - 1];
+    cell[0] = std::move(fb);
+  }
+  return sym_rows_[t];
+}
+
+}  // namespace vcomp::scan

@@ -1,0 +1,86 @@
+#include "vcomp/scan/scan_chain.hpp"
+
+#include <algorithm>
+
+#include "vcomp/util/assert.hpp"
+
+namespace vcomp::scan {
+
+ScanChain::ScanChain(const netlist::Netlist& nl) : nl_(&nl) {
+  VCOMP_REQUIRE(nl.finalized(), "ScanChain requires a finalized netlist");
+  order_.resize(nl.num_dffs());
+  pos_.resize(nl.num_dffs());
+  for (std::uint32_t i = 0; i < nl.num_dffs(); ++i) {
+    order_[i] = i;
+    pos_[i] = i;
+  }
+}
+
+ScanChain::ScanChain(const netlist::Netlist& nl,
+                     std::vector<std::uint32_t> order)
+    : nl_(&nl), order_(std::move(order)) {
+  VCOMP_REQUIRE(nl.finalized(), "ScanChain requires a finalized netlist");
+  VCOMP_REQUIRE(order_.size() == nl.num_dffs(),
+                "chain order must cover every flip-flop");
+  pos_.assign(order_.size(), order_.size());
+  for (std::size_t p = 0; p < order_.size(); ++p) {
+    VCOMP_REQUIRE(order_[p] < order_.size(), "chain order index out of range");
+    VCOMP_REQUIRE(pos_[order_[p]] == order_.size(),
+                  "chain order must be a permutation");
+    pos_[order_[p]] = p;
+  }
+}
+
+ScanOutModel ScanOutModel::direct(std::size_t length) {
+  VCOMP_REQUIRE(length > 0, "empty scan chain");
+  return ScanOutModel{{static_cast<std::uint32_t>(length - 1)}};
+}
+
+ScanOutModel ScanOutModel::hxor(std::size_t length, std::size_t num_taps) {
+  VCOMP_REQUIRE(length > 0, "empty scan chain");
+  VCOMP_REQUIRE(num_taps >= 1 && num_taps <= length,
+                "tap count must be in [1, length]");
+  const std::size_t stride = length / num_taps;
+  VCOMP_REQUIRE(stride >= 1, "too many taps for chain length");
+  ScanOutModel m;
+  // Anchored at the tail, walking toward the head.
+  for (std::size_t j = 0; j < num_taps; ++j) {
+    const std::size_t pos = length - 1 - j * stride;
+    m.taps.push_back(static_cast<std::uint32_t>(pos));
+  }
+  std::sort(m.taps.begin(), m.taps.end());
+  return m;
+}
+
+void ChainState::load(std::span<const std::uint8_t> bits) {
+  VCOMP_REQUIRE(bits.size() == bits_.size(), "load size mismatch");
+  std::copy(bits.begin(), bits.end(), bits_.begin());
+}
+
+std::vector<std::uint8_t> ChainState::shift(
+    std::span<const std::uint8_t> in_bits, const ScanOutModel& out) {
+  VCOMP_REQUIRE(in_bits.size() <= bits_.size(),
+                "cannot shift more bits than the chain holds");
+  std::vector<std::uint8_t> observed;
+  observed.reserve(in_bits.size());
+  for (std::size_t j = 0; j < in_bits.size(); ++j) {
+    std::uint8_t obs = 0;
+    for (std::uint32_t t : out.taps) obs ^= bits_[t];
+    observed.push_back(obs);
+    // One shift cycle: everything moves one step toward the tail.
+    for (std::size_t i = bits_.size(); i-- > 1;) bits_[i] = bits_[i - 1];
+    bits_[0] = in_bits[j] & 1;
+  }
+  return observed;
+}
+
+void ChainState::capture(std::span<const std::uint8_t> next_state,
+                         CaptureMode mode) {
+  VCOMP_REQUIRE(next_state.size() == bits_.size(), "capture size mismatch");
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    const std::uint8_t v = next_state[i] & 1;
+    bits_[i] = (mode == CaptureMode::VXor) ? (bits_[i] ^ v) : v;
+  }
+}
+
+}  // namespace vcomp::scan

@@ -1,0 +1,87 @@
+#include "vcomp/sim/ternary_sim.hpp"
+
+#include "vcomp/util/assert.hpp"
+
+namespace vcomp::sim {
+
+using netlist::GateType;
+
+Trit trit_eval(GateType type, std::span<const Trit> fanin) {
+  switch (type) {
+    case GateType::Buf:
+      return fanin[0];
+    case GateType::Not:
+      return trit_not(fanin[0]);
+    case GateType::And:
+    case GateType::Nand: {
+      Trit v = fanin[0];
+      for (std::size_t i = 1; i < fanin.size(); ++i) v = trit_and(v, fanin[i]);
+      return type == GateType::Nand ? trit_not(v) : v;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      Trit v = fanin[0];
+      for (std::size_t i = 1; i < fanin.size(); ++i) v = trit_or(v, fanin[i]);
+      return type == GateType::Nor ? trit_not(v) : v;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      Trit v = fanin[0];
+      for (std::size_t i = 1; i < fanin.size(); ++i) v = trit_xor(v, fanin[i]);
+      return type == GateType::Xnor ? trit_not(v) : v;
+    }
+    case GateType::Input:
+    case GateType::Dff:
+      break;
+  }
+  VCOMP_ENSURE(false, "trit_eval on non-combinational gate");
+  return Trit::X;
+}
+
+TernarySim::TernarySim(const netlist::Netlist& nl) : nl_(&nl) {
+  VCOMP_REQUIRE(nl.finalized(), "TernarySim requires a finalized netlist");
+  values_.assign(nl.num_gates(), Trit::X);
+  scratch_.reserve(16);
+}
+
+void TernarySim::clear() {
+  values_.assign(nl_->num_gates(), Trit::X);
+}
+
+void TernarySim::set_input(std::size_t i, Trit v) {
+  VCOMP_REQUIRE(i < nl_->num_inputs(), "input index out of range");
+  values_[nl_->inputs()[i]] = v;
+}
+
+void TernarySim::set_state(std::size_t i, Trit v) {
+  VCOMP_REQUIRE(i < nl_->num_dffs(), "state index out of range");
+  values_[nl_->dffs()[i]] = v;
+}
+
+void TernarySim::set_source(netlist::GateId g, Trit v) {
+  const auto t = nl_->gate(g).type;
+  VCOMP_REQUIRE(t == GateType::Input || t == GateType::Dff,
+                "set_source target must be an Input or Dff");
+  values_[g] = v;
+}
+
+void TernarySim::eval() {
+  for (netlist::GateId id : nl_->topo_order()) {
+    const netlist::Gate& g = nl_->gate(id);
+    scratch_.clear();
+    for (netlist::GateId f : g.fanin) scratch_.push_back(values_[f]);
+    values_[id] = trit_eval(g.type, scratch_);
+  }
+}
+
+Trit TernarySim::output(std::size_t i) const {
+  VCOMP_REQUIRE(i < nl_->num_outputs(), "output index out of range");
+  return values_[nl_->outputs()[i]];
+}
+
+Trit TernarySim::next_state(std::size_t i) const {
+  VCOMP_REQUIRE(i < nl_->num_dffs(), "state index out of range");
+  return values_[nl_->gate(nl_->dffs()[i]).fanin[0]];
+}
+
+}  // namespace vcomp::sim

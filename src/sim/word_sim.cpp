@@ -1,0 +1,95 @@
+#include "vcomp/sim/word_sim.hpp"
+
+#include "vcomp/util/assert.hpp"
+
+namespace vcomp::sim {
+
+using netlist::GateType;
+
+Word word_eval(GateType type, std::span<const Word> fanin) {
+  switch (type) {
+    case GateType::Buf:
+      return fanin[0];
+    case GateType::Not:
+      return ~fanin[0];
+    case GateType::And: {
+      Word v = fanin[0];
+      for (std::size_t i = 1; i < fanin.size(); ++i) v &= fanin[i];
+      return v;
+    }
+    case GateType::Nand: {
+      Word v = fanin[0];
+      for (std::size_t i = 1; i < fanin.size(); ++i) v &= fanin[i];
+      return ~v;
+    }
+    case GateType::Or: {
+      Word v = fanin[0];
+      for (std::size_t i = 1; i < fanin.size(); ++i) v |= fanin[i];
+      return v;
+    }
+    case GateType::Nor: {
+      Word v = fanin[0];
+      for (std::size_t i = 1; i < fanin.size(); ++i) v |= fanin[i];
+      return ~v;
+    }
+    case GateType::Xor: {
+      Word v = fanin[0];
+      for (std::size_t i = 1; i < fanin.size(); ++i) v ^= fanin[i];
+      return v;
+    }
+    case GateType::Xnor: {
+      Word v = fanin[0];
+      for (std::size_t i = 1; i < fanin.size(); ++i) v ^= fanin[i];
+      return ~v;
+    }
+    case GateType::Input:
+    case GateType::Dff:
+      break;
+  }
+  VCOMP_ENSURE(false, "word_eval on non-combinational gate");
+  return 0;
+}
+
+WordSim::WordSim(const netlist::Netlist& nl) : nl_(&nl) {
+  VCOMP_REQUIRE(nl.finalized(), "WordSim requires a finalized netlist");
+  values_.assign(nl.num_gates(), 0);
+  scratch_.reserve(16);
+}
+
+void WordSim::set_input(std::size_t i, Word v) {
+  VCOMP_REQUIRE(i < nl_->num_inputs(), "input index out of range");
+  values_[nl_->inputs()[i]] = v;
+}
+
+void WordSim::set_state(std::size_t i, Word v) {
+  VCOMP_REQUIRE(i < nl_->num_dffs(), "state index out of range");
+  values_[nl_->dffs()[i]] = v;
+}
+
+void WordSim::set_source(netlist::GateId g, Word v) {
+  const auto t = nl_->gate(g).type;
+  VCOMP_REQUIRE(t == GateType::Input || t == GateType::Dff,
+                "set_source target must be an Input or Dff");
+  values_[g] = v;
+}
+
+void WordSim::eval() {
+  for (netlist::GateId id : nl_->topo_order()) {
+    const netlist::Gate& g = nl_->gate(id);
+    scratch_.clear();
+    for (netlist::GateId f : g.fanin) scratch_.push_back(values_[f]);
+    values_[id] = word_eval(g.type, scratch_);
+  }
+}
+
+Word WordSim::output(std::size_t i) const {
+  VCOMP_REQUIRE(i < nl_->num_outputs(), "output index out of range");
+  return values_[nl_->outputs()[i]];
+}
+
+Word WordSim::next_state(std::size_t i) const {
+  VCOMP_REQUIRE(i < nl_->num_dffs(), "state index out of range");
+  return values_[nl_->gate(nl_->dffs()[i]).fanin[0]];
+}
+
+}  // namespace vcomp::sim

@@ -1,0 +1,49 @@
+#include "vcomp/tmeas/hardness.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+namespace vcomp::tmeas {
+
+std::vector<std::uint32_t> detection_counts(
+    const netlist::Netlist& nl, const std::vector<fault::Fault>& faults,
+    const HardnessOptions& opts) {
+  fault::DiffSim sim(nl);
+  Rng rng(opts.seed);
+  std::vector<std::uint32_t> counts(faults.size(), 0);
+
+  const std::size_t blocks = (opts.random_patterns + 63) / 64;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    for (std::size_t i = 0; i < nl.num_inputs(); ++i)
+      sim.good().set_input(i, rng.next());
+    for (std::size_t i = 0; i < nl.num_dffs(); ++i)
+      sim.good().set_state(i, rng.next());
+    sim.commit_good();
+    for (std::size_t fi = 0; fi < faults.size(); ++fi)
+      counts[fi] += static_cast<std::uint32_t>(
+          std::popcount(sim.simulate(faults[fi]).any()));
+  }
+  return counts;
+}
+
+std::vector<std::size_t> hardness_order(
+    const netlist::Netlist& nl, const std::vector<fault::Fault>& faults,
+    const HardnessOptions& opts) {
+  const auto counts = detection_counts(nl, faults, opts);
+  Scoap scoap(nl);
+  std::vector<Cost> difficulty(faults.size());
+  for (std::size_t i = 0; i < faults.size(); ++i)
+    difficulty[i] = scoap.fault_difficulty(nl, faults[i]);
+
+  std::vector<std::size_t> order(faults.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (counts[a] != counts[b]) return counts[a] < counts[b];
+                     return difficulty[a] > difficulty[b];
+                   });
+  return order;
+}
+
+}  // namespace vcomp::tmeas

@@ -1,0 +1,175 @@
+#include "vcomp/tmeas/scoap.hpp"
+
+#include <algorithm>
+
+#include "vcomp/util/assert.hpp"
+
+namespace vcomp::tmeas {
+
+using netlist::GateId;
+using netlist::GateType;
+
+namespace {
+
+/// Fold n-input XOR controllability pairwise.
+void xor_cc(Cost a0, Cost a1, Cost b0, Cost b1, Cost& out0, Cost& out1) {
+  out0 = std::min(cost_add(a0, b0), cost_add(a1, b1));
+  out1 = std::min(cost_add(a0, b1), cost_add(a1, b0));
+}
+
+}  // namespace
+
+Scoap::Scoap(const netlist::Netlist& nl) {
+  VCOMP_REQUIRE(nl.finalized(), "Scoap requires a finalized netlist");
+  const std::size_t n = nl.num_gates();
+  cc0_.assign(n, kInfCost);
+  cc1_.assign(n, kInfCost);
+  co_.assign(n, kInfCost);
+
+  // Controllability: sources cost 1 (full scan makes PPIs directly loadable).
+  for (GateId g : nl.inputs()) cc0_[g] = cc1_[g] = 1;
+  for (GateId g : nl.dffs()) cc0_[g] = cc1_[g] = 1;
+
+  for (GateId id : nl.topo_order()) {
+    const auto& g = nl.gate(id);
+    const auto& fin = g.fanin;
+    Cost c0 = kInfCost, c1 = kInfCost;
+    switch (g.type) {
+      case GateType::Buf:
+        c0 = cost_add(cc0_[fin[0]], 1);
+        c1 = cost_add(cc1_[fin[0]], 1);
+        break;
+      case GateType::Not:
+        c0 = cost_add(cc1_[fin[0]], 1);
+        c1 = cost_add(cc0_[fin[0]], 1);
+        break;
+      case GateType::And:
+      case GateType::Nand: {
+        Cost all1 = 0, min0 = kInfCost;
+        for (GateId f : fin) {
+          all1 = cost_add(all1, cc1_[f]);
+          min0 = std::min(min0, cc0_[f]);
+        }
+        const Cost out1 = cost_add(all1, 1);   // all inputs 1
+        const Cost out0 = cost_add(min0, 1);   // any input 0
+        if (g.type == GateType::And) { c1 = out1; c0 = out0; }
+        else { c0 = out1; c1 = out0; }
+        break;
+      }
+      case GateType::Or:
+      case GateType::Nor: {
+        Cost all0 = 0, min1 = kInfCost;
+        for (GateId f : fin) {
+          all0 = cost_add(all0, cc0_[f]);
+          min1 = std::min(min1, cc1_[f]);
+        }
+        const Cost out0 = cost_add(all0, 1);
+        const Cost out1 = cost_add(min1, 1);
+        if (g.type == GateType::Or) { c0 = out0; c1 = out1; }
+        else { c1 = out0; c0 = out1; }
+        break;
+      }
+      case GateType::Xor:
+      case GateType::Xnor: {
+        Cost a0 = cc0_[fin[0]], a1 = cc1_[fin[0]];
+        for (std::size_t i = 1; i < fin.size(); ++i) {
+          Cost r0, r1;
+          xor_cc(a0, a1, cc0_[fin[i]], cc1_[fin[i]], r0, r1);
+          a0 = r0;
+          a1 = r1;
+        }
+        c0 = cost_add(a0, 1);
+        c1 = cost_add(a1, 1);
+        if (g.type == GateType::Xnor) std::swap(c0, c1);
+        break;
+      }
+      case GateType::Input:
+      case GateType::Dff:
+        VCOMP_ENSURE(false, "source in topo order");
+    }
+    cc0_[id] = c0;
+    cc1_[id] = c1;
+  }
+
+  // Observability: POs and capture points (DFF data inputs) cost 0.
+  for (GateId g : nl.outputs()) co_[g] = 0;
+  for (GateId d : nl.dffs()) co_[nl.gate(d).fanin[0]] = 0;
+
+  // Reverse topological sweep; co(signal) = min over sink pins.
+  const auto& topo = nl.topo_order();
+  auto relax_through = [&](GateId sink) {
+    const auto& g = nl.gate(sink);
+    if (g.type == GateType::Input || g.type == GateType::Dff) return;
+    for (std::size_t p = 0; p < g.fanin.size(); ++p) {
+      Cost side = 0;
+      for (std::size_t q = 0; q < g.fanin.size(); ++q) {
+        if (q == p) continue;
+        const GateId other = g.fanin[q];
+        switch (g.type) {
+          case GateType::And:
+          case GateType::Nand:
+            side = cost_add(side, cc1_[other]);
+            break;
+          case GateType::Or:
+          case GateType::Nor:
+            side = cost_add(side, cc0_[other]);
+            break;
+          case GateType::Xor:
+          case GateType::Xnor:
+            side = cost_add(side, std::min(cc0_[other], cc1_[other]));
+            break;
+          default:
+            break;
+        }
+      }
+      const Cost through = cost_add(cost_add(co_[sink], side), 1);
+      const GateId src = g.fanin[p];
+      co_[src] = std::min(co_[src], through);
+    }
+  };
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) relax_through(*it);
+  // Sources never appear in topo order, but their *sinks* were all relaxed
+  // above; nothing further needed.
+}
+
+Cost Scoap::fault_difficulty(const netlist::Netlist& nl,
+                             const fault::Fault& f) const {
+  const GateId src = fault::fault_source(nl, f);
+  const Cost activate = f.stuck ? cc0_[src] : cc1_[src];
+  Cost observe;
+  if (f.is_stem()) {
+    observe = co_[src];
+  } else {
+    // Branch observability: through the specific sink pin.
+    const auto& g = nl.gate(f.gate);
+    if (g.type == GateType::Dff) {
+      observe = 0;  // capture point
+    } else {
+      Cost side = 0;
+      for (std::size_t q = 0; q < g.fanin.size(); ++q) {
+        if (static_cast<std::int16_t>(q) == f.pin) continue;
+        const GateId other = g.fanin[q];
+        switch (g.type) {
+          case GateType::And:
+          case GateType::Nand:
+            side = cost_add(side, cc1_[other]);
+            break;
+          case GateType::Or:
+          case GateType::Nor:
+            side = cost_add(side, cc0_[other]);
+            break;
+          case GateType::Xor:
+          case GateType::Xnor:
+            side = cost_add(side, std::min(cc0_[other], cc1_[other]));
+            break;
+          default:
+            break;
+        }
+      }
+      observe = cost_add(cost_add(co_[f.gate], side), 1);
+    }
+  }
+  return cost_add(activate, observe);
+}
+
+}  // namespace vcomp::tmeas

@@ -1,0 +1,72 @@
+#include "vcomp/util/gf2.hpp"
+
+#include "vcomp/util/assert.hpp"
+
+namespace vcomp {
+
+void Gf2Vector::xor_with(const Gf2Vector& other) {
+  VCOMP_REQUIRE(bits_ == other.bits_, "GF(2) vector width mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+}
+
+bool Gf2Vector::dot(const Gf2Vector& other) const {
+  VCOMP_REQUIRE(bits_ == other.bits_, "GF(2) vector width mismatch");
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    acc ^= words_[i] & other.words_[i];
+  // Parity of acc.
+  acc ^= acc >> 32;
+  acc ^= acc >> 16;
+  acc ^= acc >> 8;
+  acc ^= acc >> 4;
+  acc ^= acc >> 2;
+  acc ^= acc >> 1;
+  return acc & 1;
+}
+
+bool Gf2Vector::any() const {
+  for (auto w : words_)
+    if (w) return true;
+  return false;
+}
+
+Gf2Solver::Gf2Solver(std::size_t num_vars) : vars_(num_vars) {}
+
+bool Gf2Solver::add_equation(Gf2Vector row, bool rhs) {
+  VCOMP_REQUIRE(row.size() == vars_, "equation width mismatch");
+  // Reduce against existing pivots.
+  for (const auto& p : pivots_) {
+    if (row.get(p.pivot)) {
+      row.xor_with(p.row);
+      rhs ^= p.rhs;
+    }
+  }
+  if (!row.any()) return !rhs;  // 0 = 1 is the only inconsistency
+
+  // Find the leading variable and store as a new pivot row.
+  std::size_t pivot = 0;
+  for (std::size_t i = 0; i < vars_; ++i)
+    if (row.get(i)) {
+      pivot = i;
+      break;
+    }
+  // Back-substitute into existing rows to keep them reduced.
+  for (auto& p : pivots_) {
+    if (p.row.get(pivot)) {
+      p.row.xor_with(row);
+      p.rhs ^= rhs;
+    }
+  }
+  pivots_.push_back({std::move(row), rhs, pivot});
+  return true;
+}
+
+Gf2Vector Gf2Solver::solve() const {
+  Gf2Vector x(vars_);
+  // Rows are fully reduced (reduced row echelon), so each pivot variable's
+  // value is its row's rhs when free variables are zero.
+  for (const auto& p : pivots_) x.set(p.pivot, p.rhs);
+  return x;
+}
+
+}  // namespace vcomp

@@ -1,0 +1,63 @@
+#include "vcomp/atpg/fill.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vcomp::atpg {
+namespace {
+
+using sim::Trit;
+
+Cube sample_cube() {
+  Cube c;
+  c.pi = {Trit::One, Trit::X, Trit::Zero};
+  c.ppi = {Trit::X, Trit::X, Trit::One};
+  return c;
+}
+
+TEST(Fill, SpecifiedBitsPreserved) {
+  Rng rng(1);
+  const auto cube = sample_cube();
+  for (auto mode : {FillMode::Random, FillMode::Zeros, FillMode::Ones}) {
+    const auto v = fill_cube(cube, mode, rng);
+    EXPECT_EQ(v.pi[0], 1);
+    EXPECT_EQ(v.pi[2], 0);
+    EXPECT_EQ(v.ppi[2], 1);
+  }
+}
+
+TEST(Fill, ZerosAndOnesModes) {
+  Rng rng(1);
+  const auto cube = sample_cube();
+  const auto z = fill_cube(cube, FillMode::Zeros, rng);
+  EXPECT_EQ(z.pi[1], 0);
+  EXPECT_EQ(z.ppi[0], 0);
+  const auto o = fill_cube(cube, FillMode::Ones, rng);
+  EXPECT_EQ(o.pi[1], 1);
+  EXPECT_EQ(o.ppi[0], 1);
+}
+
+TEST(Fill, RandomModeVaries) {
+  Rng rng(2);
+  Cube cube;
+  cube.pi.assign(64, Trit::X);
+  const auto a = fill_cube(cube, FillMode::Random, rng);
+  const auto b = fill_cube(cube, FillMode::Random, rng);
+  EXPECT_NE(a.pi, b.pi);
+}
+
+TEST(Fill, SizesMatchCube) {
+  Rng rng(3);
+  const auto cube = sample_cube();
+  const auto v = fill_cube(cube, FillMode::Random, rng);
+  EXPECT_EQ(v.pi.size(), cube.pi.size());
+  EXPECT_EQ(v.ppi.size(), cube.ppi.size());
+}
+
+TEST(Fill, SpecifiedBitsCount) {
+  EXPECT_EQ(specified_bits(sample_cube()), 3u);
+  Cube empty;
+  EXPECT_EQ(specified_bits(empty), 0u);
+}
+
+}  // namespace
+}  // namespace vcomp::atpg

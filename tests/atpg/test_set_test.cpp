@@ -1,0 +1,93 @@
+#include "vcomp/atpg/test_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vcomp/fault/fault_sim.hpp"
+#include "vcomp/netgen/example_circuit.hpp"
+#include "vcomp/netgen/netgen.hpp"
+
+namespace vcomp::atpg {
+namespace {
+
+using fault::DiffSim;
+using sim::Word;
+
+TEST(TestSet, ExampleCircuitFullCoverage) {
+  auto nl = netgen::example_circuit();
+  auto cf = fault::collapsed_fault_list(nl);
+  const auto res = generate_full_scan_tests(nl, cf.faults());
+  EXPECT_EQ(res.num_redundant, 1u);  // E-F/1
+  EXPECT_EQ(res.num_aborted, 0u);
+  EXPECT_EQ(res.num_detected, cf.size() - 1);
+  EXPECT_DOUBLE_EQ(res.coverage(), 1.0);
+  // The paper needs 4 vectors; a compacted set should be close.
+  EXPECT_LE(res.vectors.size(), 6u);
+  EXPECT_GE(res.vectors.size(), 3u);
+}
+
+TEST(TestSet, VectorsActuallyCoverDetectedFaults) {
+  // Re-simulate the final vector set: every Detected fault must be caught.
+  auto nl = netgen::generate("s444");
+  auto cf = fault::collapsed_fault_list(nl);
+  const auto res = generate_full_scan_tests(nl, cf.faults());
+
+  DiffSim sim(nl);
+  std::vector<std::uint8_t> caught(cf.size(), 0);
+  for (const auto& v : res.vectors) {
+    for (std::size_t i = 0; i < nl.num_inputs(); ++i)
+      sim.good().set_input(i, v.pi[i] ? ~Word{0} : Word{0});
+    for (std::size_t i = 0; i < nl.num_dffs(); ++i)
+      sim.good().set_state(i, v.ppi[i] ? ~Word{0} : Word{0});
+    sim.commit_good();
+    for (std::size_t fi = 0; fi < cf.size(); ++fi)
+      if (!caught[fi] && sim.simulate(cf[fi]).any() != 0) caught[fi] = 1;
+  }
+  for (std::size_t fi = 0; fi < cf.size(); ++fi)
+    if (res.classes[fi] == FaultClass::Detected)
+      EXPECT_TRUE(caught[fi]) << fault_name(nl, cf[fi]);
+}
+
+TEST(TestSet, CompactionDoesNotIncreaseCount) {
+  auto nl = netgen::generate("s526");
+  auto cf = fault::collapsed_fault_list(nl);
+  TestSetOptions with{.seed = 3, .reverse_compaction = true};
+  TestSetOptions without{.seed = 3, .reverse_compaction = false};
+  const auto a = generate_full_scan_tests(nl, cf.faults(), with);
+  const auto b = generate_full_scan_tests(nl, cf.faults(), without);
+  EXPECT_LE(a.vectors.size(), b.vectors.size());
+  EXPECT_EQ(a.num_detected, b.num_detected);
+}
+
+TEST(TestSet, DeterministicForSeed) {
+  auto nl = netgen::generate("s444");
+  auto cf = fault::collapsed_fault_list(nl);
+  TestSetOptions opts{.seed = 11};
+  const auto a = generate_full_scan_tests(nl, cf.faults(), opts);
+  const auto b = generate_full_scan_tests(nl, cf.faults(), opts);
+  EXPECT_EQ(a.vectors.size(), b.vectors.size());
+  for (std::size_t i = 0; i < a.vectors.size(); ++i)
+    EXPECT_EQ(a.vectors[i], b.vectors[i]);
+}
+
+TEST(TestSet, HighCoverageOnSyntheticBenchmark) {
+  auto nl = netgen::generate("s953");
+  auto cf = fault::collapsed_fault_list(nl);
+  const auto res = generate_full_scan_tests(nl, cf.faults());
+  EXPECT_GT(res.coverage(), 0.95);
+}
+
+TEST(TestSet, DeterministicOnlyFlow) {
+  // Disabling the random phase must still reach the same coverage.
+  auto nl = netgen::generate("s444");
+  auto cf = fault::collapsed_fault_list(nl);
+  TestSetOptions opts;
+  opts.random_idle_blocks = 0;
+  const auto det = generate_full_scan_tests(nl, cf.faults(), opts);
+  const auto mixed = generate_full_scan_tests(nl, cf.faults());
+  EXPECT_EQ(det.num_detected + det.num_aborted,
+            mixed.num_detected + mixed.num_aborted);
+  EXPECT_GE(det.coverage(), mixed.coverage() - 0.02);
+}
+
+}  // namespace
+}  // namespace vcomp::atpg

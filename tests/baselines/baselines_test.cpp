@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "vcomp/baselines/overlap.hpp"
+#include "vcomp/baselines/psfs.hpp"
+#include "vcomp/baselines/virtual_scan.hpp"
+#include "vcomp/core/experiment.hpp"
+
+namespace vcomp::baselines {
+namespace {
+
+const core::CircuitLab& lab() {
+  static const core::CircuitLab l(netgen::profile("s444"));
+  return l;
+}
+
+TEST(Psfs, PreservesCoverage) {
+  const auto r = run_psfs(lab().netlist(), lab().faults(), lab().baseline());
+  EXPECT_EQ(r.uncovered, 0u);
+  EXPECT_FALSE(r.needs_output_compactor);
+  EXPECT_GT(r.cheap_vectors, 0u);
+}
+
+TEST(Psfs, ParallelModeIsCheapPerVector) {
+  PsfsOptions opts;
+  opts.partitions = 3;
+  const auto r =
+      run_psfs(lab().netlist(), lab().faults(), lab().baseline(), opts);
+  // Stimulus per parallel vector = PI + ceil(L/k) < PI + L.
+  EXPECT_LT(r.cost.stim_bits,
+            (r.cheap_vectors + r.full_vectors) *
+                (lab().netlist().num_inputs() + lab().netlist().num_dffs()) +
+                1);
+}
+
+TEST(Psfs, MorePartitionsCheaperStimulus) {
+  PsfsOptions k2;
+  k2.partitions = 2;
+  PsfsOptions k7;
+  k7.partitions = 7;
+  const auto r2 =
+      run_psfs(lab().netlist(), lab().faults(), lab().baseline(), k2);
+  const auto r7 =
+      run_psfs(lab().netlist(), lab().faults(), lab().baseline(), k7);
+  // Higher k shrinks per-vector cost but usually needs more serial help;
+  // both must keep coverage.
+  EXPECT_EQ(r2.uncovered, 0u);
+  EXPECT_EQ(r7.uncovered, 0u);
+}
+
+TEST(Psfs, RejectsSinglePartition) {
+  PsfsOptions opts;
+  opts.partitions = 1;
+  EXPECT_THROW(
+      run_psfs(lab().netlist(), lab().faults(), lab().baseline(), opts),
+      vcomp::ContractError);
+}
+
+TEST(VirtualScan, PreservesCoverage) {
+  const auto r = run_virtual_scan(lab().netlist(), lab().faults(),
+                                  lab().baseline());
+  EXPECT_EQ(r.uncovered, 0u);
+  EXPECT_TRUE(r.needs_output_compactor);
+  EXPECT_GT(r.encodable, 0u);
+}
+
+TEST(VirtualScan, EncodedVectorsSatisfyCubes) {
+  // The VCOMP_ENSURE inside run_virtual_scan cross-checks every encoded
+  // stream against its cube; reaching full coverage proves it never fired.
+  VirtualScanOptions opts;
+  opts.partitions = 3;
+  const auto r = run_virtual_scan(lab().netlist(), lab().faults(),
+                                  lab().baseline(), opts);
+  EXPECT_EQ(r.uncovered, 0u);
+  EXPECT_EQ(r.encodable, r.cheap_vectors);
+}
+
+TEST(VirtualScan, CompressedModeUsesFewerCyclesPerVector) {
+  const auto& nl = lab().netlist();
+  VirtualScanOptions opts;
+  opts.partitions = 4;
+  opts.lfsr_length = 4;
+  const auto r =
+      run_virtual_scan(nl, lab().faults(), lab().baseline(), opts);
+  const std::size_t lp = (nl.num_dffs() + 3) / 4;
+  const std::size_t per_vec = 3 * 4 + lp;  // seed chain + direct partition
+  EXPECT_LT(per_vec, nl.num_dffs());
+  if (r.cheap_vectors > 0 && r.full_vectors == 0)
+    EXPECT_LE(r.cost.shift_cycles, (r.cheap_vectors + 1) * per_vec);
+}
+
+TEST(Overlap, OverlapFunctionBasics) {
+  atpg::TestVector a, b;
+  a.ppi = {1, 0, 1, 1, 0};
+  b.ppi = {0, 1, 1, 0, 0};
+  // Largest prefix of b equal to a suffix of a: "0 1 1 0" vs suffixes of a:
+  // a suffix "1 1 0" == b prefix "0 1 1"? no; check via function:
+  const auto ov = scan_overlap(a, b);
+  // Verify definition directly.
+  std::size_t expect = 0;
+  for (std::size_t len = 5; len > 0; --len) {
+    bool match = true;
+    for (std::size_t i = 0; i < len; ++i)
+      if (a.ppi[5 - len + i] != b.ppi[i]) {
+        match = false;
+        break;
+      }
+    if (match) {
+      expect = len;
+      break;
+    }
+  }
+  EXPECT_EQ(ov, expect);
+}
+
+TEST(Overlap, IdenticalVectorsFullyOverlap) {
+  atpg::TestVector a;
+  a.ppi = {1, 0, 1};
+  EXPECT_EQ(scan_overlap(a, a), 3u);
+}
+
+TEST(Overlap, DisjointVectorsZeroOverlap) {
+  atpg::TestVector a, b;
+  a.ppi = {1, 1, 1};
+  b.ppi = {0, 0, 0};
+  EXPECT_EQ(scan_overlap(a, b), 0u);
+}
+
+TEST(Overlap, ReorderingSavesBits) {
+  const auto r = run_overlap(lab().netlist(), lab().baseline());
+  EXPECT_GT(r.total_overlap_bits, 0u);
+  EXPECT_LT(r.time_ratio, 1.01);
+  EXPECT_EQ(r.uncovered, 0u);  // same vector set, coverage unchanged
+}
+
+TEST(Overlap, CostConsistency) {
+  const auto r = run_overlap(lab().netlist(), lab().baseline());
+  const std::size_t L = lab().netlist().num_dffs();
+  const std::size_t n = lab().baseline().vectors.size();
+  EXPECT_EQ(r.cost.shift_cycles + r.total_overlap_bits, (n + 1) * L);
+}
+
+}  // namespace
+}  // namespace vcomp::baselines

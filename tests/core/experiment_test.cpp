@@ -1,0 +1,58 @@
+#include "vcomp/core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vcomp/netgen/example_circuit.hpp"
+
+namespace vcomp::core {
+namespace {
+
+TEST(CircuitLab, BuildsFromProfile) {
+  CircuitLab lab(netgen::profile("s444"));
+  EXPECT_EQ(lab.name(), "s444");
+  EXPECT_EQ(lab.netlist().num_dffs(), 21u);
+  EXPECT_GT(lab.faults().size(), 100u);
+  EXPECT_GT(lab.atv(), 5u);
+}
+
+TEST(CircuitLab, WrapsExistingNetlist) {
+  CircuitLab lab("fig1", netgen::example_circuit());
+  EXPECT_EQ(lab.name(), "fig1");
+  EXPECT_EQ(lab.faults().size(), 18u);
+  EXPECT_EQ(lab.baseline().num_redundant, 1u);
+}
+
+TEST(CircuitLab, RunIsRepeatable) {
+  CircuitLab lab("fig1", netgen::example_circuit());
+  StitchOptions opts;
+  opts.fixed_shift = 2;
+  const auto a = lab.run(opts);
+  const auto b = lab.run(opts);
+  EXPECT_EQ(a.cost.shift_cycles, b.cost.shift_cycles);
+  EXPECT_EQ(a.vectors_applied, b.vectors_applied);
+}
+
+TEST(CircuitLab, ScheduleMatchesCounters) {
+  CircuitLab lab(netgen::profile("s444"));
+  StitchOptions opts;
+  const auto r = lab.run(opts);
+  EXPECT_EQ(r.schedule.vectors.size(), r.vectors_applied);
+  EXPECT_EQ(r.schedule.shifts.size(), r.vectors_applied);
+  EXPECT_EQ(r.schedule.extra.size(), r.extra_full_vectors);
+  if (r.vectors_applied > 0)
+    EXPECT_EQ(r.schedule.shifts[0], lab.netlist().num_dffs());
+}
+
+TEST(ApplyInfoRatio, UnattainablePointLeavesOptionsUntouched) {
+  // s641 profile: 35 PIs / 24 POs dwarf the 19-cell chain at 3/8.
+  CircuitLab lab(netgen::profile("s641"));
+  StitchOptions opts;
+  opts.fixed_shift = 7;  // sentinel
+  EXPECT_FALSE(apply_info_ratio(opts, lab.netlist(), 3.0 / 8));
+  EXPECT_EQ(opts.fixed_shift, 7u);
+  EXPECT_TRUE(apply_info_ratio(opts, lab.netlist(), 5.0 / 8));
+  EXPECT_EQ(opts.fixed_shift, 1u);  // the paper's 1/19 point
+}
+
+}  // namespace
+}  // namespace vcomp::core

@@ -1,0 +1,81 @@
+#include "vcomp/core/schedule_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vcomp/core/experiment.hpp"
+#include "vcomp/netgen/example_circuit.hpp"
+#include "vcomp/util/assert.hpp"
+
+namespace vcomp::core {
+namespace {
+
+StitchedSchedule sample() {
+  StitchedSchedule s;
+  atpg::TestVector v1;
+  v1.pi = {1, 0};
+  v1.ppi = {1, 1, 0};
+  atpg::TestVector v2;
+  v2.pi = {0, 0};
+  v2.ppi = {0, 0, 1};
+  s.vectors = {v1, v2};
+  s.shifts = {3, 2};
+  s.terminal_observe = 2;
+  atpg::TestVector ex;
+  ex.pi = {1, 1};
+  ex.ppi = {0, 1, 0};
+  s.extra = {ex};
+  return s;
+}
+
+TEST(ScheduleIo, RoundTrip) {
+  const auto s = sample();
+  const auto text = write_schedule_string(s);
+  const auto parsed = read_schedule_string(text);
+  ASSERT_EQ(parsed.vectors.size(), 2u);
+  EXPECT_EQ(parsed.vectors[0].pi, s.vectors[0].pi);
+  EXPECT_EQ(parsed.vectors[0].ppi, s.vectors[0].ppi);
+  EXPECT_EQ(parsed.vectors[1].ppi, s.vectors[1].ppi);
+  EXPECT_EQ(parsed.shifts, s.shifts);
+  EXPECT_EQ(parsed.terminal_observe, 2u);
+  ASSERT_EQ(parsed.extra.size(), 1u);
+  EXPECT_EQ(parsed.extra[0].ppi, s.extra[0].ppi);
+  // Second round trip textually stable.
+  EXPECT_EQ(write_schedule_string(parsed), text);
+}
+
+TEST(ScheduleIo, EmptyPiFieldUsesDash) {
+  StitchedSchedule s;
+  atpg::TestVector v;
+  v.ppi = {1, 0};
+  s.vectors = {v};
+  s.shifts = {2};
+  const auto text = write_schedule_string(s);
+  EXPECT_NE(text.find("vector 2 - 10"), std::string::npos);
+  const auto parsed = read_schedule_string(text);
+  EXPECT_TRUE(parsed.vectors[0].pi.empty());
+}
+
+TEST(ScheduleIo, RejectsGarbage) {
+  EXPECT_THROW(read_schedule_string("frobnicate 3\n"), vcomp::ContractError);
+  EXPECT_THROW(read_schedule_string("chain 3\npis 0\nvector 2 - 1x1\n"),
+               vcomp::ContractError);
+  EXPECT_THROW(read_schedule_string("chain 3\npis 2\nvector 2 - 111\n"),
+               vcomp::ContractError);  // PI width mismatch
+}
+
+TEST(ScheduleIo, EngineScheduleRoundTrips) {
+  CircuitLab lab("fig1", netgen::example_circuit());
+  StitchOptions opts;
+  opts.fixed_shift = 2;
+  const auto run = lab.run(opts);
+  const auto parsed = read_schedule_string(
+      write_schedule_string(run.schedule));
+  EXPECT_EQ(parsed.vectors.size(), run.schedule.vectors.size());
+  EXPECT_EQ(parsed.shifts, run.schedule.shifts);
+  EXPECT_EQ(parsed.terminal_observe, run.schedule.terminal_observe);
+  for (std::size_t i = 0; i < parsed.vectors.size(); ++i)
+    EXPECT_EQ(parsed.vectors[i], run.schedule.vectors[i]);
+}
+
+}  // namespace
+}  // namespace vcomp::core

@@ -1,0 +1,74 @@
+#include "vcomp/core/selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "vcomp/fault/collapse.hpp"
+#include "vcomp/netgen/netgen.hpp"
+
+namespace vcomp::core {
+namespace {
+
+TEST(Selection, Names) {
+  EXPECT_EQ(to_string(SelectionPolicy::Random), "random");
+  EXPECT_EQ(to_string(SelectionPolicy::Hardness), "hardness");
+  EXPECT_EQ(to_string(SelectionPolicy::MostFaults), "most-faults");
+}
+
+class SelectionOrder : public ::testing::TestWithParam<SelectionPolicy> {};
+
+TEST_P(SelectionOrder, IsAPermutation) {
+  auto nl = netgen::generate("s444");
+  auto cf = fault::collapsed_fault_list(nl);
+  Rng rng(3);
+  const auto order =
+      target_order(GetParam(), nl, cf.faults(), {64, 5}, rng);
+  ASSERT_EQ(order.size(), cf.size());
+  std::vector<std::uint8_t> seen(cf.size(), 0);
+  for (auto i : order) {
+    ASSERT_LT(i, cf.size());
+    ASSERT_FALSE(seen[i]);
+    seen[i] = 1;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, SelectionOrder,
+                         ::testing::Values(SelectionPolicy::Random,
+                                           SelectionPolicy::Hardness,
+                                           SelectionPolicy::MostFaults));
+
+TEST(Selection, RandomOrderDependsOnSeed) {
+  auto nl = netgen::generate("s444");
+  auto cf = fault::collapsed_fault_list(nl);
+  Rng a(1), b(2);
+  const auto oa = target_order(SelectionPolicy::Random, nl, cf.faults(),
+                               {64, 5}, a);
+  const auto ob = target_order(SelectionPolicy::Random, nl, cf.faults(),
+                               {64, 5}, b);
+  EXPECT_NE(oa, ob);
+}
+
+TEST(Selection, MostFaultsOrderIsNatural) {
+  auto nl = netgen::generate("s444");
+  auto cf = fault::collapsed_fault_list(nl);
+  Rng rng(1);
+  const auto order = target_order(SelectionPolicy::MostFaults, nl,
+                                  cf.faults(), {64, 5}, rng);
+  std::vector<std::size_t> natural(cf.size());
+  std::iota(natural.begin(), natural.end(), std::size_t{0});
+  EXPECT_EQ(order, natural);
+}
+
+TEST(Selection, HardnessOrderStableAcrossCalls) {
+  auto nl = netgen::generate("s526");
+  auto cf = fault::collapsed_fault_list(nl);
+  Rng a(1), b(9);  // rng is unused by the hardness policy
+  EXPECT_EQ(target_order(SelectionPolicy::Hardness, nl, cf.faults(),
+                         {64, 5}, a),
+            target_order(SelectionPolicy::Hardness, nl, cf.faults(),
+                         {64, 5}, b));
+}
+
+}  // namespace
+}  // namespace vcomp::core

@@ -1,0 +1,89 @@
+#include "vcomp/core/shift_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vcomp/util/assert.hpp"
+
+namespace vcomp::core {
+namespace {
+
+TEST(FixedShift, ConstantSize) {
+  FixedShift p(5);
+  EXPECT_EQ(p.current(), 5u);
+  p.on_success();
+  EXPECT_EQ(p.current(), 5u);
+}
+
+TEST(FixedShift, GivesUpOnFailure) {
+  FixedShift p(5);
+  EXPECT_FALSE(p.on_failure());
+}
+
+TEST(FixedShift, RejectsZero) {
+  EXPECT_THROW(FixedShift(0), vcomp::ContractError);
+}
+
+TEST(FixedShift, Name) { EXPECT_EQ(FixedShift(7).name(), "fixed(7)"); }
+
+TEST(VariableShift, DefaultStartIsEighth) {
+  VariableShift p(64);
+  EXPECT_EQ(p.current(), 8u);
+  VariableShift tiny(4);  // L/8 < 1 clamps to 1
+  EXPECT_EQ(tiny.current(), 1u);
+}
+
+TEST(VariableShift, ExplicitStart) {
+  VariableShift p(64, 3);
+  EXPECT_EQ(p.current(), 3u);
+}
+
+TEST(VariableShift, DoublesOnFailureUpToLength) {
+  VariableShift p(20, 3);
+  EXPECT_TRUE(p.on_failure());
+  EXPECT_EQ(p.current(), 6u);
+  EXPECT_TRUE(p.on_failure());
+  EXPECT_EQ(p.current(), 12u);
+  EXPECT_TRUE(p.on_failure());
+  EXPECT_EQ(p.current(), 20u);  // capped at chain length
+  EXPECT_FALSE(p.on_failure()); // out of moves
+}
+
+TEST(VariableShift, DecaysAfterSuccessStreak) {
+  VariableShift p(20, 3, /*decay_after=*/2);
+  p.on_failure();  // 6
+  p.on_failure();  // 12
+  EXPECT_EQ(p.current(), 12u);
+  p.on_success();
+  EXPECT_EQ(p.current(), 12u);  // streak not yet reached
+  p.on_success();
+  EXPECT_EQ(p.current(), 6u);  // halved back
+  p.on_success();
+  p.on_success();
+  EXPECT_EQ(p.current(), 3u);  // and again, floor at start
+  p.on_success();
+  p.on_success();
+  EXPECT_EQ(p.current(), 3u);  // never below start
+}
+
+TEST(VariableShift, FailureResetsStreak) {
+  VariableShift p(20, 3, 2);
+  p.on_failure();  // 6
+  p.on_success();
+  p.on_failure();  // 12, streak cleared
+  p.on_success();
+  EXPECT_EQ(p.current(), 12u);
+}
+
+TEST(VariableShift, DecayDisabled) {
+  VariableShift p(20, 3, 0);
+  p.on_failure();
+  for (int i = 0; i < 10; ++i) p.on_success();
+  EXPECT_EQ(p.current(), 6u);
+}
+
+TEST(VariableShift, StartBeyondLengthRejected) {
+  EXPECT_THROW(VariableShift(8, 9), vcomp::ContractError);
+}
+
+}  // namespace
+}  // namespace vcomp::core

@@ -1,0 +1,133 @@
+#include "vcomp/fault/collapse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "vcomp/netgen/example_circuit.hpp"
+#include "vcomp/netgen/netgen.hpp"
+
+namespace vcomp::fault {
+namespace {
+
+std::set<std::string> rep_names(const netlist::Netlist& nl,
+                                const CollapsedFaults& cf) {
+  std::set<std::string> names;
+  for (const auto& f : cf.faults()) names.insert(fault_name(nl, f));
+  return names;
+}
+
+// The headline check: collapsing the example circuit must yield exactly the
+// 18 faults of the paper's Table 1.
+TEST(Collapse, ExampleCircuitMatchesTable1) {
+  auto nl = netgen::example_circuit();
+  auto cf = collapsed_fault_list(nl);
+  // Paper names (upper-case scan-cell stems map to our lower-case cells).
+  const std::set<std::string> expected = {
+      "F/0", "F/1", "D-F/1", "E-F/1", "D/0",   "D/1",
+      "B-D/1" /* = b-D/1 */, "A/1" /* = a/1 */, "B/0",  "B/1",
+      "E/0",  "B-E/0",       "C/0",  "E/1",    "E-b/0", "E-b/1",
+      "D-c/0", "D-c/1"};
+  // Translate to this library's naming (cells are a, b, c).
+  const std::set<std::string> expected_local = {
+      "F/0",   "F/1",   "D-F/1", "E-F/1", "D/0",   "D/1",
+      "b-D/1", "a/1",   "b/0",   "b/1",   "E/0",   "b-E/0",
+      "c/0",   "E/1",   "E-b/0", "E-b/1", "D-c/0", "D-c/1"};
+  EXPECT_EQ(expected.size(), expected_local.size());
+  EXPECT_EQ(rep_names(nl, cf), expected_local);
+  EXPECT_EQ(cf.size(), 18u);
+}
+
+TEST(Collapse, ExampleEquivalenceClasses) {
+  auto nl = netgen::example_circuit();
+  auto cf = collapsed_fault_list(nl);
+  // D/0 must absorb a/0 (fanout-free PPI) and b-D/0 (AND input sa0).
+  for (std::size_t i = 0; i < cf.size(); ++i) {
+    if (fault_name(nl, cf[i]) != "D/0") continue;
+    std::set<std::string> members;
+    for (const auto& m : cf.members(i)) members.insert(fault_name(nl, m));
+    EXPECT_EQ(members,
+              (std::set<std::string>{"D/0", "a/0", "b-D/0"}));
+    return;
+  }
+  FAIL() << "class D/0 not found";
+}
+
+TEST(Collapse, FZeroAbsorbsAndInputs) {
+  auto nl = netgen::example_circuit();
+  auto cf = collapsed_fault_list(nl);
+  for (std::size_t i = 0; i < cf.size(); ++i) {
+    if (fault_name(nl, cf[i]) != "F/0") continue;
+    std::set<std::string> members;
+    for (const auto& m : cf.members(i)) members.insert(fault_name(nl, m));
+    // F stem sa0 plus both AND-input branches sa0.  (F feeds only scan cell
+    // a, so no F-a branch fault exists in the universe.)
+    EXPECT_EQ(members, (std::set<std::string>{"F/0", "D-F/0", "E-F/0"}));
+    return;
+  }
+  FAIL() << "class F/0 not found";
+}
+
+TEST(Collapse, RepresentativesAreClassMembers) {
+  auto nl = netgen::generate("s444");
+  auto cf = collapsed_fault_list(nl);
+  for (std::size_t i = 0; i < cf.size(); ++i) {
+    const auto& members = cf.members(i);
+    EXPECT_EQ(members.front(), cf[i]);
+    EXPECT_TRUE(std::find(members.begin(), members.end(), cf[i]) !=
+                members.end());
+  }
+}
+
+TEST(Collapse, ClassesPartitionUniverse) {
+  auto nl = netgen::generate("s526");
+  auto universe = full_fault_universe(nl);
+  auto cf = collapse(nl, universe);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < cf.size(); ++i) total += cf.members(i).size();
+  EXPECT_EQ(total, universe.size());
+  EXPECT_EQ(cf.universe_size(), universe.size());
+  EXPECT_LT(cf.size(), universe.size());  // something must collapse
+}
+
+TEST(Collapse, NoCollapsingAcrossFlipFlops) {
+  // A PPI stem fault must never share a class with any same-polarity fault
+  // on the signal captured by that flip-flop.
+  auto nl = netgen::example_circuit();
+  auto cf = collapsed_fault_list(nl);
+  for (std::size_t i = 0; i < cf.size(); ++i) {
+    bool has_ppi_stem = false, has_capture_side = false;
+    for (const auto& m : cf.members(i)) {
+      if (m.is_stem() &&
+          nl.gate(m.gate).type == netlist::GateType::Dff)
+        has_ppi_stem = true;
+      if (!m.is_stem() &&
+          nl.gate(m.gate).type == netlist::GateType::Dff)
+        has_capture_side = true;
+    }
+    EXPECT_FALSE(has_ppi_stem && has_capture_side);
+  }
+}
+
+TEST(Collapse, DeterministicOrder) {
+  auto nl = netgen::generate("s444");
+  auto a = collapsed_fault_list(nl);
+  auto b = collapsed_fault_list(nl);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Collapse, SyntheticCircuitRatioSane) {
+  // Equivalence collapsing typically removes 30-50% of the universe.
+  auto nl = netgen::generate("s953");
+  auto universe = full_fault_universe(nl);
+  auto cf = collapse(nl, universe);
+  const double ratio = double(cf.size()) / double(universe.size());
+  EXPECT_GT(ratio, 0.35);
+  EXPECT_LT(ratio, 0.95);
+}
+
+}  // namespace
+}  // namespace vcomp::fault

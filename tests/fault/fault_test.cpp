@@ -1,0 +1,70 @@
+#include "vcomp/fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "vcomp/netgen/example_circuit.hpp"
+#include "vcomp/netgen/netgen.hpp"
+
+namespace vcomp::fault {
+namespace {
+
+TEST(FaultUniverse, ExampleCircuitSiteCount) {
+  // 6 signals x 2 stem polarities + 6 multi-fanout pins x 2 = 24... plus the
+  // DFF data pins of multi-fanout signals.  Signals: a,b,c (PPIs), D,E,F.
+  // Multi-fanout: b (D-gate, E-gate), D (F-gate, cell c), E (F-gate, cell b).
+  auto nl = netgen::example_circuit();
+  auto universe = full_fault_universe(nl);
+  EXPECT_EQ(universe.size(), 12u + 12u);
+}
+
+TEST(FaultUniverse, BranchesOnlyOnMultiFanout) {
+  auto nl = netgen::example_circuit();
+  for (const auto& f : full_fault_universe(nl)) {
+    if (f.is_stem()) continue;
+    const auto src = fault_source(nl, f);
+    EXPECT_GT(nl.gate(src).fanout.size(), 1u) << fault_name(nl, f);
+  }
+}
+
+TEST(FaultNaming, PaperStyle) {
+  auto nl = netgen::example_circuit();
+  const auto d = nl.find("D");
+  const auto f_gate = nl.find("F");
+  EXPECT_EQ(fault_name(nl, Fault{d, -1, 0}), "D/0");
+  EXPECT_EQ(fault_name(nl, Fault{d, -1, 1}), "D/1");
+  // Branch of D feeding gate F (pin 0 of F).
+  EXPECT_EQ(fault_name(nl, Fault{f_gate, 0, 1}), "D-F/1");
+  // Branch of D feeding scan cell c (pin 0 of DFF c).
+  EXPECT_EQ(fault_name(nl, Fault{nl.find("c"), 0, 0}), "D-c/0");
+}
+
+TEST(FaultUniverse, NoDuplicates) {
+  auto nl = netgen::generate("s444");
+  auto universe = full_fault_universe(nl);
+  std::set<std::tuple<netlist::GateId, int, int>> seen;
+  for (const auto& f : universe)
+    EXPECT_TRUE(seen.insert({f.gate, f.pin, f.stuck}).second)
+        << fault_name(nl, f);
+}
+
+TEST(FaultUniverse, BothPolaritiesForEverySite) {
+  auto nl = netgen::example_circuit();
+  auto universe = full_fault_universe(nl);
+  std::set<std::pair<netlist::GateId, int>> sa0, sa1;
+  for (const auto& f : universe)
+    (f.stuck ? sa1 : sa0).insert({f.gate, f.pin});
+  EXPECT_EQ(sa0, sa1);
+}
+
+TEST(FaultSource, StemAndBranch) {
+  auto nl = netgen::example_circuit();
+  const Fault stem{nl.find("E"), -1, 0};
+  EXPECT_EQ(fault_source(nl, stem), nl.find("E"));
+  const Fault branch{nl.find("F"), 1, 0};  // E feeding F's pin 1
+  EXPECT_EQ(fault_source(nl, branch), nl.find("E"));
+}
+
+}  // namespace
+}  // namespace vcomp::fault

@@ -1,0 +1,104 @@
+#include "vcomp/netgen/netgen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vcomp/util/assert.hpp"
+
+#include "vcomp/netlist/bench_io.hpp"
+
+namespace vcomp::netgen {
+namespace {
+
+TEST(Profiles, KnownNamesResolve) {
+  EXPECT_EQ(profile("s444").num_ff, 21u);
+  EXPECT_EQ(profile("s9234").num_ff, 228u);
+  EXPECT_THROW(profile("s000"), vcomp::ContractError);
+}
+
+TEST(Profiles, PaperTable5Counts) {
+  // I/O and scan# straight from the paper's Table 5.
+  struct Row { const char* name; std::size_t pi, po, ff; };
+  const Row rows[] = {
+      {"s5378", 35, 49, 179},   {"s9234", 19, 22, 228},
+      {"s13207", 31, 121, 669}, {"s15850", 14, 87, 597},
+      {"s35932", 35, 320, 1728}, {"s38417", 28, 106, 1636},
+      {"s38584", 12, 278, 1452}};
+  for (const auto& r : rows) {
+    const auto p = profile(r.name);
+    EXPECT_EQ(p.num_pi, r.pi) << r.name;
+    EXPECT_EQ(p.num_po, r.po) << r.name;
+    EXPECT_EQ(p.num_ff, r.ff) << r.name;
+  }
+}
+
+TEST(Profiles, TableGroupsComplete) {
+  EXPECT_EQ(table234_profiles().size(), 8u);
+  EXPECT_EQ(table5_profiles().size(), 7u);
+  EXPECT_EQ(all_profiles().size(), 13u);
+}
+
+class NetgenSmall : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(NetgenSmall, MatchesProfileCounts) {
+  const auto p = profile(GetParam());
+  const auto nl = generate(p);
+  EXPECT_EQ(nl.num_inputs(), p.num_pi);
+  EXPECT_EQ(nl.num_outputs(), p.num_po);
+  EXPECT_EQ(nl.num_dffs(), p.num_ff);
+  // Absorber gates may add a few beyond the budget.
+  EXPECT_GE(nl.num_comb_gates(), p.num_gates);
+  EXPECT_LE(nl.num_comb_gates(), p.num_gates + p.num_ff + p.num_pi + 8);
+}
+
+TEST_P(NetgenSmall, NoDanglingSignals) {
+  const auto nl = generate(profile(GetParam()));
+  std::vector<std::uint8_t> is_po(nl.num_gates(), 0);
+  for (auto g : nl.outputs()) is_po[g] = 1;
+  for (netlist::GateId g = 0; g < nl.num_gates(); ++g)
+    EXPECT_TRUE(!nl.gate(g).fanout.empty() || is_po[g])
+        << "dangling gate " << nl.gate(g).name;
+}
+
+TEST_P(NetgenSmall, Deterministic) {
+  const auto p = profile(GetParam());
+  const auto a = netlist::write_bench_string(generate(p));
+  const auto b = netlist::write_bench_string(generate(p));
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(NetgenSmall, ReasonableDepth) {
+  const auto nl = generate(profile(GetParam()));
+  EXPECT_GE(nl.depth(), 3u);
+  EXPECT_LE(nl.depth(), 80u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, NetgenSmall,
+                         ::testing::Values("s444", "s526", "s641", "s953",
+                                           "s1196", "s1423"));
+
+TEST(Netgen, LargeProfileGenerates) {
+  const auto nl = generate("s13207");
+  EXPECT_EQ(nl.num_dffs(), 669u);
+  EXPECT_EQ(nl.num_inputs(), 31u);
+}
+
+TEST(Netgen, EasinessReducesXorDensity) {
+  auto easy = profile("s444");
+  easy.easiness = 0.95;
+  easy.name = "easy";
+  auto hard = profile("s444");
+  hard.easiness = 0.0;
+  hard.name = "hard";
+  auto count_xor = [](const netlist::Netlist& nl) {
+    std::size_t n = 0;
+    for (auto id : nl.topo_order()) {
+      const auto t = nl.gate(id).type;
+      n += (t == netlist::GateType::Xor || t == netlist::GateType::Xnor);
+    }
+    return n;
+  };
+  EXPECT_LT(count_xor(generate(easy)), count_xor(generate(hard)));
+}
+
+}  // namespace
+}  // namespace vcomp::netgen

@@ -1,0 +1,108 @@
+#include "vcomp/netlist/bench_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vcomp/netgen/example_circuit.hpp"
+#include "vcomp/netgen/netgen.hpp"
+
+namespace vcomp::netlist {
+namespace {
+
+constexpr const char* kSmall = R"(
+# a tiny sequential circuit
+INPUT(G0)
+INPUT(G1)
+OUTPUT(G5)
+
+G2 = DFF(G5)
+G3 = NAND(G0, G2)
+G4 = NOT(G1)
+G5 = OR(G3, G4)
+)";
+
+TEST(BenchIo, ParsesSmallCircuit) {
+  auto nl = read_bench_string(kSmall);
+  EXPECT_EQ(nl.num_inputs(), 2u);
+  EXPECT_EQ(nl.num_outputs(), 1u);
+  EXPECT_EQ(nl.num_dffs(), 1u);
+  EXPECT_EQ(nl.num_comb_gates(), 3u);
+  EXPECT_EQ(nl.gate(nl.find("G3")).type, GateType::Nand);
+}
+
+TEST(BenchIo, ForwardReferencesResolve) {
+  // G5 is used by the DFF before its definition line.
+  auto nl = read_bench_string(kSmall);
+  EXPECT_EQ(nl.gate(nl.find("G2")).fanin[0], nl.find("G5"));
+}
+
+TEST(BenchIo, RoundTrip) {
+  auto nl = read_bench_string(kSmall);
+  auto text = write_bench_string(nl);
+  auto nl2 = read_bench_string(text);
+  EXPECT_EQ(nl2.num_inputs(), nl.num_inputs());
+  EXPECT_EQ(nl2.num_outputs(), nl.num_outputs());
+  EXPECT_EQ(nl2.num_dffs(), nl.num_dffs());
+  EXPECT_EQ(nl2.num_comb_gates(), nl.num_comb_gates());
+  // Second round trip must be textually stable.
+  EXPECT_EQ(write_bench_string(nl2), text);
+}
+
+TEST(BenchIo, RoundTripSyntheticCircuit) {
+  auto nl = netgen::generate("s444");
+  auto nl2 = read_bench_string(write_bench_string(nl));
+  EXPECT_EQ(nl2.num_inputs(), nl.num_inputs());
+  EXPECT_EQ(nl2.num_dffs(), nl.num_dffs());
+  EXPECT_EQ(nl2.num_comb_gates(), nl.num_comb_gates());
+  EXPECT_EQ(nl2.depth(), nl.depth());
+}
+
+TEST(BenchIo, CommentsAndBlanksIgnored) {
+  auto nl = read_bench_string(
+      "# only comments\n\nINPUT(x) # trailing\nOUTPUT(y)\ny = NOT(x)\n");
+  EXPECT_EQ(nl.num_inputs(), 1u);
+  EXPECT_EQ(nl.num_comb_gates(), 1u);
+}
+
+TEST(BenchIo, UnknownGateTypeRejected) {
+  EXPECT_THROW(read_bench_string("INPUT(a)\nb = MUX(a, a)\n"),
+               BenchParseError);
+}
+
+TEST(BenchIo, UndefinedSignalRejected) {
+  EXPECT_THROW(read_bench_string("INPUT(a)\nb = NOT(ghost)\n"),
+               BenchParseError);
+}
+
+TEST(BenchIo, CombinationalCycleRejected) {
+  EXPECT_THROW(read_bench_string("INPUT(a)\nx = AND(a, y)\ny = NOT(x)\n"),
+               BenchParseError);
+}
+
+TEST(BenchIo, RedefinitionRejected) {
+  EXPECT_THROW(read_bench_string("INPUT(a)\nx = NOT(a)\nx = NOT(a)\n"),
+               BenchParseError);
+}
+
+TEST(BenchIo, DffArityChecked) {
+  EXPECT_THROW(read_bench_string("INPUT(a)\nd = DFF(a, a)\n"),
+               BenchParseError);
+}
+
+TEST(BenchIo, ErrorCarriesLineNumber) {
+  try {
+    read_bench_string("INPUT(a)\n\nb = ???\n");
+    FAIL() << "should have thrown";
+  } catch (const BenchParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+  }
+}
+
+TEST(BenchIo, ExampleCircuitRoundTrips) {
+  auto nl = netgen::example_circuit();
+  auto nl2 = read_bench_string(write_bench_string(nl));
+  EXPECT_EQ(nl2.num_dffs(), 3u);
+  EXPECT_EQ(nl2.gate(nl2.find("a")).fanin[0], nl2.find("F"));
+}
+
+}  // namespace
+}  // namespace vcomp::netlist

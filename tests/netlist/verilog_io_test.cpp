@@ -1,0 +1,132 @@
+#include "vcomp/netlist/verilog_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vcomp/netgen/example_circuit.hpp"
+#include "vcomp/netgen/netgen.hpp"
+#include "vcomp/netlist/bench_io.hpp"
+#include "vcomp/sim/word_sim.hpp"
+#include "vcomp/util/rng.hpp"
+
+namespace vcomp::netlist {
+namespace {
+
+constexpr const char* kSmall = R"(
+// a tiny sequential module
+module top (A, B, Y);
+  input A, B;
+  output Y;
+  wire n1, q;
+  dff ff1 (q, n1);        /* state element */
+  nand g1 (n1, A, q);
+  not g2 (Y, n1);
+  wire unused_decl;       // declaring an unused wire is fine
+  buf g3 (unused_decl, B);
+  output G2;
+  buf g4 (G2, unused_decl);
+endmodule
+)";
+
+TEST(VerilogIo, ParsesSmallModule) {
+  auto nl = read_verilog_string(kSmall);
+  EXPECT_EQ(nl.num_inputs(), 2u);
+  EXPECT_EQ(nl.num_outputs(), 2u);
+  EXPECT_EQ(nl.num_dffs(), 1u);
+  EXPECT_EQ(nl.num_comb_gates(), 4u);
+  EXPECT_EQ(nl.gate(nl.find("n1")).type, GateType::Nand);
+}
+
+TEST(VerilogIo, ForwardReferencesResolve) {
+  // ff1 consumes n1 before g1 defines it.
+  auto nl = read_verilog_string(kSmall);
+  EXPECT_EQ(nl.gate(nl.find("q")).fanin[0], nl.find("n1"));
+}
+
+TEST(VerilogIo, RoundTrip) {
+  auto nl = read_verilog_string(kSmall);
+  const auto text = write_verilog_string(nl);
+  auto nl2 = read_verilog_string(text);
+  EXPECT_EQ(nl2.num_inputs(), nl.num_inputs());
+  EXPECT_EQ(nl2.num_outputs(), nl.num_outputs());
+  EXPECT_EQ(nl2.num_dffs(), nl.num_dffs());
+  EXPECT_EQ(nl2.num_comb_gates(), nl.num_comb_gates());
+  EXPECT_EQ(write_verilog_string(nl2), text);
+}
+
+TEST(VerilogIo, CrossFormatEquivalence) {
+  // bench -> netlist -> verilog -> netlist must be functionally identical.
+  auto nl = netgen::generate("s444");
+  auto nl2 = read_verilog_string(write_verilog_string(nl));
+  ASSERT_EQ(nl2.num_inputs(), nl.num_inputs());
+  ASSERT_EQ(nl2.num_dffs(), nl.num_dffs());
+  ASSERT_EQ(nl2.num_outputs(), nl.num_outputs());
+
+  sim::WordSim a(nl), b(nl2);
+  Rng rng(5);
+  for (int trial = 0; trial < 4; ++trial) {
+    for (std::size_t i = 0; i < nl.num_inputs(); ++i) {
+      const auto w = rng.next();
+      a.set_input(i, w);
+      b.set_input(i, w);
+    }
+    for (std::size_t i = 0; i < nl.num_dffs(); ++i) {
+      const auto w = rng.next();
+      a.set_state(i, w);
+      b.set_state(i, w);
+    }
+    a.eval();
+    b.eval();
+    for (std::size_t o = 0; o < nl.num_outputs(); ++o)
+      ASSERT_EQ(a.output(o), b.output(o)) << "output " << o;
+    for (std::size_t d = 0; d < nl.num_dffs(); ++d)
+      ASSERT_EQ(a.next_state(d), b.next_state(d)) << "dff " << d;
+  }
+}
+
+TEST(VerilogIo, ExampleCircuitRoundTrips) {
+  auto nl = netgen::example_circuit();
+  auto nl2 = read_verilog_string(write_verilog_string(nl, "fig1"));
+  EXPECT_EQ(nl2.num_dffs(), 3u);
+  EXPECT_EQ(nl2.gate(nl2.find("a")).fanin[0], nl2.find("F"));
+}
+
+TEST(VerilogIo, BlockCommentsStripped) {
+  auto nl = read_verilog_string(
+      "module m (x, y); /* multi\n token */ input x; output y;\n"
+      "not g (y, x); endmodule\n");
+  EXPECT_EQ(nl.num_comb_gates(), 1u);
+}
+
+TEST(VerilogIo, AnonymousInstancesAllowed) {
+  auto nl = read_verilog_string(
+      "module m (x, y); input x; output y; not (y, x); endmodule\n");
+  EXPECT_EQ(nl.gate(nl.find("y")).type, GateType::Not);
+}
+
+TEST(VerilogIo, Errors) {
+  EXPECT_THROW(read_verilog_string("module m (); foo g (a, b); endmodule"),
+               VerilogParseError);
+  EXPECT_THROW(read_verilog_string(
+                   "module m (y); output y; endmodule"),
+               VerilogParseError);  // undriven output
+  EXPECT_THROW(read_verilog_string(
+                   "module m (x); input x; wire a;\n"
+                   "and g1 (a, x, b);\nand g2 (b, x, a); endmodule"),
+               VerilogParseError);  // combinational cycle
+  EXPECT_THROW(read_verilog_string(
+                   "module m (x, q); input x; output q;\n"
+                   "dff f (q, x, x); endmodule"),
+               VerilogParseError);  // dff arity
+}
+
+TEST(VerilogIo, ErrorCarriesLine) {
+  try {
+    read_verilog_string("module m (x);\ninput x;\nfoo g (a, x);\nendmodule");
+    FAIL();
+  } catch (const VerilogParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace vcomp::netlist

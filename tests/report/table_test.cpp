@@ -1,0 +1,55 @@
+#include "vcomp/report/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vcomp/util/assert.hpp"
+
+#include <sstream>
+
+namespace vcomp::report {
+namespace {
+
+TEST(Table, AlignedRendering) {
+  Table t({"circ", "m", "t"});
+  t.add_row({"s444", "0.73", "0.53"});
+  t.add_row({"s35932", "0.20", "0.07"});
+  const auto s = t.to_string();
+  EXPECT_NE(s.find("| circ  "), std::string::npos);
+  EXPECT_NE(s.find("s35932"), std::string::npos);
+  // Every line has the same width.
+  std::istringstream in(s);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(in, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(Table, RowWidthValidated) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), vcomp::ContractError);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(Table::num(42), "42");
+  EXPECT_EQ(Table::ratio(0.7349), "0.73");
+  EXPECT_EQ(Table::ratio(0.075), "0.07");  // paper-style two decimals
+}
+
+TEST(Table, EmptyTableStillRenders) {
+  Table t({"x"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  EXPECT_NE(t.to_string().find("| x"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vcomp::report

@@ -1,0 +1,95 @@
+#include "vcomp/scan/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vcomp/util/assert.hpp"
+
+namespace vcomp::scan {
+namespace {
+
+// The paper's worked example: scan length 3, no PIs/POs, four vectors with
+// shift size 2.  Full shifting: 15 cycles / 24 bits; stitched: 11 / 17.
+TEST(CostModel, PaperExampleNumbers) {
+  const auto full = CostMeter::full_scan(0, 0, 3, 4);
+  EXPECT_EQ(full.shift_cycles, 15u);
+  EXPECT_EQ(full.memory_bits(), 24u);
+
+  CostMeter m(0, 0, 3);
+  m.initial_load();       // vector 1: 3 cycles, 3 stimulus bits
+  m.stitched_cycle(2);    // vectors 2..4: 2 cycles each, 2+2 bits
+  m.stitched_cycle(2);
+  m.stitched_cycle(2);
+  m.final_observe(2);     // last response: 2 cycles, 2 bits
+  EXPECT_EQ(m.cost().shift_cycles, 11u);
+  EXPECT_EQ(m.cost().stim_bits, 9u);
+  EXPECT_EQ(m.cost().resp_bits, 8u);
+  EXPECT_EQ(m.cost().memory_bits(), 17u);
+}
+
+TEST(CostModel, PaperExampleRatios) {
+  // "reduces test time by 27% and test memory requirement by 32%"
+  // (the paper's 32% uses its stated 25-bit figure; 17/24 = 29%).
+  const auto full = CostMeter::full_scan(0, 0, 3, 4);
+  CostMeter m(0, 0, 3);
+  m.initial_load();
+  for (int i = 0; i < 3; ++i) m.stitched_cycle(2);
+  m.final_observe(2);
+  const double t = double(m.cost().shift_cycles) / full.shift_cycles;
+  const double mem = double(m.cost().memory_bits()) / full.memory_bits();
+  EXPECT_NEAR(t, 11.0 / 15.0, 1e-9);
+  EXPECT_NEAR(mem, 17.0 / 24.0, 1e-9);
+}
+
+TEST(CostModel, PiPoBitsCounted) {
+  CostMeter m(4, 2, 10);
+  m.initial_load();
+  EXPECT_EQ(m.cost().stim_bits, 14u);  // 4 PI + 10 scan
+  EXPECT_EQ(m.cost().resp_bits, 2u);   // POs observed at capture
+  m.stitched_cycle(3);
+  EXPECT_EQ(m.cost().stim_bits, 14u + 7u);
+  EXPECT_EQ(m.cost().resp_bits, 2u + 2u + 3u);
+}
+
+TEST(CostModel, FlushCostsFullChain) {
+  CostMeter m(0, 0, 8);
+  m.initial_load();
+  m.flush();
+  EXPECT_EQ(m.cost().shift_cycles, 16u);
+  EXPECT_EQ(m.cost().resp_bits, 8u);
+}
+
+TEST(CostModel, ExtraFullVectors) {
+  CostMeter m(2, 3, 10);
+  m.initial_load();
+  m.extra_full_vectors(2);
+  // (2+1)*10 extra cycles; stim 2*(2+10); resp 10 (flush) + 2*(3+10).
+  EXPECT_EQ(m.cost().shift_cycles, 10u + 30u);
+  EXPECT_EQ(m.cost().stim_bits, 12u + 24u);
+  EXPECT_EQ(m.cost().resp_bits, 3u + 10u + 26u);
+}
+
+TEST(CostModel, ExtraZeroIsFree) {
+  CostMeter m(2, 3, 10);
+  const auto before = m.cost();
+  m.extra_full_vectors(0);
+  EXPECT_EQ(m.cost().shift_cycles, before.shift_cycles);
+  EXPECT_EQ(m.cost().memory_bits(), before.memory_bits());
+}
+
+TEST(CostModel, ShiftSizeValidated) {
+  CostMeter m(0, 0, 4);
+  EXPECT_THROW(m.stitched_cycle(0), vcomp::ContractError);
+  EXPECT_THROW(m.stitched_cycle(5), vcomp::ContractError);
+  EXPECT_NO_THROW(m.stitched_cycle(4));
+}
+
+TEST(CostModel, FullScanScalesLinearly) {
+  const auto a = CostMeter::full_scan(3, 6, 21, 10);
+  const auto b = CostMeter::full_scan(3, 6, 21, 20);
+  EXPECT_EQ(b.stim_bits, 2 * a.stim_bits);
+  EXPECT_EQ(b.resp_bits, 2 * a.resp_bits);
+  EXPECT_EQ(a.shift_cycles, 11u * 21u);
+}
+
+}  // namespace
+}  // namespace vcomp::scan

@@ -1,0 +1,132 @@
+#include "vcomp/sim/ternary_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vcomp/netgen/example_circuit.hpp"
+#include "vcomp/netgen/netgen.hpp"
+#include "vcomp/sim/word_sim.hpp"
+#include "vcomp/util/rng.hpp"
+
+namespace vcomp::sim {
+namespace {
+
+using netlist::GateType;
+
+TEST(Trit, Negation) {
+  EXPECT_EQ(trit_not(Trit::Zero), Trit::One);
+  EXPECT_EQ(trit_not(Trit::One), Trit::Zero);
+  EXPECT_EQ(trit_not(Trit::X), Trit::X);
+}
+
+TEST(Trit, AndAbsorbsZero) {
+  EXPECT_EQ(trit_and(Trit::Zero, Trit::X), Trit::Zero);
+  EXPECT_EQ(trit_and(Trit::X, Trit::Zero), Trit::Zero);
+  EXPECT_EQ(trit_and(Trit::One, Trit::X), Trit::X);
+  EXPECT_EQ(trit_and(Trit::One, Trit::One), Trit::One);
+}
+
+TEST(Trit, OrAbsorbsOne) {
+  EXPECT_EQ(trit_or(Trit::One, Trit::X), Trit::One);
+  EXPECT_EQ(trit_or(Trit::X, Trit::Zero), Trit::X);
+  EXPECT_EQ(trit_or(Trit::Zero, Trit::Zero), Trit::Zero);
+}
+
+TEST(Trit, XorPropagatesX) {
+  EXPECT_EQ(trit_xor(Trit::X, Trit::One), Trit::X);
+  EXPECT_EQ(trit_xor(Trit::One, Trit::Zero), Trit::One);
+  EXPECT_EQ(trit_xor(Trit::One, Trit::One), Trit::Zero);
+}
+
+TEST(TernarySim, DefiniteInputsMatchWordSim) {
+  auto nl = netgen::generate("s444");
+  TernarySim tsim(nl);
+  WordSim wsim(nl);
+  Rng rng(5);
+  for (std::size_t i = 0; i < nl.num_inputs(); ++i) {
+    const bool v = rng.bit();
+    tsim.set_input(i, v ? Trit::One : Trit::Zero);
+    wsim.set_input(i, v ? ~Word{0} : Word{0});
+  }
+  for (std::size_t i = 0; i < nl.num_dffs(); ++i) {
+    const bool v = rng.bit();
+    tsim.set_state(i, v ? Trit::One : Trit::Zero);
+    wsim.set_state(i, v ? ~Word{0} : Word{0});
+  }
+  tsim.eval();
+  wsim.eval();
+  for (std::size_t o = 0; o < nl.num_outputs(); ++o) {
+    ASSERT_NE(tsim.output(o), Trit::X);
+    EXPECT_EQ(tsim.output(o) == Trit::One, (wsim.output(o) & 1) != 0);
+  }
+}
+
+// Monotonicity: if ternary sim pins a value with X inputs present, every
+// completion of those X's yields the same value.  This is the property the
+// ATPG cube/fill split depends on.
+TEST(TernarySim, PinnedOutputsAreCompletionInvariant) {
+  auto nl = netgen::generate("s526");
+  TernarySim tsim(nl);
+  Rng rng(17);
+
+  // Specify half the sources, leave the rest X.
+  std::vector<int> spec_pi(nl.num_inputs(), -1), spec_st(nl.num_dffs(), -1);
+  for (std::size_t i = 0; i < nl.num_inputs(); ++i)
+    if (rng.bit()) spec_pi[i] = rng.bit();
+  for (std::size_t i = 0; i < nl.num_dffs(); ++i)
+    if (rng.bit()) spec_st[i] = rng.bit();
+
+  tsim.clear();
+  for (std::size_t i = 0; i < nl.num_inputs(); ++i)
+    if (spec_pi[i] >= 0)
+      tsim.set_input(i, spec_pi[i] ? Trit::One : Trit::Zero);
+  for (std::size_t i = 0; i < nl.num_dffs(); ++i)
+    if (spec_st[i] >= 0)
+      tsim.set_state(i, spec_st[i] ? Trit::One : Trit::Zero);
+  tsim.eval();
+
+  // Random completions: every pinned output must match.
+  WordSim wsim(nl);
+  for (int trial = 0; trial < 8; ++trial) {
+    for (std::size_t i = 0; i < nl.num_inputs(); ++i)
+      wsim.set_input(i, spec_pi[i] >= 0 ? (spec_pi[i] ? ~Word{0} : Word{0})
+                                        : rng.next());
+    for (std::size_t i = 0; i < nl.num_dffs(); ++i)
+      wsim.set_state(i, spec_st[i] >= 0 ? (spec_st[i] ? ~Word{0} : Word{0})
+                                        : rng.next());
+    wsim.eval();
+    for (std::size_t o = 0; o < nl.num_outputs(); ++o) {
+      if (tsim.output(o) == Trit::X) continue;
+      const Word expect = tsim.output(o) == Trit::One ? ~Word{0} : Word{0};
+      ASSERT_EQ(wsim.output(o), expect) << "output " << o;
+    }
+    for (std::size_t d = 0; d < nl.num_dffs(); ++d) {
+      if (tsim.next_state(d) == Trit::X) continue;
+      const Word expect =
+          tsim.next_state(d) == Trit::One ? ~Word{0} : Word{0};
+      ASSERT_EQ(wsim.next_state(d), expect) << "dff " << d;
+    }
+  }
+}
+
+TEST(TernarySim, ClearResetsToX) {
+  auto nl = netgen::example_circuit();
+  TernarySim sim(nl);
+  sim.set_state(0, Trit::One);
+  sim.clear();
+  sim.eval();
+  EXPECT_EQ(sim.value(nl.find("D")), Trit::X);
+}
+
+TEST(TernarySim, ControllingValueDominatesX) {
+  auto nl = netgen::example_circuit();
+  TernarySim sim(nl);
+  sim.clear();
+  sim.set_state(1, Trit::Zero);  // B = 0 forces D = AND(A,B) = 0
+  sim.eval();
+  EXPECT_EQ(sim.value(nl.find("D")), Trit::Zero);
+  EXPECT_EQ(sim.value(nl.find("E")), Trit::X);  // OR(0, X) = X
+  EXPECT_EQ(sim.value(nl.find("F")), Trit::Zero);
+}
+
+}  // namespace
+}  // namespace vcomp::sim

@@ -1,0 +1,81 @@
+// Exhaustive consistency of the ternary algebra against the Boolean one:
+// for every gate type and every definite input combination, trit_eval must
+// equal word_eval; and X-monotonicity must hold (replacing an input by X
+// can only move the output toward X, never flip it).
+
+#include <gtest/gtest.h>
+
+#include "vcomp/sim/trit.hpp"
+#include "vcomp/sim/word_sim.hpp"
+
+namespace vcomp::sim {
+namespace {
+
+using netlist::GateType;
+
+const GateType kMulti[] = {GateType::And, GateType::Nand, GateType::Or,
+                           GateType::Nor, GateType::Xor, GateType::Xnor};
+
+Trit to_trit(int b) { return b ? Trit::One : Trit::Zero; }
+
+TEST(TritTables, MatchesBooleanForDefiniteInputs) {
+  for (GateType t : kMulti) {
+    for (int arity = 2; arity <= 4; ++arity) {
+      for (int m = 0; m < (1 << arity); ++m) {
+        std::vector<Trit> trits;
+        std::vector<Word> words;
+        for (int i = 0; i < arity; ++i) {
+          const int b = (m >> i) & 1;
+          trits.push_back(to_trit(b));
+          words.push_back(b ? ~Word{0} : Word{0});
+        }
+        const Trit tv = trit_eval(t, trits);
+        const bool bv = word_eval(t, words) & 1;
+        ASSERT_NE(tv, Trit::X);
+        ASSERT_EQ(tv == Trit::One, bv)
+            << to_string(t) << " arity " << arity << " inputs " << m;
+      }
+    }
+  }
+  // Single-input gates.
+  for (GateType t : {GateType::Buf, GateType::Not}) {
+    for (int b = 0; b < 2; ++b) {
+      const Trit in[] = {to_trit(b)};
+      const Word win[] = {b ? ~Word{0} : Word{0}};
+      ASSERT_EQ(trit_eval(t, in) == Trit::One, (word_eval(t, win) & 1) != 0);
+    }
+  }
+}
+
+// X-monotonicity: an output that is definite under a partial assignment
+// stays the same under every completion.  Exhaustive over 2-input gates
+// and all 3^2 trit combinations.
+TEST(TritTables, XMonotone) {
+  const Trit vals[] = {Trit::Zero, Trit::One, Trit::X};
+  for (GateType t : kMulti) {
+    for (Trit a : vals) {
+      for (Trit b : vals) {
+        const Trit out = trit_eval(t, std::vector<Trit>{a, b});
+        if (out == Trit::X) continue;
+        // Every completion of X inputs must reproduce `out`.
+        for (Trit ca : {Trit::Zero, Trit::One}) {
+          for (Trit cb : {Trit::Zero, Trit::One}) {
+            if (a != Trit::X && ca != a) continue;
+            if (b != Trit::X && cb != b) continue;
+            ASSERT_EQ(trit_eval(t, std::vector<Trit>{ca, cb}), out)
+                << to_string(t);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(TritTables, ToChar) {
+  EXPECT_EQ(to_char(Trit::Zero), '0');
+  EXPECT_EQ(to_char(Trit::One), '1');
+  EXPECT_EQ(to_char(Trit::X), 'x');
+}
+
+}  // namespace
+}  // namespace vcomp::sim

@@ -1,0 +1,100 @@
+#include "vcomp/sim/word_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vcomp/util/assert.hpp"
+
+#include "vcomp/netgen/example_circuit.hpp"
+#include "vcomp/netgen/netgen.hpp"
+#include "vcomp/util/rng.hpp"
+
+namespace vcomp::sim {
+namespace {
+
+using netlist::GateType;
+
+TEST(WordEval, TruthTables) {
+  const Word a = 0b1100, b = 0b1010;
+  const Word fan[] = {a, b};
+  EXPECT_EQ(word_eval(GateType::And, fan) & 0xF, Word{0b1000});
+  EXPECT_EQ(word_eval(GateType::Nand, fan) & 0xF, Word{0b0111});
+  EXPECT_EQ(word_eval(GateType::Or, fan) & 0xF, Word{0b1110});
+  EXPECT_EQ(word_eval(GateType::Nor, fan) & 0xF, Word{0b0001});
+  EXPECT_EQ(word_eval(GateType::Xor, fan) & 0xF, Word{0b0110});
+  EXPECT_EQ(word_eval(GateType::Xnor, fan) & 0xF, Word{0b1001});
+  const Word one[] = {a};
+  EXPECT_EQ(word_eval(GateType::Buf, one) & 0xF, Word{0b1100});
+  EXPECT_EQ(word_eval(GateType::Not, one) & 0xF, Word{0b0011});
+}
+
+TEST(WordEval, MultiInputGates) {
+  const Word fan[] = {Word{0b1111}, Word{0b1010}, Word{0b1100}};
+  EXPECT_EQ(word_eval(GateType::And, fan) & 0xF, Word{0b1000});
+  EXPECT_EQ(word_eval(GateType::Or, fan) & 0xF, Word{0b1111});
+  EXPECT_EQ(word_eval(GateType::Xor, fan) & 0xF, Word{0b1001});
+}
+
+TEST(WordSim, ExampleCircuitVectors) {
+  // The paper's four vectors and fault-free responses (Figure 1).
+  auto nl = netgen::example_circuit();
+  WordSim sim(nl);
+  const auto tvs = netgen::example_test_vectors();
+  const auto rps = netgen::example_responses();
+  for (std::size_t v = 0; v < tvs.size(); ++v) {
+    for (std::size_t i = 0; i < 3; ++i)
+      sim.set_state(i, tvs[v][i] ? ~Word{0} : Word{0});
+    sim.eval();
+    for (std::size_t i = 0; i < 3; ++i)
+      EXPECT_EQ(sim.next_state(i) & 1, Word{rps[v][i]})
+          << "vector " << v << " cell " << i;
+  }
+}
+
+TEST(WordSim, PatternParallelMatchesScalar) {
+  // 64 random patterns simulated at once must equal 64 single-pattern runs.
+  auto nl = netgen::generate("s444");
+  WordSim par(nl), ser(nl);
+  Rng rng(99);
+
+  std::vector<Word> pi(nl.num_inputs()), st(nl.num_dffs());
+  for (auto& w : pi) w = rng.next();
+  for (auto& w : st) w = rng.next();
+  for (std::size_t i = 0; i < pi.size(); ++i) par.set_input(i, pi[i]);
+  for (std::size_t i = 0; i < st.size(); ++i) par.set_state(i, st[i]);
+  par.eval();
+
+  for (int k = 0; k < 64; k += 7) {
+    for (std::size_t i = 0; i < pi.size(); ++i)
+      ser.set_input(i, ((pi[i] >> k) & 1) ? ~Word{0} : Word{0});
+    for (std::size_t i = 0; i < st.size(); ++i)
+      ser.set_state(i, ((st[i] >> k) & 1) ? ~Word{0} : Word{0});
+    ser.eval();
+    for (std::size_t o = 0; o < nl.num_outputs(); ++o)
+      ASSERT_EQ((par.output(o) >> k) & 1, ser.output(o) & 1)
+          << "pattern " << k << " output " << o;
+    for (std::size_t d = 0; d < nl.num_dffs(); ++d)
+      ASSERT_EQ((par.next_state(d) >> k) & 1, ser.next_state(d) & 1)
+          << "pattern " << k << " dff " << d;
+  }
+}
+
+TEST(WordSim, SetSourceValidation) {
+  auto nl = netgen::example_circuit();
+  WordSim sim(nl);
+  EXPECT_THROW(sim.set_source(nl.find("D"), 0), vcomp::ContractError);
+  EXPECT_NO_THROW(sim.set_source(nl.find("a"), ~Word{0}));
+}
+
+TEST(WordSim, DeterministicReEval) {
+  auto nl = netgen::generate("s526");
+  WordSim sim(nl);
+  for (std::size_t i = 0; i < nl.num_inputs(); ++i) sim.set_input(i, 0xABCD);
+  for (std::size_t i = 0; i < nl.num_dffs(); ++i) sim.set_state(i, 0x1234);
+  sim.eval();
+  const Word first = sim.output(0);
+  sim.eval();
+  EXPECT_EQ(sim.output(0), first);
+}
+
+}  // namespace
+}  // namespace vcomp::sim

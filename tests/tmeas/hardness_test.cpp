@@ -1,0 +1,74 @@
+#include "vcomp/tmeas/hardness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vcomp/fault/collapse.hpp"
+#include "vcomp/netgen/example_circuit.hpp"
+#include "vcomp/netgen/netgen.hpp"
+
+namespace vcomp::tmeas {
+namespace {
+
+TEST(Hardness, RedundantFaultNeverDetected) {
+  auto nl = netgen::example_circuit();
+  auto cf = fault::collapsed_fault_list(nl);
+  const auto counts = detection_counts(nl, cf.faults(), {256, 3});
+  for (std::size_t i = 0; i < cf.size(); ++i) {
+    if (fault_name(nl, cf[i]) == "E-F/1") {
+      EXPECT_EQ(counts[i], 0u);
+      return;
+    }
+  }
+  FAIL() << "E-F/1 not found";
+}
+
+TEST(Hardness, EasyFaultsDetectedOften) {
+  // b/0 flips the response for every vector with B=1 or C=0 contribution —
+  // detectable by most random vectors.
+  auto nl = netgen::example_circuit();
+  auto cf = fault::collapsed_fault_list(nl);
+  const auto counts = detection_counts(nl, cf.faults(), {256, 3});
+  for (std::size_t i = 0; i < cf.size(); ++i)
+    if (fault_name(nl, cf[i]) == "b/0") EXPECT_GT(counts[i], 100u);
+}
+
+TEST(Hardness, OrderPutsUndetectedFirst) {
+  auto nl = netgen::example_circuit();
+  auto cf = fault::collapsed_fault_list(nl);
+  const auto order = hardness_order(nl, cf.faults(), {256, 3});
+  ASSERT_EQ(order.size(), cf.size());
+  // The redundant fault (0 detections) must be at the very front.
+  EXPECT_EQ(fault_name(nl, cf[order[0]]), "E-F/1");
+}
+
+TEST(Hardness, OrderIsAPermutation) {
+  auto nl = netgen::generate("s444");
+  auto cf = fault::collapsed_fault_list(nl);
+  auto order = hardness_order(nl, cf.faults(), {128, 7});
+  std::vector<std::uint8_t> seen(cf.size(), 0);
+  for (auto i : order) {
+    ASSERT_LT(i, cf.size());
+    ASSERT_FALSE(seen[i]);
+    seen[i] = 1;
+  }
+}
+
+TEST(Hardness, MonotoneInDetectionCounts) {
+  auto nl = netgen::generate("s444");
+  auto cf = fault::collapsed_fault_list(nl);
+  HardnessOptions opts{128, 7};
+  const auto counts = detection_counts(nl, cf.faults(), opts);
+  const auto order = hardness_order(nl, cf.faults(), opts);
+  for (std::size_t k = 1; k < order.size(); ++k)
+    EXPECT_LE(counts[order[k - 1]], counts[order[k]]);
+}
+
+TEST(Hardness, DeterministicForSeed) {
+  auto nl = netgen::generate("s526");
+  auto cf = fault::collapsed_fault_list(nl);
+  EXPECT_EQ(hardness_order(nl, cf.faults(), {64, 5}),
+            hardness_order(nl, cf.faults(), {64, 5}));
+}
+
+}  // namespace
+}  // namespace vcomp::tmeas

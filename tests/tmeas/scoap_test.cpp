@@ -1,0 +1,128 @@
+#include "vcomp/tmeas/scoap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vcomp/fault/collapse.hpp"
+#include "vcomp/netgen/example_circuit.hpp"
+#include "vcomp/netgen/netgen.hpp"
+
+namespace vcomp::tmeas {
+namespace {
+
+using netlist::GateType;
+using netlist::Netlist;
+
+TEST(Scoap, SourcesCostOne) {
+  auto nl = netgen::example_circuit();
+  Scoap sc(nl);
+  for (auto d : nl.dffs()) {
+    EXPECT_EQ(sc.cc0(d), 1u);
+    EXPECT_EQ(sc.cc1(d), 1u);
+  }
+}
+
+TEST(Scoap, AndGateControllability) {
+  // D = AND(a, b): cc1 = 1+1+1 = 3, cc0 = min(1,1)+1 = 2.
+  auto nl = netgen::example_circuit();
+  Scoap sc(nl);
+  const auto d = nl.find("D");
+  EXPECT_EQ(sc.cc1(d), 3u);
+  EXPECT_EQ(sc.cc0(d), 2u);
+}
+
+TEST(Scoap, OrGateControllability) {
+  // E = OR(b, c): cc0 = 1+1+1 = 3, cc1 = min(1,1)+1 = 2.
+  auto nl = netgen::example_circuit();
+  Scoap sc(nl);
+  const auto e = nl.find("E");
+  EXPECT_EQ(sc.cc0(e), 3u);
+  EXPECT_EQ(sc.cc1(e), 2u);
+}
+
+TEST(Scoap, NestedGate) {
+  // F = AND(D, E): cc1 = cc1(D)+cc1(E)+1 = 3+2+1 = 6;
+  //                cc0 = min(cc0(D),cc0(E))+1 = 2+1 = 3.
+  auto nl = netgen::example_circuit();
+  Scoap sc(nl);
+  const auto f = nl.find("F");
+  EXPECT_EQ(sc.cc1(f), 6u);
+  EXPECT_EQ(sc.cc0(f), 3u);
+}
+
+TEST(Scoap, CapturePointsObservableForFree) {
+  // F feeds scan cell a directly: co(F) = 0.
+  auto nl = netgen::example_circuit();
+  Scoap sc(nl);
+  EXPECT_EQ(sc.co(nl.find("F")), 0u);
+  EXPECT_EQ(sc.co(nl.find("E")), 0u);  // feeds cell b
+  EXPECT_EQ(sc.co(nl.find("D")), 0u);  // feeds cell c
+}
+
+TEST(Scoap, PpiObservabilityThroughGates) {
+  // Cell a's output A is only observable through D = AND(A, B):
+  // co(A) = co(D) + cc1(B) + 1 = 0 + 1 + 1 = 2.
+  auto nl = netgen::example_circuit();
+  Scoap sc(nl);
+  EXPECT_EQ(sc.co(nl.find("a")), 2u);
+  // B reaches capture through D (cost 2) or E (cost 2): min = 2.
+  EXPECT_EQ(sc.co(nl.find("b")), 2u);
+}
+
+TEST(Scoap, InverterSwapsControllability) {
+  Netlist nl;
+  auto x = nl.add_input("x");
+  auto n = nl.add_gate(GateType::Not, "n", {x});
+  nl.mark_output(n);
+  nl.finalize();
+  Scoap sc(nl);
+  EXPECT_EQ(sc.cc0(n), 2u);  // needs x = 1
+  EXPECT_EQ(sc.cc1(n), 2u);
+  EXPECT_EQ(sc.co(x), 1u);
+  EXPECT_EQ(sc.co(n), 0u);
+}
+
+TEST(Scoap, XorControllability) {
+  Netlist nl;
+  auto x = nl.add_input("x");
+  auto y = nl.add_input("y");
+  auto g = nl.add_gate(GateType::Xor, "g", {x, y});
+  nl.mark_output(g);
+  nl.finalize();
+  Scoap sc(nl);
+  EXPECT_EQ(sc.cc0(g), 3u);  // 00 or 11, both cost 2, +1
+  EXPECT_EQ(sc.cc1(g), 3u);
+}
+
+TEST(Scoap, FaultDifficultyOrdersSanely) {
+  // F/0 must be *activated* by F=1, which needs D=1 and E=1 (cc1(F)=6);
+  // F/1 only needs one controlling 0 (cc0(F)=3).  Both observe for free.
+  auto nl = netgen::example_circuit();
+  Scoap sc(nl);
+  const fault::Fault f0{nl.find("F"), -1, 0};
+  const fault::Fault f1{nl.find("F"), -1, 1};
+  EXPECT_GT(sc.fault_difficulty(nl, f0), sc.fault_difficulty(nl, f1));
+  EXPECT_EQ(sc.fault_difficulty(nl, f0), 6u);
+  EXPECT_EQ(sc.fault_difficulty(nl, f1), 3u);
+}
+
+TEST(Scoap, BranchDifficultyIncludesSideInputs) {
+  auto nl = netgen::example_circuit();
+  Scoap sc(nl);
+  // Branch E->F sa0: activate E=1 (cc1=2), observe through F needs D=1
+  // (cc1(D)=3) + co(F)=0 + 1 = 4; total 6.
+  const fault::Fault ef0{nl.find("F"), 1, 0};
+  EXPECT_EQ(sc.fault_difficulty(nl, ef0), 6u);
+}
+
+TEST(Scoap, DeepCircuitFinite) {
+  auto nl = netgen::generate("s1423");
+  Scoap sc(nl);
+  for (netlist::GateId g = 0; g < nl.num_gates(); ++g) {
+    EXPECT_LT(sc.cc0(g), kInfCost);
+    EXPECT_LT(sc.cc1(g), kInfCost);
+    EXPECT_LT(sc.co(g), kInfCost);
+  }
+}
+
+}  // namespace
+}  // namespace vcomp::tmeas

@@ -1,0 +1,32 @@
+#include "vcomp/util/assert.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vcomp {
+namespace {
+
+TEST(Assert, RequirePassesOnTrue) {
+  EXPECT_NO_THROW(VCOMP_REQUIRE(1 + 1 == 2, "math works"));
+}
+
+TEST(Assert, RequireThrowsOnFalse) {
+  EXPECT_THROW(VCOMP_REQUIRE(false, "expected"), ContractError);
+}
+
+TEST(Assert, MessageCarriesContext) {
+  try {
+    VCOMP_REQUIRE(false, "custom detail");
+    FAIL() << "should have thrown";
+  } catch (const ContractError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("custom detail"), std::string::npos);
+    EXPECT_NE(what.find("assert_test"), std::string::npos);
+  }
+}
+
+TEST(Assert, EnsureThrowsOnFalse) {
+  EXPECT_THROW(VCOMP_ENSURE(false, "invariant broken"), ContractError);
+}
+
+}  // namespace
+}  // namespace vcomp

@@ -1,0 +1,94 @@
+#include "vcomp/util/gf2.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vcomp/util/assert.hpp"
+#include "vcomp/util/rng.hpp"
+
+namespace vcomp {
+namespace {
+
+TEST(Gf2Vector, BitAccess) {
+  Gf2Vector v(130);
+  EXPECT_FALSE(v.any());
+  v.set(0, true);
+  v.set(64, true);
+  v.set(129, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(129));
+  EXPECT_FALSE(v.get(63));
+  v.flip(129);
+  EXPECT_FALSE(v.get(129));
+  EXPECT_TRUE(v.any());
+}
+
+TEST(Gf2Vector, XorAndDot) {
+  Gf2Vector a(8), b(8);
+  a.set(1, true);
+  a.set(3, true);
+  b.set(3, true);
+  b.set(5, true);
+  EXPECT_TRUE(a.dot(b));  // shared bit 3 -> parity 1
+  a.xor_with(b);          // a = {1, 5}
+  EXPECT_TRUE(a.get(1));
+  EXPECT_FALSE(a.get(3));
+  EXPECT_TRUE(a.get(5));
+}
+
+TEST(Gf2Solver, SolvesSmallSystem) {
+  // x0 ^ x1 = 1;  x1 = 1;  =>  x0 = 0, x1 = 1.
+  Gf2Solver s(2);
+  Gf2Vector r1(2);
+  r1.set(0, true);
+  r1.set(1, true);
+  EXPECT_TRUE(s.add_equation(r1, true));
+  Gf2Vector r2(2);
+  r2.set(1, true);
+  EXPECT_TRUE(s.add_equation(r2, true));
+  const auto x = s.solve();
+  EXPECT_FALSE(x.get(0));
+  EXPECT_TRUE(x.get(1));
+  EXPECT_EQ(s.rank(), 2u);
+}
+
+TEST(Gf2Solver, DetectsInconsistency) {
+  Gf2Solver s(2);
+  Gf2Vector r(2);
+  r.set(0, true);
+  EXPECT_TRUE(s.add_equation(r, true));   // x0 = 1
+  EXPECT_TRUE(s.add_equation(r, true));   // redundant, still fine
+  EXPECT_FALSE(s.add_equation(r, false)); // x0 = 0 contradicts
+  // The rejected equation must not corrupt the system.
+  EXPECT_TRUE(s.solve().get(0));
+}
+
+TEST(Gf2Solver, RandomSystemsSolutionsVerify) {
+  Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 3 + rng.below(30);
+    // Generate a consistent system from a hidden solution.
+    Gf2Vector secret(n);
+    for (std::size_t i = 0; i < n; ++i) secret.set(i, rng.bit());
+    Gf2Solver solver(n);
+    std::vector<std::pair<Gf2Vector, bool>> eqs;
+    for (std::size_t e = 0; e < n + 5; ++e) {
+      Gf2Vector row(n);
+      for (std::size_t i = 0; i < n; ++i) row.set(i, rng.bit());
+      const bool rhs = row.dot(secret);
+      eqs.emplace_back(row, rhs);
+      ASSERT_TRUE(solver.add_equation(row, rhs)) << "trial " << trial;
+    }
+    const auto x = solver.solve();
+    for (const auto& [row, rhs] : eqs)
+      ASSERT_EQ(row.dot(x), rhs) << "trial " << trial;
+  }
+}
+
+TEST(Gf2Solver, WidthMismatchRejected) {
+  Gf2Solver s(4);
+  EXPECT_THROW(s.add_equation(Gf2Vector(5), false), ContractError);
+}
+
+}  // namespace
+}  // namespace vcomp

@@ -1,0 +1,126 @@
+// vcomp_stitch — command-line front end for the stitching flow.
+//
+// Reads an ISCAS89 .bench netlist, generates the full-shift baseline and a
+// stitched test program, reports the compression, and optionally writes
+// the test program in the schedule text format (see schedule_io.hpp).
+//
+// Usage:
+//   vcomp_stitch <netlist.bench> [options]
+//     --out <file>        write the stitched test program
+//     --shift <n>         fixed shift size (default: variable policy)
+//     --info <r>          fixed shift at info point r in (0,1]
+//     --selection <s>     random | hardness | most-faults (default)
+//     --capture <c>       normal (default) | vxor
+//     --hxor <taps>       horizontal-XOR scan-out with <taps> taps
+//     --seed <n>          run seed
+//
+// Exit code 0 iff coverage is fully preserved.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "vcomp/core/experiment.hpp"
+#include "vcomp/core/schedule_io.hpp"
+#include "vcomp/netlist/bench_io.hpp"
+#include "vcomp/netlist/verilog_io.hpp"
+
+using namespace vcomp;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <netlist.bench> [--out f] [--shift n | --info r]\n"
+               "       [--selection random|hardness|most-faults]\n"
+               "       [--capture normal|vxor] [--hxor taps] [--seed n]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string path = argv[1];
+  std::string out_path;
+  core::StitchOptions opts;
+  double info = 0.0;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto need = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--out") out_path = need("--out");
+    else if (a == "--shift") opts.fixed_shift = std::stoul(need("--shift"));
+    else if (a == "--info") info = std::stod(need("--info"));
+    else if (a == "--seed") opts.seed = std::stoull(need("--seed"));
+    else if (a == "--hxor") opts.hxor_taps = std::stoul(need("--hxor"));
+    else if (a == "--capture") {
+      const std::string c = need("--capture");
+      if (c == "vxor") opts.capture = scan::CaptureMode::VXor;
+      else if (c != "normal") return usage(argv[0]);
+    } else if (a == "--selection") {
+      const std::string s = need("--selection");
+      if (s == "random") opts.selection = core::SelectionPolicy::Random;
+      else if (s == "hardness")
+        opts.selection = core::SelectionPolicy::Hardness;
+      else if (s == "most-faults")
+        opts.selection = core::SelectionPolicy::MostFaults;
+      else return usage(argv[0]);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  try {
+    // Format by extension: .v / .sv structural Verilog, else .bench.
+    const bool verilog = path.size() > 2 &&
+                         (path.rfind(".v") == path.size() - 2 ||
+                          (path.size() > 3 &&
+                           path.rfind(".sv") == path.size() - 3));
+    auto nl = verilog ? netlist::read_verilog_file(path)
+                      : netlist::read_bench_file(path);
+    std::printf("netlist: %zu PIs, %zu POs, %zu scan cells, %zu gates\n",
+                nl.num_inputs(), nl.num_outputs(), nl.num_dffs(),
+                nl.num_comb_gates());
+    core::CircuitLab lab(path, std::move(nl));
+    if (info > 0.0 &&
+        !core::apply_info_ratio(opts, lab.netlist(), info)) {
+      std::fprintf(stderr, "info point %.3f unattainable for this I/O\n",
+                   info);
+      return 2;
+    }
+
+    const auto& base = lab.baseline();
+    std::printf("baseline: %zu vectors, %.1f%% coverage (%zu redundant, "
+                "%zu aborted)\n",
+                lab.atv(), 100.0 * base.coverage(), base.num_redundant,
+                base.num_aborted);
+
+    const auto r = lab.run(opts);
+    std::printf("stitched: TV=%zu ex=%zu  t=%.3f m=%.3f  coverage %s\n",
+                r.vectors_applied, r.extra_full_vectors, r.time_ratio,
+                r.memory_ratio, r.uncovered == 0 ? "preserved" : "LOST");
+
+    if (!out_path.empty()) {
+      std::ofstream out(out_path);
+      if (!out.good()) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 2;
+      }
+      core::write_schedule(out, r.schedule);
+      std::printf("test program written to %s\n", out_path.c_str());
+    }
+    return r.uncovered == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
