@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_xor.dir/bench_table3_xor.cpp.o"
+  "CMakeFiles/bench_table3_xor.dir/bench_table3_xor.cpp.o.d"
+  "bench_table3_xor"
+  "bench_table3_xor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_xor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

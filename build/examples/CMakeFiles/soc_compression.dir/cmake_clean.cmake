@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_compression.dir/soc_compression.cpp.o"
+  "CMakeFiles/soc_compression.dir/soc_compression.cpp.o.d"
+  "soc_compression"
+  "soc_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

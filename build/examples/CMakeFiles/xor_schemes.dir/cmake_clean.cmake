@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xor_schemes.dir/xor_schemes.cpp.o"
+  "CMakeFiles/xor_schemes.dir/xor_schemes.cpp.o.d"
+  "xor_schemes"
+  "xor_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xor_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

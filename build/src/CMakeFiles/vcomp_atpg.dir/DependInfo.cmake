@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atpg/fill.cpp" "src/CMakeFiles/vcomp_atpg.dir/atpg/fill.cpp.o" "gcc" "src/CMakeFiles/vcomp_atpg.dir/atpg/fill.cpp.o.d"
+  "/root/repo/src/atpg/podem.cpp" "src/CMakeFiles/vcomp_atpg.dir/atpg/podem.cpp.o" "gcc" "src/CMakeFiles/vcomp_atpg.dir/atpg/podem.cpp.o.d"
+  "/root/repo/src/atpg/test_set.cpp" "src/CMakeFiles/vcomp_atpg.dir/atpg/test_set.cpp.o" "gcc" "src/CMakeFiles/vcomp_atpg.dir/atpg/test_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vcomp_tmeas.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcomp_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcomp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcomp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcomp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcomp_atpg.dir/atpg/fill.cpp.o"
+  "CMakeFiles/vcomp_atpg.dir/atpg/fill.cpp.o.d"
+  "CMakeFiles/vcomp_atpg.dir/atpg/podem.cpp.o"
+  "CMakeFiles/vcomp_atpg.dir/atpg/podem.cpp.o.d"
+  "CMakeFiles/vcomp_atpg.dir/atpg/test_set.cpp.o"
+  "CMakeFiles/vcomp_atpg.dir/atpg/test_set.cpp.o.d"
+  "libvcomp_atpg.a"
+  "libvcomp_atpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcomp_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcomp_baselines.dir/baselines/baselines.cpp.o"
+  "CMakeFiles/vcomp_baselines.dir/baselines/baselines.cpp.o.d"
+  "CMakeFiles/vcomp_baselines.dir/baselines/overlap.cpp.o"
+  "CMakeFiles/vcomp_baselines.dir/baselines/overlap.cpp.o.d"
+  "CMakeFiles/vcomp_baselines.dir/baselines/psfs.cpp.o"
+  "CMakeFiles/vcomp_baselines.dir/baselines/psfs.cpp.o.d"
+  "CMakeFiles/vcomp_baselines.dir/baselines/virtual_scan.cpp.o"
+  "CMakeFiles/vcomp_baselines.dir/baselines/virtual_scan.cpp.o.d"
+  "libvcomp_baselines.a"
+  "libvcomp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcomp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

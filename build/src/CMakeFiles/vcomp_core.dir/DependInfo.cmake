@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/diagnosis.cpp" "src/CMakeFiles/vcomp_core.dir/core/diagnosis.cpp.o" "gcc" "src/CMakeFiles/vcomp_core.dir/core/diagnosis.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/vcomp_core.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/vcomp_core.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/fault_sets.cpp" "src/CMakeFiles/vcomp_core.dir/core/fault_sets.cpp.o" "gcc" "src/CMakeFiles/vcomp_core.dir/core/fault_sets.cpp.o.d"
+  "/root/repo/src/core/schedule_io.cpp" "src/CMakeFiles/vcomp_core.dir/core/schedule_io.cpp.o" "gcc" "src/CMakeFiles/vcomp_core.dir/core/schedule_io.cpp.o.d"
+  "/root/repo/src/core/selection.cpp" "src/CMakeFiles/vcomp_core.dir/core/selection.cpp.o" "gcc" "src/CMakeFiles/vcomp_core.dir/core/selection.cpp.o.d"
+  "/root/repo/src/core/shift_policy.cpp" "src/CMakeFiles/vcomp_core.dir/core/shift_policy.cpp.o" "gcc" "src/CMakeFiles/vcomp_core.dir/core/shift_policy.cpp.o.d"
+  "/root/repo/src/core/stitch_engine.cpp" "src/CMakeFiles/vcomp_core.dir/core/stitch_engine.cpp.o" "gcc" "src/CMakeFiles/vcomp_core.dir/core/stitch_engine.cpp.o.d"
+  "/root/repo/src/core/tracker.cpp" "src/CMakeFiles/vcomp_core.dir/core/tracker.cpp.o" "gcc" "src/CMakeFiles/vcomp_core.dir/core/tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vcomp_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcomp_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcomp_netgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcomp_tmeas.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcomp_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcomp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcomp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcomp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

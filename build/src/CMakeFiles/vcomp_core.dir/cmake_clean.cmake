@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcomp_core.dir/core/diagnosis.cpp.o"
+  "CMakeFiles/vcomp_core.dir/core/diagnosis.cpp.o.d"
+  "CMakeFiles/vcomp_core.dir/core/experiment.cpp.o"
+  "CMakeFiles/vcomp_core.dir/core/experiment.cpp.o.d"
+  "CMakeFiles/vcomp_core.dir/core/fault_sets.cpp.o"
+  "CMakeFiles/vcomp_core.dir/core/fault_sets.cpp.o.d"
+  "CMakeFiles/vcomp_core.dir/core/schedule_io.cpp.o"
+  "CMakeFiles/vcomp_core.dir/core/schedule_io.cpp.o.d"
+  "CMakeFiles/vcomp_core.dir/core/selection.cpp.o"
+  "CMakeFiles/vcomp_core.dir/core/selection.cpp.o.d"
+  "CMakeFiles/vcomp_core.dir/core/shift_policy.cpp.o"
+  "CMakeFiles/vcomp_core.dir/core/shift_policy.cpp.o.d"
+  "CMakeFiles/vcomp_core.dir/core/stitch_engine.cpp.o"
+  "CMakeFiles/vcomp_core.dir/core/stitch_engine.cpp.o.d"
+  "CMakeFiles/vcomp_core.dir/core/tracker.cpp.o"
+  "CMakeFiles/vcomp_core.dir/core/tracker.cpp.o.d"
+  "libvcomp_core.a"
+  "libvcomp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcomp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

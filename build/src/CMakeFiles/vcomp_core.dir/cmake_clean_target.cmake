@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvcomp_core.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/collapse.cpp" "src/CMakeFiles/vcomp_fault.dir/fault/collapse.cpp.o" "gcc" "src/CMakeFiles/vcomp_fault.dir/fault/collapse.cpp.o.d"
+  "/root/repo/src/fault/fault.cpp" "src/CMakeFiles/vcomp_fault.dir/fault/fault.cpp.o" "gcc" "src/CMakeFiles/vcomp_fault.dir/fault/fault.cpp.o.d"
+  "/root/repo/src/fault/fault_parallel_sim.cpp" "src/CMakeFiles/vcomp_fault.dir/fault/fault_parallel_sim.cpp.o" "gcc" "src/CMakeFiles/vcomp_fault.dir/fault/fault_parallel_sim.cpp.o.d"
+  "/root/repo/src/fault/fault_sim.cpp" "src/CMakeFiles/vcomp_fault.dir/fault/fault_sim.cpp.o" "gcc" "src/CMakeFiles/vcomp_fault.dir/fault/fault_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vcomp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcomp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcomp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcomp_fault.dir/fault/collapse.cpp.o"
+  "CMakeFiles/vcomp_fault.dir/fault/collapse.cpp.o.d"
+  "CMakeFiles/vcomp_fault.dir/fault/fault.cpp.o"
+  "CMakeFiles/vcomp_fault.dir/fault/fault.cpp.o.d"
+  "CMakeFiles/vcomp_fault.dir/fault/fault_parallel_sim.cpp.o"
+  "CMakeFiles/vcomp_fault.dir/fault/fault_parallel_sim.cpp.o.d"
+  "CMakeFiles/vcomp_fault.dir/fault/fault_sim.cpp.o"
+  "CMakeFiles/vcomp_fault.dir/fault/fault_sim.cpp.o.d"
+  "libvcomp_fault.a"
+  "libvcomp_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcomp_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

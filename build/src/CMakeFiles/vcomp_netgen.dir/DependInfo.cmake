@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netgen/example_circuit.cpp" "src/CMakeFiles/vcomp_netgen.dir/netgen/example_circuit.cpp.o" "gcc" "src/CMakeFiles/vcomp_netgen.dir/netgen/example_circuit.cpp.o.d"
+  "/root/repo/src/netgen/netgen.cpp" "src/CMakeFiles/vcomp_netgen.dir/netgen/netgen.cpp.o" "gcc" "src/CMakeFiles/vcomp_netgen.dir/netgen/netgen.cpp.o.d"
+  "/root/repo/src/netgen/profiles.cpp" "src/CMakeFiles/vcomp_netgen.dir/netgen/profiles.cpp.o" "gcc" "src/CMakeFiles/vcomp_netgen.dir/netgen/profiles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vcomp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcomp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcomp_netgen.dir/netgen/example_circuit.cpp.o"
+  "CMakeFiles/vcomp_netgen.dir/netgen/example_circuit.cpp.o.d"
+  "CMakeFiles/vcomp_netgen.dir/netgen/netgen.cpp.o"
+  "CMakeFiles/vcomp_netgen.dir/netgen/netgen.cpp.o.d"
+  "CMakeFiles/vcomp_netgen.dir/netgen/profiles.cpp.o"
+  "CMakeFiles/vcomp_netgen.dir/netgen/profiles.cpp.o.d"
+  "libvcomp_netgen.a"
+  "libvcomp_netgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcomp_netgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/bench_io.cpp" "src/CMakeFiles/vcomp_netlist.dir/netlist/bench_io.cpp.o" "gcc" "src/CMakeFiles/vcomp_netlist.dir/netlist/bench_io.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/CMakeFiles/vcomp_netlist.dir/netlist/netlist.cpp.o" "gcc" "src/CMakeFiles/vcomp_netlist.dir/netlist/netlist.cpp.o.d"
+  "/root/repo/src/netlist/verilog_io.cpp" "src/CMakeFiles/vcomp_netlist.dir/netlist/verilog_io.cpp.o" "gcc" "src/CMakeFiles/vcomp_netlist.dir/netlist/verilog_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vcomp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

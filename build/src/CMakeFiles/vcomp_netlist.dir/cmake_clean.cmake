@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcomp_netlist.dir/netlist/bench_io.cpp.o"
+  "CMakeFiles/vcomp_netlist.dir/netlist/bench_io.cpp.o.d"
+  "CMakeFiles/vcomp_netlist.dir/netlist/netlist.cpp.o"
+  "CMakeFiles/vcomp_netlist.dir/netlist/netlist.cpp.o.d"
+  "CMakeFiles/vcomp_netlist.dir/netlist/verilog_io.cpp.o"
+  "CMakeFiles/vcomp_netlist.dir/netlist/verilog_io.cpp.o.d"
+  "libvcomp_netlist.a"
+  "libvcomp_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcomp_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcomp_report.dir/report/table.cpp.o"
+  "CMakeFiles/vcomp_report.dir/report/table.cpp.o.d"
+  "libvcomp_report.a"
+  "libvcomp_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcomp_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scan/cost_model.cpp" "src/CMakeFiles/vcomp_scan.dir/scan/cost_model.cpp.o" "gcc" "src/CMakeFiles/vcomp_scan.dir/scan/cost_model.cpp.o.d"
+  "/root/repo/src/scan/lfsr.cpp" "src/CMakeFiles/vcomp_scan.dir/scan/lfsr.cpp.o" "gcc" "src/CMakeFiles/vcomp_scan.dir/scan/lfsr.cpp.o.d"
+  "/root/repo/src/scan/observe.cpp" "src/CMakeFiles/vcomp_scan.dir/scan/observe.cpp.o" "gcc" "src/CMakeFiles/vcomp_scan.dir/scan/observe.cpp.o.d"
+  "/root/repo/src/scan/scan_chain.cpp" "src/CMakeFiles/vcomp_scan.dir/scan/scan_chain.cpp.o" "gcc" "src/CMakeFiles/vcomp_scan.dir/scan/scan_chain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vcomp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcomp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

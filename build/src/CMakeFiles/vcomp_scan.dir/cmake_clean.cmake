@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcomp_scan.dir/scan/cost_model.cpp.o"
+  "CMakeFiles/vcomp_scan.dir/scan/cost_model.cpp.o.d"
+  "CMakeFiles/vcomp_scan.dir/scan/lfsr.cpp.o"
+  "CMakeFiles/vcomp_scan.dir/scan/lfsr.cpp.o.d"
+  "CMakeFiles/vcomp_scan.dir/scan/observe.cpp.o"
+  "CMakeFiles/vcomp_scan.dir/scan/observe.cpp.o.d"
+  "CMakeFiles/vcomp_scan.dir/scan/scan_chain.cpp.o"
+  "CMakeFiles/vcomp_scan.dir/scan/scan_chain.cpp.o.d"
+  "libvcomp_scan.a"
+  "libvcomp_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcomp_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcomp_sim.dir/sim/ternary_sim.cpp.o"
+  "CMakeFiles/vcomp_sim.dir/sim/ternary_sim.cpp.o.d"
+  "CMakeFiles/vcomp_sim.dir/sim/word_sim.cpp.o"
+  "CMakeFiles/vcomp_sim.dir/sim/word_sim.cpp.o.d"
+  "libvcomp_sim.a"
+  "libvcomp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcomp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcomp_tmeas.dir/tmeas/hardness.cpp.o"
+  "CMakeFiles/vcomp_tmeas.dir/tmeas/hardness.cpp.o.d"
+  "CMakeFiles/vcomp_tmeas.dir/tmeas/scoap.cpp.o"
+  "CMakeFiles/vcomp_tmeas.dir/tmeas/scoap.cpp.o.d"
+  "libvcomp_tmeas.a"
+  "libvcomp_tmeas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcomp_tmeas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

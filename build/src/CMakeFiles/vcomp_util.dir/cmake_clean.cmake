@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcomp_util.dir/util/gf2.cpp.o"
+  "CMakeFiles/vcomp_util.dir/util/gf2.cpp.o.d"
+  "CMakeFiles/vcomp_util.dir/util/rng.cpp.o"
+  "CMakeFiles/vcomp_util.dir/util/rng.cpp.o.d"
+  "libvcomp_util.a"
+  "libvcomp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcomp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

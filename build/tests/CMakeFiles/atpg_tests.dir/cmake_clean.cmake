@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atpg_tests.dir/atpg/fill_test.cpp.o"
+  "CMakeFiles/atpg_tests.dir/atpg/fill_test.cpp.o.d"
+  "CMakeFiles/atpg_tests.dir/atpg/podem_constrained_test.cpp.o"
+  "CMakeFiles/atpg_tests.dir/atpg/podem_constrained_test.cpp.o.d"
+  "CMakeFiles/atpg_tests.dir/atpg/podem_test.cpp.o"
+  "CMakeFiles/atpg_tests.dir/atpg/podem_test.cpp.o.d"
+  "CMakeFiles/atpg_tests.dir/atpg/test_set_test.cpp.o"
+  "CMakeFiles/atpg_tests.dir/atpg/test_set_test.cpp.o.d"
+  "atpg_tests"
+  "atpg_tests.pdb"
+  "atpg_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atpg_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

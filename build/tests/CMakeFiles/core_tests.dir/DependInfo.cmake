@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/diagnosis_test.cpp" "tests/CMakeFiles/core_tests.dir/core/diagnosis_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/diagnosis_test.cpp.o.d"
+  "/root/repo/tests/core/example_replay_test.cpp" "tests/CMakeFiles/core_tests.dir/core/example_replay_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/example_replay_test.cpp.o.d"
+  "/root/repo/tests/core/experiment_test.cpp" "tests/CMakeFiles/core_tests.dir/core/experiment_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/experiment_test.cpp.o.d"
+  "/root/repo/tests/core/fault_sets_test.cpp" "tests/CMakeFiles/core_tests.dir/core/fault_sets_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/fault_sets_test.cpp.o.d"
+  "/root/repo/tests/core/schedule_io_test.cpp" "tests/CMakeFiles/core_tests.dir/core/schedule_io_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/schedule_io_test.cpp.o.d"
+  "/root/repo/tests/core/selection_test.cpp" "tests/CMakeFiles/core_tests.dir/core/selection_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/selection_test.cpp.o.d"
+  "/root/repo/tests/core/shift_policy_test.cpp" "tests/CMakeFiles/core_tests.dir/core/shift_policy_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/shift_policy_test.cpp.o.d"
+  "/root/repo/tests/core/stitch_engine_test.cpp" "tests/CMakeFiles/core_tests.dir/core/stitch_engine_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/stitch_engine_test.cpp.o.d"
+  "/root/repo/tests/core/tracker_test.cpp" "tests/CMakeFiles/core_tests.dir/core/tracker_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/tracker_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vcomp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcomp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcomp_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcomp_netgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcomp_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcomp_tmeas.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcomp_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcomp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcomp_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcomp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcomp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/diagnosis_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/diagnosis_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/example_replay_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/example_replay_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/experiment_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/experiment_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/fault_sets_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/fault_sets_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/schedule_io_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/schedule_io_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/selection_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/selection_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/shift_policy_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/shift_policy_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/stitch_engine_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/stitch_engine_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/tracker_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/tracker_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netgen_tests.dir/netgen/netgen_quality_test.cpp.o"
+  "CMakeFiles/netgen_tests.dir/netgen/netgen_quality_test.cpp.o.d"
+  "CMakeFiles/netgen_tests.dir/netgen/netgen_test.cpp.o"
+  "CMakeFiles/netgen_tests.dir/netgen/netgen_test.cpp.o.d"
+  "netgen_tests"
+  "netgen_tests.pdb"
+  "netgen_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netgen_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/scan/cost_model_test.cpp" "tests/CMakeFiles/scan_tests.dir/scan/cost_model_test.cpp.o" "gcc" "tests/CMakeFiles/scan_tests.dir/scan/cost_model_test.cpp.o.d"
+  "/root/repo/tests/scan/lfsr_test.cpp" "tests/CMakeFiles/scan_tests.dir/scan/lfsr_test.cpp.o" "gcc" "tests/CMakeFiles/scan_tests.dir/scan/lfsr_test.cpp.o.d"
+  "/root/repo/tests/scan/observe_test.cpp" "tests/CMakeFiles/scan_tests.dir/scan/observe_test.cpp.o" "gcc" "tests/CMakeFiles/scan_tests.dir/scan/observe_test.cpp.o.d"
+  "/root/repo/tests/scan/scan_chain_test.cpp" "tests/CMakeFiles/scan_tests.dir/scan/scan_chain_test.cpp.o" "gcc" "tests/CMakeFiles/scan_tests.dir/scan/scan_chain_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vcomp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcomp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcomp_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcomp_netgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcomp_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcomp_tmeas.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcomp_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcomp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcomp_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcomp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vcomp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

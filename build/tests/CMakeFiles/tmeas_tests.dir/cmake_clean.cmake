@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmeas_tests.dir/tmeas/hardness_test.cpp.o"
+  "CMakeFiles/tmeas_tests.dir/tmeas/hardness_test.cpp.o.d"
+  "CMakeFiles/tmeas_tests.dir/tmeas/scoap_test.cpp.o"
+  "CMakeFiles/tmeas_tests.dir/tmeas/scoap_test.cpp.o.d"
+  "tmeas_tests"
+  "tmeas_tests.pdb"
+  "tmeas_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmeas_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

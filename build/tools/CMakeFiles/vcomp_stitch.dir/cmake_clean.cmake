@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcomp_stitch.dir/vcomp_stitch.cpp.o"
+  "CMakeFiles/vcomp_stitch.dir/vcomp_stitch.cpp.o.d"
+  "vcomp_stitch"
+  "vcomp_stitch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcomp_stitch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
