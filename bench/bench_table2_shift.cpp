@@ -53,11 +53,20 @@ int main() {
                        "paper m", "paper t"});
   benchutil::RatioAverager avg_m38, avg_t38, avg_m58, avg_t58, avg_m78,
       avg_t78, avg_mv, avg_tv;
+  benchutil::BenchJson json("table2");
 
-  for (const auto& prof : profiles) {
+  // Baselines for all circuits, then every circuit's sweep, run on the
+  // process pool (VCOMP_THREADS); results are identical to the serial
+  // sweep for any thread count.
+  benchutil::Stopwatch build_sw;
+  const auto labs = core::make_labs(profiles);
+  std::fprintf(stderr, "[table2] %zu baselines built in %.1fs (%zu threads)\n",
+               labs.size(), build_sw.seconds(), benchutil::threads_used());
+
+  for (const auto& lab_ptr : labs) {
+    const auto& lab = *lab_ptr;
     benchutil::Stopwatch sw;
-    core::CircuitLab lab(prof);
-    const auto& paper = kPaper.at(prof.name);
+    const auto& paper = kPaper.at(lab.name());
 
     struct Point {
       const char* label;
@@ -65,41 +74,53 @@ int main() {
       PaperRef ref;
       benchutil::RatioAverager* am;
       benchutil::RatioAverager* at;
+      bool attainable = false;
+      std::string shift_desc = "/";
     };
-    const Point points[] = {
+    Point points[] = {
         {"3/8", 3.0 / 8, paper.p38, &avg_m38, &avg_t38},
         {"5/8", 5.0 / 8, paper.p58, &avg_m58, &avg_t58},
         {"7/8", 7.0 / 8, paper.p78, &avg_m78, &avg_t78},
         {"var", 0.0, paper.var, &avg_mv, &avg_tv},
     };
 
-    for (const auto& pt : points) {
+    std::vector<core::StitchOptions> sweep;
+    for (auto& pt : points) {
       core::StitchOptions opts;
-      std::string shift_desc;
       if (pt.ratio > 0) {
-        if (!core::apply_info_ratio(opts, lab.netlist(), pt.ratio)) {
-          table.add_row({prof.name, report::Table::num(lab.atv()), pt.label,
-                         "/", "/", "/", "/", "/", benchutil::ref_str(pt.ref.m),
-                         benchutil::ref_str(pt.ref.t)});
-          continue;
-        }
-        shift_desc = std::to_string(opts.fixed_shift) + "/" +
-                     std::to_string(lab.netlist().num_dffs());
+        if (!core::apply_info_ratio(opts, lab.netlist(), pt.ratio)) continue;
+        pt.shift_desc = std::to_string(opts.fixed_shift) + "/" +
+                        std::to_string(lab.netlist().num_dffs());
       } else {
-        shift_desc = "variable";
+        pt.shift_desc = "variable";
       }
-      const auto r = lab.run(opts);
+      pt.attainable = true;
+      sweep.push_back(opts);
+    }
+    const auto timed = benchutil::run_timed(lab, sweep);
+
+    std::size_t next = 0;
+    for (const auto& pt : points) {
+      if (!pt.attainable) {
+        table.add_row({lab.name(), report::Table::num(lab.atv()), pt.label,
+                       "/", "/", "/", "/", "/", benchutil::ref_str(pt.ref.m),
+                       benchutil::ref_str(pt.ref.t)});
+        continue;
+      }
+      const auto& tr = timed[next++];
+      const auto& r = tr.result;
       pt.am->add(r.memory_ratio);
       pt.at->add(r.time_ratio);
-      table.add_row({prof.name, report::Table::num(lab.atv()), pt.label,
-                     shift_desc, report::Table::num(r.vectors_applied),
+      json.add(lab.name(), pt.label, tr);
+      table.add_row({lab.name(), report::Table::num(lab.atv()), pt.label,
+                     pt.shift_desc, report::Table::num(r.vectors_applied),
                      report::Table::num(r.extra_full_vectors),
                      report::Table::ratio(r.memory_ratio),
                      report::Table::ratio(r.time_ratio),
                      benchutil::ref_str(pt.ref.m),
                      benchutil::ref_str(pt.ref.t)});
     }
-    std::fprintf(stderr, "[table2] %s done in %.1fs\n", prof.name.c_str(),
+    std::fprintf(stderr, "[table2] %s done in %.1fs\n", lab.name().c_str(),
                  sw.seconds());
   }
 
@@ -112,5 +133,9 @@ int main() {
   table.add_row({"Ave", "", "var", "", "", "", avg_mv.str(), avg_tv.str(),
                  "0.63", "0.38"});
   std::printf("%s", table.to_string().c_str());
+  const std::string json_path = json.write();
+  if (!json_path.empty())
+    std::fprintf(stderr, "[table2] per-config records written to %s\n",
+                 json_path.c_str());
   return 0;
 }

@@ -42,11 +42,13 @@ int main() {
   report::Table table({"circ", "scheme", "TV", "ex", "m", "t", "paper m",
                        "paper t"});
   benchutil::RatioAverager avg[3][2];
+  benchutil::BenchJson json("table3");
 
-  for (const auto& prof : profiles) {
+  const auto labs = core::make_labs(profiles);  // parallel baselines
+  for (const auto& lab_ptr : labs) {
+    const auto& lab = *lab_ptr;
     benchutil::Stopwatch sw;
-    core::CircuitLab lab(prof);
-    const auto& paper = kPaper.at(prof.name);
+    const auto& paper = kPaper.at(lab.name());
 
     struct Cfg {
       const char* name;
@@ -59,14 +61,18 @@ int main() {
         {"VXOR", scan::CaptureMode::VXor, 0, paper.vxor},
         {"HXOR", scan::CaptureMode::Normal, 4, paper.hxor},
     };
+    std::vector<core::StitchOptions> sweep(3);
     for (std::size_t k = 0; k < 3; ++k) {
-      core::StitchOptions opts;
-      opts.capture = cfgs[k].cap;
-      opts.hxor_taps = cfgs[k].taps;
-      const auto r = lab.run(opts);
+      sweep[k].capture = cfgs[k].cap;
+      sweep[k].hxor_taps = cfgs[k].taps;
+    }
+    const auto timed = benchutil::run_timed(lab, sweep);
+    for (std::size_t k = 0; k < 3; ++k) {
+      const auto& r = timed[k].result;
       avg[k][0].add(r.memory_ratio);
       avg[k][1].add(r.time_ratio);
-      table.add_row({prof.name, cfgs[k].name,
+      json.add(lab.name(), cfgs[k].name, timed[k]);
+      table.add_row({lab.name(), cfgs[k].name,
                      report::Table::num(r.vectors_applied),
                      report::Table::num(r.extra_full_vectors),
                      report::Table::ratio(r.memory_ratio),
@@ -74,7 +80,7 @@ int main() {
                      benchutil::ref_str(cfgs[k].ref.m),
                      benchutil::ref_str(cfgs[k].ref.t)});
     }
-    std::fprintf(stderr, "[table3] %s done in %.1fs\n", prof.name.c_str(),
+    std::fprintf(stderr, "[table3] %s done in %.1fs\n", lab.name().c_str(),
                  sw.seconds());
   }
   table.add_row({"Ave", "NXOR", "", "", avg[0][0].str(), avg[0][1].str(),
@@ -84,5 +90,6 @@ int main() {
   table.add_row({"Ave", "HXOR", "", "", avg[2][0].str(), avg[2][1].str(),
                  "0.69", "0.43"});
   std::printf("%s", table.to_string().c_str());
+  json.write();
   return 0;
 }

@@ -42,11 +42,13 @@ int main() {
   report::Table table({"circ", "selection", "TV", "ex", "m", "t", "paper m",
                        "paper t"});
   benchutil::RatioAverager avg[3][2];
+  benchutil::BenchJson json("table4");
 
-  for (const auto& prof : profiles) {
+  const auto labs = core::make_labs(profiles);  // parallel baselines
+  for (const auto& lab_ptr : labs) {
+    const auto& lab = *lab_ptr;
     benchutil::Stopwatch sw;
-    core::CircuitLab lab(prof);
-    const auto& paper = kPaper.at(prof.name);
+    const auto& paper = kPaper.at(lab.name());
 
     struct Cfg {
       core::SelectionPolicy sel;
@@ -57,13 +59,15 @@ int main() {
         {core::SelectionPolicy::Hardness, paper.hardness},
         {core::SelectionPolicy::MostFaults, paper.most},
     };
+    std::vector<core::StitchOptions> sweep(3);
+    for (std::size_t k = 0; k < 3; ++k) sweep[k].selection = cfgs[k].sel;
+    const auto timed = benchutil::run_timed(lab, sweep);
     for (std::size_t k = 0; k < 3; ++k) {
-      core::StitchOptions opts;
-      opts.selection = cfgs[k].sel;
-      const auto r = lab.run(opts);
+      const auto& r = timed[k].result;
       avg[k][0].add(r.memory_ratio);
       avg[k][1].add(r.time_ratio);
-      table.add_row({prof.name, core::to_string(cfgs[k].sel),
+      json.add(lab.name(), core::to_string(cfgs[k].sel), timed[k]);
+      table.add_row({lab.name(), core::to_string(cfgs[k].sel),
                      report::Table::num(r.vectors_applied),
                      report::Table::num(r.extra_full_vectors),
                      report::Table::ratio(r.memory_ratio),
@@ -71,7 +75,7 @@ int main() {
                      benchutil::ref_str(cfgs[k].ref.m),
                      benchutil::ref_str(cfgs[k].ref.t)});
     }
-    std::fprintf(stderr, "[table4] %s done in %.1fs\n", prof.name.c_str(),
+    std::fprintf(stderr, "[table4] %s done in %.1fs\n", lab.name().c_str(),
                  sw.seconds());
   }
   table.add_row({"Ave", "random", "", "", avg[0][0].str(), avg[0][1].str(),
@@ -81,5 +85,6 @@ int main() {
   table.add_row({"Ave", "most-faults", "", "", avg[2][0].str(),
                  avg[2][1].str(), "0.64", "0.38"});
   std::printf("%s", table.to_string().c_str());
+  json.write();
   return 0;
 }

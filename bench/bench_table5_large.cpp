@@ -38,37 +38,53 @@ int main() {
   report::Table table({"circ", "I/O", "scan#", "aTV", "TV", "ex", "m", "t",
                        "paper m", "paper t"});
   benchutil::RatioAverager avg_m, avg_t;
+  benchutil::BenchJson json("table5");
 
-  for (const auto& prof : profiles) {
+  // One configuration per circuit, so the whole (baseline + stitched run)
+  // of each profile is one independent task on the process pool.
+  struct Run {
+    std::size_t atv = 0;
+    core::StitchResult result;
+    double seconds = 0;
+  };
+  const auto runs = util::parallel_map(profiles.size(), [&](std::size_t i) {
     benchutil::Stopwatch sw;
-    core::CircuitLab lab(prof);
-    core::StitchOptions opts;
-    const auto r = lab.run(opts);
+    core::CircuitLab lab(profiles[i]);
+    Run run;
+    run.atv = lab.atv();
+    run.result = lab.run(core::StitchOptions{});
+    run.seconds = sw.seconds();
+    std::fprintf(stderr, "[table5] %s done in %.1fs\n",
+                 profiles[i].name.c_str(), sw.seconds());
+    return run;
+  });
+
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    const auto& prof = profiles[i];
+    const auto& r = runs[i].result;
     avg_m.add(r.memory_ratio);
     avg_t.add(r.time_ratio);
     const auto& ref = kPaper.at(prof.name);
+    json.add(prof.name, "final", {r, runs[i].seconds});
     table.add_row({prof.name,
                    std::to_string(prof.num_pi) + "/" +
                        std::to_string(prof.num_po),
                    report::Table::num(prof.num_ff),
-                   report::Table::num(lab.atv()),
+                   report::Table::num(runs[i].atv),
                    report::Table::num(r.vectors_applied),
                    report::Table::num(r.extra_full_vectors),
                    report::Table::ratio(r.memory_ratio),
                    report::Table::ratio(r.time_ratio),
                    benchutil::ref_str(ref.m), benchutil::ref_str(ref.t)});
-    // Stream each row as it lands (the full table reprints at the end).
     std::printf("%s: aTV=%zu TV=%zu ex=%zu m=%.2f t=%.2f  (paper %s/%s)\n",
-                prof.name.c_str(), lab.atv(), r.vectors_applied,
+                prof.name.c_str(), runs[i].atv, r.vectors_applied,
                 r.extra_full_vectors, r.memory_ratio, r.time_ratio,
                 benchutil::ref_str(ref.m).c_str(),
                 benchutil::ref_str(ref.t).c_str());
-    std::fflush(stdout);
-    std::fprintf(stderr, "[table5] %s done in %.1fs\n", prof.name.c_str(),
-                 sw.seconds());
   }
   table.add_row({"Ave", "", "", "", "", "", avg_m.str(), avg_t.str(),
                  "0.61", "0.51"});
   std::printf("%s", table.to_string().c_str());
+  json.write();
   return 0;
 }

@@ -7,11 +7,13 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "vcomp/core/experiment.hpp"
 #include "vcomp/report/table.hpp"
+#include "vcomp/util/parallel.hpp"
 
 namespace vcomp::benchutil {
 
@@ -20,6 +22,9 @@ inline bool quick_mode() {
   const char* v = std::getenv("VCOMP_QUICK");
   return v != nullptr && v[0] == '1';
 }
+
+/// Threads the process pool runs on (VCOMP_THREADS; reported in the JSON).
+inline std::size_t threads_used() { return util::parallelism(); }
 
 /// One paper reference pair (m, t); negative = not reported.
 struct PaperRef {
@@ -61,6 +66,83 @@ class RatioAverager {
  private:
   double sum_ = 0;
   std::size_t n_ = 0;
+};
+
+/// One stitching run plus the wall time it took (measured inside the
+/// parallel task, so per-config timings stay meaningful under run_many).
+struct TimedResult {
+  core::StitchResult result;
+  double seconds = 0;
+};
+
+/// Runs every configuration of a sweep concurrently, timing each one.
+/// Results are positionally identical to serial lab.run() calls.
+inline std::vector<TimedResult> run_timed(
+    const core::CircuitLab& lab,
+    const std::vector<core::StitchOptions>& options) {
+  return util::parallel_map(options.size(), [&](std::size_t i) {
+    Stopwatch sw;
+    TimedResult tr;
+    tr.result = lab.run(options[i]);
+    tr.seconds = sw.seconds();
+    return tr;
+  });
+}
+
+/// Machine-readable per-config records for the table benches, written as
+/// JSON so future PRs have a perf trajectory to diff against.  Destination:
+/// $VCOMP_BENCH_JSON, defaulting to BENCH_stitch.json in the working
+/// directory (each bench binary overwrites it with its own run).
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench) : bench_(std::move(bench)) {}
+
+  void add(const std::string& circuit, const std::string& config,
+           const TimedResult& tr) {
+    Row r;
+    r.circuit = circuit;
+    r.config = config;
+    r.seconds = tr.seconds;
+    r.m = tr.result.memory_ratio;
+    r.t = tr.result.time_ratio;
+    r.tv = tr.result.vectors_applied;
+    r.ex = tr.result.extra_full_vectors;
+    rows_.push_back(std::move(r));
+  }
+
+  /// Writes the collected records; returns the path (empty on failure).
+  std::string write() const {
+    const char* env = std::getenv("VCOMP_BENCH_JSON");
+    const std::string path = env != nullptr ? env : "BENCH_stitch.json";
+    std::ofstream out(path);
+    if (!out.good()) return {};
+    out << "{\n"
+        << "  \"bench\": \"" << bench_ << "\",\n"
+        << "  \"threads\": " << threads_used() << ",\n"
+        << "  \"quick\": " << (quick_mode() ? "true" : "false") << ",\n"
+        << "  \"total_seconds\": " << total_.seconds() << ",\n"
+        << "  \"configs\": [\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      out << "    {\"circuit\": \"" << r.circuit << "\", \"config\": \""
+          << r.config << "\", \"seconds\": " << r.seconds
+          << ", \"m\": " << r.m << ", \"t\": " << r.t << ", \"tv\": " << r.tv
+          << ", \"ex\": " << r.ex << "}"
+          << (i + 1 < rows_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    return path;
+  }
+
+ private:
+  struct Row {
+    std::string circuit, config;
+    double seconds = 0, m = 0, t = 0;
+    std::size_t tv = 0, ex = 0;
+  };
+  std::string bench_;
+  Stopwatch total_;
+  std::vector<Row> rows_;
 };
 
 }  // namespace vcomp::benchutil

@@ -39,12 +39,25 @@ class CircuitLab {
   /// Runs one stitching configuration.
   StitchResult run(const StitchOptions& options) const;
 
+  /// Runs several configurations concurrently on the process thread pool
+  /// (run() is const and every configuration is independent).  Results are
+  /// positionally identical to calling run() serially, for every
+  /// VCOMP_THREADS value.
+  std::vector<StitchResult> run_many(
+      const std::vector<StitchOptions>& options) const;
+
  private:
   std::string name_;
   netlist::Netlist nl_;
   fault::CollapsedFaults faults_;
   atpg::TestSetResult baseline_;
 };
+
+/// Builds one CircuitLab per profile, concurrently (the baseline ATPG and
+/// fault simulation dominate construction).  Order matches \p profiles.
+std::vector<std::unique_ptr<CircuitLab>> make_labs(
+    const std::vector<netgen::CircuitProfile>& profiles,
+    const atpg::TestSetOptions& baseline_options = {});
 
 /// Sets options.fixed_shift from a Table-2 info point (3/8, 5/8, 7/8).
 /// Returns false — leaving options untouched — when the point is

@@ -25,14 +25,34 @@ class FaultSets {
  public:
   explicit FaultSets(std::size_t num_faults)
       : state_(num_faults, FaultState::Uncaught),
-        catch_cycle_(num_faults, 0) {}
+        catch_cycle_(num_faults, 0),
+        num_uncaught_targetable_(num_faults) {}
 
   std::size_t size() const { return state_.size(); }
   FaultState state(std::size_t i) const { return state_[i]; }
 
+  /// Restricts the subset counted by num_uncaught_targetable() (default:
+  /// every fault).  The stitch engine marks the baseline-detectable faults
+  /// here so its per-cycle "work left?" check is O(1) instead of a scan.
+  void set_targetable(std::vector<std::uint8_t> targetable) {
+    VCOMP_REQUIRE(targetable.size() == state_.size(),
+                  "targetable mask size mismatch");
+    targetable_ = std::move(targetable);
+    num_uncaught_targetable_ = 0;
+    for (std::size_t i = 0; i < state_.size(); ++i)
+      if (targetable_[i] && state_[i] == FaultState::Uncaught)
+        ++num_uncaught_targetable_;
+  }
+
+  /// Targetable faults currently in f_u, maintained on state transitions.
+  std::size_t num_uncaught_targetable() const {
+    return num_uncaught_targetable_;
+  }
+
   /// Moves a fault to f_c; \p cycle records when it was observed.
   void set_caught(std::size_t i, std::size_t cycle) {
     VCOMP_REQUIRE(state_[i] != FaultState::Caught, "fault already caught");
+    leave_uncaught(i);
     if (state_[i] == FaultState::Hidden) hidden_states_.erase(i);
     state_[i] = FaultState::Caught;
     catch_cycle_[i] = cycle;
@@ -43,6 +63,7 @@ class FaultSets {
   void set_hidden(std::size_t i, scan::ChainState chain) {
     VCOMP_REQUIRE(state_[i] != FaultState::Caught,
                   "caught faults never become hidden");
+    leave_uncaught(i);
     state_[i] = FaultState::Hidden;
     hidden_states_.insert_or_assign(i, std::move(chain));
   }
@@ -53,6 +74,7 @@ class FaultSets {
                   "only hidden faults fall back to uncaught");
     hidden_states_.erase(i);
     state_[i] = FaultState::Uncaught;
+    if (targetable(i)) ++num_uncaught_targetable_;
   }
 
   const scan::ChainState& hidden_state(std::size_t i) const {
@@ -79,10 +101,20 @@ class FaultSets {
   }
 
  private:
+  bool targetable(std::size_t i) const {
+    return targetable_.empty() || targetable_[i] != 0;
+  }
+  void leave_uncaught(std::size_t i) {
+    if (state_[i] == FaultState::Uncaught && targetable(i))
+      --num_uncaught_targetable_;
+  }
+
   std::vector<FaultState> state_;
   std::vector<std::size_t> catch_cycle_;
   std::unordered_map<std::size_t, scan::ChainState> hidden_states_;
   std::size_t num_caught_ = 0;
+  std::vector<std::uint8_t> targetable_;
+  std::size_t num_uncaught_targetable_ = 0;
 };
 
 }  // namespace vcomp::core

@@ -145,7 +145,8 @@ class StitchEngine {
   scan::ScanOutModel out_model_;
   tmeas::Scoap scoap_;
   atpg::Podem podem_;
-  fault::DiffSim dsim_;  // candidate scoring and the ex-phase dropping sim
+  fault::DiffSim dsim_;        // the ex-phase fault-dropping sim
+  fault::DiffSimShards ssims_; // per-shard clones for candidate scoring
   Rng rng_;
 
   std::vector<std::size_t> order_;       // target walk order

@@ -72,6 +72,8 @@ class StitchTracker {
   void catch_externally(std::size_t i) { sets_.set_caught(i, cycle_ + 1); }
 
   const FaultSets& sets() const { return sets_; }
+  /// Setup-time access (e.g. FaultSets::set_targetable before the run).
+  FaultSets& mutable_sets() { return sets_; }
   const scan::ChainState& chain() const { return chain_; }
   std::size_t cycle() const { return cycle_; }
   const netlist::Netlist& netlist() const { return *nl_; }

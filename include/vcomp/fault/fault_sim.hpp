@@ -18,6 +18,7 @@
 /// while the stitching flow only observes POs plus the shifted-out window.
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -78,8 +79,36 @@ class DiffSim {
   // Observation structure: which gates drive POs / feed which flip-flops.
   std::vector<std::uint8_t> is_po_;
   std::vector<std::vector<std::uint32_t>> feeds_dff_;
+  std::vector<std::uint32_t> dff_index_of_;  // gate id -> dffs() index
+
+  static constexpr std::uint32_t kNotDff = ~std::uint32_t{0};
 
   std::vector<PpoDiff> ppo_out_;
+};
+
+/// Per-shard DiffSim instances for data-parallel fault scans: each shard of
+/// a util::parallel_for_shards loop drives a private engine, so no locking
+/// is needed anywhere.  Engines are constructed lazily (shard 0 on the
+/// first serial use, the rest only when the pool actually fans out) and
+/// persist across calls to amortize their allocations.
+class DiffSimShards {
+ public:
+  /// \p max_shards caps the shard count; 0 means util::parallelism().
+  explicit DiffSimShards(const netlist::Netlist& nl,
+                         std::size_t max_shards = 0);
+
+  std::size_t max_shards() const { return sims_.size(); }
+
+  /// The shard's private simulator.  Safe without locks because a shard
+  /// index is executed by exactly one task at a time.
+  DiffSim& at(std::size_t shard) {
+    if (!sims_[shard]) sims_[shard] = std::make_unique<DiffSim>(*nl_);
+    return *sims_[shard];
+  }
+
+ private:
+  const netlist::Netlist* nl_;
+  std::vector<std::unique_ptr<DiffSim>> sims_;
 };
 
 }  // namespace vcomp::fault

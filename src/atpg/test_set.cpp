@@ -1,15 +1,18 @@
 #include "vcomp/atpg/test_set.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 
 #include "vcomp/fault/fault_sim.hpp"
 #include "vcomp/tmeas/scoap.hpp"
 #include "vcomp/util/assert.hpp"
+#include "vcomp/util/parallel.hpp"
 
 namespace vcomp::atpg {
 
 using fault::DiffSim;
+using fault::DiffSimShards;
 using fault::Fault;
 using sim::Word;
 
@@ -33,7 +36,12 @@ TestSetResult generate_full_scan_tests(const netlist::Netlist& nl,
   TestSetResult result;
   result.classes.assign(faults.size(), FaultClass::Aborted);
 
-  DiffSim sim(nl);
+  // Per-fault simulation dominates this function and every fault is
+  // independent, so the bulk scans below are sharded over the thread pool
+  // with one private DiffSim per shard.  All merges are index-ordered (or
+  // write disjoint flags), so the result is bit-identical to the serial
+  // run for any VCOMP_THREADS.
+  DiffSimShards sims(nl);
   Rng rng(options.seed);
   std::vector<std::uint8_t> detected(faults.size(), 0);
 
@@ -43,30 +51,38 @@ TestSetResult generate_full_scan_tests(const netlist::Netlist& nl,
   // ---- Random phase with fault dropping -------------------------------
   std::size_t idle = 0;
   std::vector<Word> pi_words(npi), ppi_words(nff);
+  std::vector<Word> det_all(faults.size(), 0);
   for (std::size_t block = 0;
        options.random_idle_blocks > 0 && block < options.max_random_blocks &&
        idle < options.random_idle_blocks;
        ++block) {
-    for (std::size_t i = 0; i < npi; ++i) {
-      pi_words[i] = rng.next();
-      sim.good().set_input(i, pi_words[i]);
-    }
-    for (std::size_t i = 0; i < nff; ++i) {
-      ppi_words[i] = rng.next();
-      sim.good().set_state(i, ppi_words[i]);
-    }
-    sim.commit_good();
+    // Stimulus words are drawn serially (one RNG stream, unchanged from the
+    // serial flow); only the per-fault detection scan fans out.
+    for (std::size_t i = 0; i < npi; ++i) pi_words[i] = rng.next();
+    for (std::size_t i = 0; i < nff; ++i) ppi_words[i] = rng.next();
+
+    util::parallel_for_shards(
+        faults.size(), sims.max_shards(),
+        [&](std::size_t shard, std::size_t b, std::size_t e) {
+          DiffSim& s = sims.at(shard);
+          for (std::size_t i = 0; i < npi; ++i)
+            s.good().set_input(i, pi_words[i]);
+          for (std::size_t i = 0; i < nff; ++i)
+            s.good().set_state(i, ppi_words[i]);
+          s.commit_good();
+          for (std::size_t fi = b; fi < e; ++fi)
+            det_all[fi] = detected[fi] ? 0 : s.simulate(faults[fi]).any();
+        });
 
     // Greedy set cover within the block: keep the fewest patterns that
     // still detect every detectable fault (ATALANTA-grade compactness is
-    // what makes aTV a fair baseline).
+    // what makes aTV a fair baseline).  Consuming det_all in index order
+    // reproduces the serial candidate ordering exactly.
     std::vector<Word> det_words;
     std::vector<std::size_t> det_faults;
     for (std::size_t fi = 0; fi < faults.size(); ++fi) {
-      if (detected[fi]) continue;
-      const Word det = sim.simulate(faults[fi]).any();
-      if (det == 0) continue;
-      det_words.push_back(det);
+      if (detected[fi] || det_all[fi] == 0) continue;
+      det_words.push_back(det_all[fi]);
       det_faults.push_back(fi);
     }
     Word used = 0;
@@ -119,12 +135,22 @@ TestSetResult generate_full_scan_tests(const netlist::Netlist& nl,
     if (res.status == PodemStatus::Aborted) continue;
 
     TestVector v = fill_cube(res.cube, FillMode::Random, rng);
-    load_vector(sim, nl, v);
-    for (std::size_t fj = fi; fj < faults.size(); ++fj) {
-      if (detected[fj]) continue;
-      if (result.classes[fj] == FaultClass::Redundant) continue;
-      if (sim.simulate(faults[fj]).any() != 0) detected[fj] = 1;
-    }
+    // Fault-dropping simulation of the new vector, sharded over the
+    // remaining faults.  Shards write disjoint detected[] entries, so the
+    // flags after the scan equal the serial ones.
+    const std::size_t base = fi;
+    util::parallel_for_shards(
+        faults.size() - base, sims.max_shards(),
+        [&](std::size_t shard, std::size_t b, std::size_t e) {
+          DiffSim& s = sims.at(shard);
+          load_vector(s, nl, v);
+          for (std::size_t off = b; off < e; ++off) {
+            const std::size_t fj = base + off;
+            if (detected[fj]) continue;
+            if (result.classes[fj] == FaultClass::Redundant) continue;
+            if (s.simulate(faults[fj]).any() != 0) detected[fj] = 1;
+          }
+        });
     VCOMP_ENSURE(detected[fi], "PODEM vector failed to detect its target");
     result.vectors.push_back(std::move(v));
   }
@@ -135,16 +161,24 @@ TestSetResult generate_full_scan_tests(const netlist::Netlist& nl,
     std::vector<TestVector> kept;
     for (auto it = result.vectors.rbegin(); it != result.vectors.rend();
          ++it) {
-      load_vector(sim, nl, *it);
-      bool useful = false;
-      for (std::size_t fi = 0; fi < faults.size(); ++fi) {
-        if (!detected[fi] || redetected[fi]) continue;
-        if (sim.simulate(faults[fi]).any() != 0) {
-          redetected[fi] = 1;
-          useful = true;
-        }
-      }
-      if (useful) kept.push_back(std::move(*it));
+      std::atomic<bool> useful{false};
+      util::parallel_for_shards(
+          faults.size(), sims.max_shards(),
+          [&](std::size_t shard, std::size_t b, std::size_t e) {
+            DiffSim& s = sims.at(shard);
+            load_vector(s, nl, *it);
+            bool any = false;
+            for (std::size_t fi = b; fi < e; ++fi) {
+              if (!detected[fi] || redetected[fi]) continue;
+              if (s.simulate(faults[fi]).any() != 0) {
+                redetected[fi] = 1;
+                any = true;
+              }
+            }
+            if (any) useful.store(true, std::memory_order_relaxed);
+          });
+      if (useful.load(std::memory_order_relaxed))
+        kept.push_back(std::move(*it));
     }
     std::reverse(kept.begin(), kept.end());
     result.vectors = std::move(kept);

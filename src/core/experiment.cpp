@@ -1,6 +1,7 @@
 #include "vcomp/core/experiment.hpp"
 
 #include "vcomp/util/assert.hpp"
+#include "vcomp/util/parallel.hpp"
 
 namespace vcomp::core {
 
@@ -23,6 +24,20 @@ CircuitLab::CircuitLab(std::string name, netlist::Netlist nl,
 StitchResult CircuitLab::run(const StitchOptions& options) const {
   StitchEngine engine(nl_, faults_, baseline_, options);
   return engine.run();
+}
+
+std::vector<StitchResult> CircuitLab::run_many(
+    const std::vector<StitchOptions>& options) const {
+  return util::parallel_map(options.size(),
+                            [&](std::size_t i) { return run(options[i]); });
+}
+
+std::vector<std::unique_ptr<CircuitLab>> make_labs(
+    const std::vector<netgen::CircuitProfile>& profiles,
+    const atpg::TestSetOptions& baseline_options) {
+  return util::parallel_map(profiles.size(), [&](std::size_t i) {
+    return std::make_unique<CircuitLab>(profiles[i], baseline_options);
+  });
 }
 
 bool apply_info_ratio(StitchOptions& options, const netlist::Netlist& nl,

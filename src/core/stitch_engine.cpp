@@ -5,6 +5,7 @@
 
 #include "vcomp/atpg/fill.hpp"
 #include "vcomp/util/assert.hpp"
+#include "vcomp/util/parallel.hpp"
 
 namespace vcomp::core {
 
@@ -41,6 +42,7 @@ StitchEngine::StitchEngine(const netlist::Netlist& nl,
       scoap_(nl),
       podem_(nl, scoap_),
       dsim_(nl),
+      ssims_(nl),
       rng_(options.seed) {
   VCOMP_REQUIRE(nl.num_dffs() > 0, "stitching requires a scan chain");
   VCOMP_REQUIRE(baseline.classes.size() == faults.size(),
@@ -161,19 +163,19 @@ std::optional<StitchEngine::Candidate> StitchEngine::generate(
     }
   }
 
+  std::vector<Word> pi_w(nl_->num_inputs()), ppi_w(nl_->num_dffs());
   for (std::size_t i = 0; i < nl_->num_inputs(); ++i) {
     Word w = 0;
     for (std::size_t k = 0; k < cands.size(); ++k)
       if (cands[k].vector.pi[i]) w |= Word{1} << k;
-    dsim_.good().set_input(i, w);
+    pi_w[i] = w;
   }
   for (std::size_t i = 0; i < nl_->num_dffs(); ++i) {
     Word w = 0;
     for (std::size_t k = 0; k < cands.size(); ++k)
       if (cands[k].vector.ppi[i]) w |= Word{1} << k;
-    dsim_.good().set_state(i, w);
+    ppi_w[i] = w;
   }
-  dsim_.commit_good();
 
   // Approximate per-position observability for the scoring pass: a single
   // difference at position p is visible within s shift cycles iff some tap
@@ -204,25 +206,47 @@ std::optional<StitchEngine::Candidate> StitchEngine::generate(
     scored.resize(out);
   }
 
+  // Score all completions against the (sampled) uncaught set, sharded over
+  // the thread pool: each shard drives a private DiffSim loaded with the
+  // same 64-candidate stimulus and accumulates its own score array; the
+  // shard arrays are then summed.  Per-fault contributions are pure
+  // functions of the fault index, so the totals are identical for every
+  // thread count.
   std::vector<std::uint32_t> score(cands.size(), 0);
   const Word active =
       cands.size() == 64 ? ~Word{0} : ((Word{1} << cands.size()) - 1);
-  for (std::size_t i : scored) {
-    const auto eff = dsim_.simulate((*faults_)[i]);
-    Word obs = eff.po_any;
-    Word hid = 0;
-    for (const auto& d : eff.ppo_diffs) {
-      const std::size_t p = chain_map_.pos_of(d.dff_index);
-      (observed_pos[p] ? obs : hid) |= d.diff;
-    }
-    Word any = (obs | hid) & active;
-    if (any == 0) continue;
-    obs &= active;
-    for (int k = std::countr_zero(any); any != 0;
-         any &= any - 1, k = std::countr_zero(any))
-      score[static_cast<std::size_t>(k)] +=
-          ((obs >> k) & 1) ? kObservedWeight : kHiddenWeight;
-  }
+  std::vector<std::vector<std::uint32_t>> shard_scores(ssims_.max_shards());
+  util::parallel_for_shards(
+      scored.size(), ssims_.max_shards(),
+      [&](std::size_t shard, std::size_t b, std::size_t e) {
+        fault::DiffSim& sim = ssims_.at(shard);
+        for (std::size_t i = 0; i < pi_w.size(); ++i)
+          sim.good().set_input(i, pi_w[i]);
+        for (std::size_t i = 0; i < ppi_w.size(); ++i)
+          sim.good().set_state(i, ppi_w[i]);
+        sim.commit_good();
+        auto& sc = shard_scores[shard];
+        sc.assign(cands.size(), 0);
+        for (std::size_t n_i = b; n_i < e; ++n_i) {
+          const std::size_t i = scored[n_i];
+          const auto eff = sim.simulate((*faults_)[i]);
+          Word obs = eff.po_any;
+          Word hid = 0;
+          for (const auto& d : eff.ppo_diffs) {
+            const std::size_t p = chain_map_.pos_of(d.dff_index);
+            (observed_pos[p] ? obs : hid) |= d.diff;
+          }
+          Word any = (obs | hid) & active;
+          if (any == 0) continue;
+          obs &= active;
+          for (int k = std::countr_zero(any); any != 0;
+               any &= any - 1, k = std::countr_zero(any))
+            sc[static_cast<std::size_t>(k)] +=
+                ((obs >> k) & 1) ? kObservedWeight : kHiddenWeight;
+        }
+      });
+  for (const auto& sc : shard_scores)
+    for (std::size_t k = 0; k < sc.size(); ++k) score[k] += sc[k];
 
   std::size_t best = 0;
   for (std::size_t k = 1; k < cands.size(); ++k)
@@ -248,6 +272,9 @@ StitchResult StitchEngine::run() {
     if (baseline_->classes[i] == atpg::FaultClass::Redundant) track[i] = 0;
   StitchTracker tracker(*nl_, *faults_, opts_.capture, out_model_,
                         std::move(track));
+  // O(1) loop-termination predicate: the sets maintain the count of
+  // targetable faults still in f_u across state transitions.
+  tracker.mutable_sets().set_targetable(targetable_);
 
   auto policy = make_policy();
   scan::CostMeter meter(npi, npo, L);
@@ -256,11 +283,7 @@ StitchResult StitchEngine::run() {
   std::size_t last_shift = L;
 
   auto uncaught_targets_remain = [&]() {
-    for (std::size_t i = 0; i < faults_->size(); ++i)
-      if (targetable_[i] &&
-          tracker.sets().state(i) == FaultState::Uncaught)
-        return true;
-    return false;
+    return tracker.sets().num_uncaught_targetable() > 0;
   };
 
   // ---- stitched phase ---------------------------------------------------

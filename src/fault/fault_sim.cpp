@@ -1,6 +1,7 @@
 #include "vcomp/fault/fault_sim.hpp"
 
 #include "vcomp/util/assert.hpp"
+#include "vcomp/util/parallel.hpp"
 
 namespace vcomp::fault {
 
@@ -17,8 +18,11 @@ DiffSim::DiffSim(const netlist::Netlist& nl) : nl_(&nl), good_(nl) {
   is_po_.assign(n, 0);
   feeds_dff_.resize(n);
   for (GateId po : nl.outputs()) is_po_[po] = 1;
-  for (std::uint32_t i = 0; i < nl.num_dffs(); ++i)
+  dff_index_of_.assign(n, kNotDff);
+  for (std::uint32_t i = 0; i < nl.num_dffs(); ++i) {
     feeds_dff_[nl.gate(nl.dffs()[i]).fanin[0]].push_back(i);
+    dff_index_of_[nl.dffs()[i]] = i;
+  }
   ppo_out_.reserve(16);
   gather_.reserve(16);
 }
@@ -69,12 +73,8 @@ DiffSim::Effect DiffSim::simulate(const Fault& f) {
       // A branch into a flip-flop data pin only perturbs the captured state.
       const Word d = good_vals[src] ^ forced;
       if (d == 0) return effect;
-      // Locate the dff index.
-      for (std::uint32_t i = 0; i < nl_->num_dffs(); ++i)
-        if (nl_->dffs()[i] == f.gate) {
-          ppo_out_.push_back({i, d});
-          break;
-        }
+      VCOMP_ENSURE(dff_index_of_[f.gate] != kNotDff, "fault site not a dff");
+      ppo_out_.push_back({dff_index_of_[f.gate], d});
       effect.ppo_diffs = ppo_out_;
       return effect;
     }
@@ -120,6 +120,13 @@ DiffSim::Effect DiffSim::simulate(const Fault& f) {
   }
   effect.ppo_diffs = ppo_out_;
   return effect;
+}
+
+DiffSimShards::DiffSimShards(const netlist::Netlist& nl,
+                             std::size_t max_shards)
+    : nl_(&nl) {
+  const std::size_t n = max_shards > 0 ? max_shards : util::parallelism();
+  sims_.resize(n > 0 ? n : 1);
 }
 
 }  // namespace vcomp::fault

@@ -1,0 +1,74 @@
+// The parallel execution layer's core guarantee: for the same seed, every
+// thread count produces byte-identical results — the baseline test set, the
+// stitched schedule and the reported ratios.  VCOMP_THREADS=1 is the exact
+// serial flow, so comparing it against a 4-way pool checks the sharded
+// scans, the score reductions and the sweep fan-out all at once.
+
+#include <gtest/gtest.h>
+
+#include "vcomp/core/experiment.hpp"
+#include "vcomp/util/parallel.hpp"
+
+namespace vcomp::core {
+namespace {
+
+void expect_identical(const StitchResult& a, const StitchResult& b) {
+  EXPECT_EQ(a.vectors_applied, b.vectors_applied);
+  EXPECT_EQ(a.extra_full_vectors, b.extra_full_vectors);
+  EXPECT_EQ(a.baseline_vectors, b.baseline_vectors);
+  EXPECT_EQ(a.time_ratio, b.time_ratio);      // exact, not approximate
+  EXPECT_EQ(a.memory_ratio, b.memory_ratio);  // exact, not approximate
+  EXPECT_EQ(a.caught_stitched, b.caught_stitched);
+  EXPECT_EQ(a.caught_flush, b.caught_flush);
+  EXPECT_EQ(a.caught_extra, b.caught_extra);
+  EXPECT_EQ(a.uncovered, b.uncovered);
+  EXPECT_EQ(a.hidden_peak, b.hidden_peak);
+  ASSERT_EQ(a.schedule.vectors.size(), b.schedule.vectors.size());
+  EXPECT_EQ(a.schedule.vectors, b.schedule.vectors);
+  EXPECT_EQ(a.schedule.shifts, b.schedule.shifts);
+  EXPECT_EQ(a.schedule.terminal_observe, b.schedule.terminal_observe);
+  EXPECT_EQ(a.schedule.extra, b.schedule.extra);
+}
+
+TEST(ParallelDeterminism, BaselineTestSetIsThreadCountInvariant) {
+  const auto build = [](std::size_t threads) {
+    util::ScopedParallelism scoped(threads);
+    return CircuitLab(netgen::profile("s444"));
+  };
+  const CircuitLab serial = build(1);
+  const CircuitLab pooled = build(4);
+  EXPECT_EQ(serial.baseline().vectors, pooled.baseline().vectors);
+  EXPECT_EQ(serial.baseline().classes, pooled.baseline().classes);
+  EXPECT_EQ(serial.baseline().num_detected, pooled.baseline().num_detected);
+}
+
+TEST(ParallelDeterminism, StitchResultsIdenticalOnTwoProfiles) {
+  for (const char* name : {"s444", "s526"}) {
+    SCOPED_TRACE(name);
+    // One lab (built at the ambient thread count) run under both pool
+    // sizes: the engine's scoring shards and the run_many fan-out must not
+    // leak into the result.
+    const CircuitLab lab(netgen::profile(name));
+    StitchOptions variable;  // variable shift + most-faults scoring
+    StitchOptions fixed;
+    fixed.fixed_shift = lab.netlist().num_dffs() / 2;
+
+    std::vector<StitchResult> serial, pooled;
+    {
+      util::ScopedParallelism scoped(1);
+      serial = lab.run_many({variable, fixed});
+    }
+    {
+      util::ScopedParallelism scoped(4);
+      pooled = lab.run_many({variable, fixed});
+    }
+    ASSERT_EQ(serial.size(), pooled.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      SCOPED_TRACE(i);
+      expect_identical(serial[i], pooled[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vcomp::core

@@ -13,6 +13,9 @@
 //     --capture <c>       normal (default) | vxor
 //     --hxor <taps>       horizontal-XOR scan-out with <taps> taps
 //     --seed <n>          run seed
+//     --threads <n>       worker threads (default: VCOMP_THREADS or all
+//                         hardware threads; results are identical for any
+//                         thread count)
 //
 // Exit code 0 iff coverage is fully preserved.
 
@@ -25,6 +28,7 @@
 #include "vcomp/core/schedule_io.hpp"
 #include "vcomp/netlist/bench_io.hpp"
 #include "vcomp/netlist/verilog_io.hpp"
+#include "vcomp/util/parallel.hpp"
 
 using namespace vcomp;
 
@@ -34,7 +38,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <netlist.bench> [--out f] [--shift n | --info r]\n"
                "       [--selection random|hardness|most-faults]\n"
-               "       [--capture normal|vxor] [--hxor taps] [--seed n]\n",
+               "       [--capture normal|vxor] [--hxor taps] [--seed n]\n"
+               "       [--threads n]\n",
                argv0);
   return 2;
 }
@@ -61,6 +66,8 @@ int main(int argc, char** argv) {
     else if (a == "--shift") opts.fixed_shift = std::stoul(need("--shift"));
     else if (a == "--info") info = std::stod(need("--info"));
     else if (a == "--seed") opts.seed = std::stoull(need("--seed"));
+    else if (a == "--threads")
+      util::ThreadPool::instance().configure(std::stoul(need("--threads")));
     else if (a == "--hxor") opts.hxor_taps = std::stoul(need("--hxor"));
     else if (a == "--capture") {
       const std::string c = need("--capture");
@@ -87,9 +94,10 @@ int main(int argc, char** argv) {
                            path.rfind(".sv") == path.size() - 3));
     auto nl = verilog ? netlist::read_verilog_file(path)
                       : netlist::read_bench_file(path);
-    std::printf("netlist: %zu PIs, %zu POs, %zu scan cells, %zu gates\n",
+    std::printf("netlist: %zu PIs, %zu POs, %zu scan cells, %zu gates  "
+                "(%zu threads)\n",
                 nl.num_inputs(), nl.num_outputs(), nl.num_dffs(),
-                nl.num_comb_gates());
+                nl.num_comb_gates(), util::parallelism());
     core::CircuitLab lab(path, std::move(nl));
     if (info > 0.0 &&
         !core::apply_info_ratio(opts, lab.netlist(), info)) {
