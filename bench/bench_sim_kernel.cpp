@@ -1,0 +1,177 @@
+// Evaluation-kernel microbenchmark: raw throughput of the compiled
+// evaluation core (EvalGraph + fused CSR kernels) that every simulator in
+// the flow runs on.
+//
+// For a spread of circuit profiles it measures:
+//  * word_evals_per_sec — WordSim::eval gate evaluations per second; each
+//    gate eval covers 64 parallel patterns, so pattern-gate-evals are 64×;
+//  * trit_evals_per_sec — TernarySim::eval gate evaluations per second;
+//  * diff_faults_per_sec — DiffSim single-fault queries per second against
+//    a committed 64-pattern stimulus (event-driven, so much more than one
+//    full-circuit sweep per query is a *loss*);
+//  * compile_seconds — one-off EvalGraph::compile cost.
+//
+// Results go to $VCOMP_BENCH_JSON (default BENCH_simkernel.json) so future
+// PRs can diff eval throughput; see EXPERIMENTS.md for methodology.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "vcomp/fault/fault.hpp"
+#include "vcomp/fault/fault_sim.hpp"
+#include "vcomp/netgen/netgen.hpp"
+#include "vcomp/sim/eval_graph.hpp"
+#include "vcomp/sim/ternary_sim.hpp"
+#include "vcomp/sim/word_sim.hpp"
+#include "vcomp/util/rng.hpp"
+
+namespace {
+
+using namespace vcomp;
+using benchutil::Stopwatch;
+using sim::Word;
+
+struct KernelRow {
+  std::string circuit;
+  std::size_t gates = 0;
+  std::size_t sched = 0;
+  double compile_seconds = 0;
+  double word_evals_per_sec = 0;
+  double trit_evals_per_sec = 0;
+  double diff_faults_per_sec = 0;
+};
+
+/// Repeats \p body (one "round" = \p per_round units) until the target
+/// wall-time is hit; returns units per second.
+template <typename Body>
+double measure(double target_seconds, double per_round, Body&& body) {
+  // Warm-up round: touches every array once before the clock starts.
+  body();
+  Stopwatch sw;
+  std::size_t rounds = 0;
+  do {
+    body();
+    ++rounds;
+  } while (sw.seconds() < target_seconds);
+  return double(rounds) * per_round / sw.seconds();
+}
+
+KernelRow bench_circuit(const netgen::CircuitProfile& profile,
+                        double target_seconds) {
+  const netlist::Netlist nl = netgen::generate(profile);
+  KernelRow row;
+  row.circuit = profile.name;
+  row.gates = nl.num_gates();
+
+  Stopwatch compile_sw;
+  const auto eg = sim::EvalGraph::compile(nl);
+  row.compile_seconds = compile_sw.seconds();
+  row.sched = eg->schedule().size();
+
+  Rng rng(7);
+
+  // Word kernel: full combinational sweeps over fresh random stimuli.
+  {
+    sim::WordSim ws(eg);
+    row.word_evals_per_sec =
+        measure(target_seconds, double(row.sched), [&] {
+          for (std::size_t i = 0; i < nl.num_inputs(); ++i)
+            ws.set_input(i, rng.next());
+          for (std::size_t i = 0; i < nl.num_dffs(); ++i)
+            ws.set_state(i, rng.next());
+          ws.eval();
+        });
+  }
+
+  // Ternary kernel: same sweep shape over three-valued stimuli.
+  {
+    sim::TernarySim ts(eg);
+    auto draw = [&] {
+      const auto r = rng.below(3);
+      return r == 0 ? sim::Trit::Zero : r == 1 ? sim::Trit::One : sim::Trit::X;
+    };
+    row.trit_evals_per_sec =
+        measure(target_seconds, double(row.sched), [&] {
+          for (std::size_t i = 0; i < nl.num_inputs(); ++i)
+            ts.set_input(i, draw());
+          for (std::size_t i = 0; i < nl.num_dffs(); ++i)
+            ts.set_state(i, draw());
+          ts.eval();
+        });
+  }
+
+  // Diff fault sim: per-fault queries against one committed stimulus.
+  {
+    fault::DiffSim ds(eg);
+    for (std::size_t i = 0; i < nl.num_inputs(); ++i)
+      ds.good().set_input(i, rng.next());
+    for (std::size_t i = 0; i < nl.num_dffs(); ++i)
+      ds.good().set_state(i, rng.next());
+    ds.commit_good();
+    const auto faults = fault::full_fault_universe(nl);
+    volatile Word sink = 0;
+    row.diff_faults_per_sec =
+        measure(target_seconds, double(faults.size()), [&] {
+          Word acc = 0;
+          for (const auto& f : faults) acc ^= ds.simulate(f).any();
+          sink = sink ^ acc;
+        });
+  }
+  return row;
+}
+
+std::string write_json(const std::vector<KernelRow>& rows) {
+  const char* env = std::getenv("VCOMP_BENCH_JSON");
+  const std::string path = env != nullptr ? env : "BENCH_simkernel.json";
+  std::ofstream out(path);
+  if (!out.good()) return {};
+  out << "{\n"
+      << "  \"bench\": \"sim_kernel\",\n"
+      << "  \"threads\": " << benchutil::threads_used() << ",\n"
+      << "  \"quick\": " << (benchutil::quick_mode() ? "true" : "false")
+      << ",\n"
+      << "  \"circuits\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const KernelRow& r = rows[i];
+    out << "    {\"circuit\": \"" << r.circuit << "\", \"gates\": " << r.gates
+        << ", \"sched\": " << r.sched
+        << ", \"compile_seconds\": " << r.compile_seconds
+        << ", \"word_evals_per_sec\": " << r.word_evals_per_sec
+        << ", \"trit_evals_per_sec\": " << r.trit_evals_per_sec
+        << ", \"diff_faults_per_sec\": " << r.diff_faults_per_sec << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return path;
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = benchutil::quick_mode();
+  const double target = quick ? 0.05 : 0.25;
+
+  std::vector<std::string> names = {"s444", "s526", "s1423"};
+  if (!quick) {
+    names.push_back("s5378");
+    names.push_back("s13207");
+  }
+
+  std::vector<KernelRow> rows;
+  std::printf("%-10s %10s %10s %14s %14s %14s\n", "circuit", "gates", "sched",
+              "Mword-ev/s", "Mtrit-ev/s", "kfaults/s");
+  for (const auto& name : names) {
+    rows.push_back(bench_circuit(netgen::profile(name), target));
+    const KernelRow& r = rows.back();
+    std::printf("%-10s %10zu %10zu %14.1f %14.1f %14.1f\n", r.circuit.c_str(),
+                r.gates, r.sched, r.word_evals_per_sec / 1e6,
+                r.trit_evals_per_sec / 1e6, r.diff_faults_per_sec / 1e3);
+  }
+
+  const std::string path = write_json(rows);
+  if (!path.empty()) std::printf("\nwrote %s\n", path.c_str());
+  return 0;
+}

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "vcomp/fault/fault.hpp"
+#include "vcomp/sim/eval_graph.hpp"
 #include "vcomp/sim/trit.hpp"
 #include "vcomp/tmeas/scoap.hpp"
 
@@ -64,6 +65,9 @@ struct PodemResult {
 /// Reusable PODEM engine (holds per-netlist scratch state).
 class Podem {
  public:
+  /// Shares a pre-compiled evaluation graph for implication / cone scans.
+  Podem(sim::EvalGraph::Ref graph, const tmeas::Scoap& scoap);
+  /// Convenience: compiles a private graph for \p nl.
   Podem(const netlist::Netlist& nl, const tmeas::Scoap& scoap);
 
   /// Generates a test cube for \p f honouring \p constraints (may be null).
@@ -100,6 +104,7 @@ class Podem {
                                                   sim::Trit v) const;
   bool xpath_exists(const fault::Fault& f);
 
+  sim::EvalGraph::Ref eg_;
   const netlist::Netlist* nl_;
   const tmeas::Scoap* scoap_;
 
@@ -122,7 +127,6 @@ class Podem {
   std::vector<std::int8_t> xpath_val_;
   std::uint32_t xpath_epoch_ = 0;
 
-  std::vector<sim::Trit> gather_good_, gather_bad_;
   const PpiConstraints* constraints_ = nullptr;
 };
 

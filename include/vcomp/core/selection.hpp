@@ -27,8 +27,15 @@ enum class SelectionPolicy : std::uint8_t { Random, Hardness, MostFaults };
 
 std::string to_string(SelectionPolicy p);
 
-/// Builds the target-walk order over fault indices for a policy.
+/// Builds the target-walk order over fault indices for a policy, reusing a
+/// pre-compiled evaluation graph for the hardness estimation.
 /// \p faults is the collapsed representative list.
+std::vector<std::size_t> target_order(
+    SelectionPolicy policy, const sim::EvalGraph::Ref& graph,
+    const std::vector<fault::Fault>& faults,
+    const tmeas::HardnessOptions& hardness, Rng& rng);
+
+/// Convenience: compiles a transient evaluation graph when one is needed.
 std::vector<std::size_t> target_order(
     SelectionPolicy policy, const netlist::Netlist& nl,
     const std::vector<fault::Fault>& faults,

@@ -27,6 +27,7 @@
 #include "vcomp/core/shift_policy.hpp"
 #include "vcomp/core/tracker.hpp"
 #include "vcomp/scan/cost_model.hpp"
+#include "vcomp/sim/eval_graph.hpp"
 
 namespace vcomp::core {
 
@@ -143,11 +144,19 @@ class StitchEngine {
 
   scan::ScanChain chain_map_;
   scan::ScanOutModel out_model_;
+  sim::EvalGraph::Ref eg_;     // one compiled graph under every engine below
   tmeas::Scoap scoap_;
   atpg::Podem podem_;
   fault::DiffSim dsim_;        // the ex-phase fault-dropping sim
   fault::DiffSimShards ssims_; // per-shard clones for candidate scoring
   Rng rng_;
+
+  // Per-cycle scratch reused across generate() calls (hot path: one call
+  // per stitched cycle; these would otherwise allocate every cycle).
+  std::vector<sim::Word> pi_w_, ppi_w_;           // candidate stimulus words
+  std::vector<std::uint8_t> observed_pos_;        // chain-position visibility
+  std::vector<std::size_t> scored_;               // sampled uncaught faults
+  std::vector<std::vector<std::uint32_t>> shard_scores_;
 
   std::vector<std::size_t> order_;       // target walk order
   std::vector<std::uint8_t> targetable_; // baseline-detected faults

@@ -45,7 +45,13 @@ struct CycleStats {
 class StitchTracker {
  public:
   /// \p track marks the faults to follow (e.g. everything but proven
-  /// redundancies); empty means "track all".
+  /// redundancies); empty means "track all".  Both internal simulators
+  /// share the given pre-compiled evaluation graph.
+  StitchTracker(sim::EvalGraph::Ref graph,
+                const fault::CollapsedFaults& faults,
+                scan::CaptureMode capture, scan::ScanOutModel out_model,
+                std::vector<std::uint8_t> track = {});
+  /// Convenience: compiles a private graph for \p nl.
   StitchTracker(const netlist::Netlist& nl,
                 const fault::CollapsedFaults& faults,
                 scan::CaptureMode capture, scan::ScanOutModel out_model,

@@ -11,6 +11,10 @@
 /// fault sees a privately mutated test vector, so stimuli genuinely differ
 /// per lane).  The test suite also uses it as an independent oracle against
 /// DiffSim.
+///
+/// The combinational sweep runs over the shared EvalGraph schedule; only
+/// gates carrying an injected pin force take the gather-and-patch slow
+/// path, everything else uses the fused CSR kernel.
 
 #include <cstdint>
 #include <unordered_map>
@@ -23,9 +27,13 @@ namespace vcomp::fault {
 
 class LaneSim {
  public:
+  /// Shares a pre-compiled evaluation graph (the cheap constructor).
+  explicit LaneSim(sim::EvalGraph::Ref graph);
+  /// Convenience: compiles a private graph for \p nl.
   explicit LaneSim(const netlist::Netlist& nl);
 
-  const netlist::Netlist& netlist() const { return *nl_; }
+  const netlist::Netlist& netlist() const { return eg_->netlist(); }
+  const sim::EvalGraph::Ref& graph() const { return eg_; }
 
   /// Removes all lanes, stimuli and injected faults.
   void clear();
@@ -69,7 +77,7 @@ class LaneSim {
     return (v & ~(m0 | m1)) | m1;
   }
 
-  const netlist::Netlist* nl_;
+  sim::EvalGraph::Ref eg_;
   int lanes_ = 0;
   std::vector<sim::Word> values_;
   std::unordered_map<netlist::GateId, StemForce> stem_forces_;

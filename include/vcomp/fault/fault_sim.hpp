@@ -16,6 +16,10 @@
 ///
 /// Callers decide what "detected" means: full-scan observes everything,
 /// while the stitching flow only observes POs plus the shifted-out window.
+///
+/// Structure (levels, observation points, DFF feeder lists, CSR fanin /
+/// fanout) comes from the shared EvalGraph; per-instance state is only the
+/// mutable delta/queue scratch, so per-shard clones are cheap.
 
 #include <cstdint>
 #include <memory>
@@ -29,7 +33,12 @@ namespace vcomp::fault {
 
 class DiffSim {
  public:
+  /// Shares a pre-compiled evaluation graph (the cheap constructor).
+  explicit DiffSim(sim::EvalGraph::Ref graph);
+  /// Convenience: compiles a private graph for \p nl.
   explicit DiffSim(const netlist::Netlist& nl);
+
+  const sim::EvalGraph::Ref& graph() const { return good_.graph(); }
 
   /// The embedded good-circuit simulator; set stimuli through it.
   sim::WordSim& good() { return good_; }
@@ -66,7 +75,7 @@ class DiffSim {
   void schedule(netlist::GateId g);
   void set_origin(netlist::GateId g, sim::Word d);
 
-  const netlist::Netlist* nl_;
+  sim::EvalGraph::Ref eg_;
   sim::WordSim good_;
 
   std::vector<sim::Word> delta_;        // faulty XOR good, per gate
@@ -74,14 +83,10 @@ class DiffSim {
   std::vector<netlist::GateId> touched_list_;
   std::vector<std::uint8_t> queued_;
   std::vector<std::vector<netlist::GateId>> buckets_;  // by level
-  std::vector<sim::Word> gather_;
-
-  // Observation structure: which gates drive POs / feed which flip-flops.
-  std::vector<std::uint8_t> is_po_;
-  std::vector<std::vector<std::uint32_t>> feeds_dff_;
-  std::vector<std::uint32_t> dff_index_of_;  // gate id -> dffs() index
-
-  static constexpr std::uint32_t kNotDff = ~std::uint32_t{0};
+  // Scheduled-but-unprocessed event count; nonzero outside the propagation
+  // loop means a previous simulate() was abandoned mid-flight (it threw),
+  // and reset_deltas() must drain the queue before the next propagation.
+  std::size_t pending_events_ = 0;
 
   std::vector<PpoDiff> ppo_out_;
 };
@@ -90,24 +95,27 @@ class DiffSim {
 /// a util::parallel_for_shards loop drives a private engine, so no locking
 /// is needed anywhere.  Engines are constructed lazily (shard 0 on the
 /// first serial use, the rest only when the pool actually fans out) and
-/// persist across calls to amortize their allocations.
+/// persist across calls to amortize their allocations.  All shards share
+/// one immutable EvalGraph — structure is compiled once, not per shard.
 class DiffSimShards {
  public:
   /// \p max_shards caps the shard count; 0 means util::parallelism().
+  explicit DiffSimShards(sim::EvalGraph::Ref graph, std::size_t max_shards = 0);
   explicit DiffSimShards(const netlist::Netlist& nl,
                          std::size_t max_shards = 0);
 
   std::size_t max_shards() const { return sims_.size(); }
+  const sim::EvalGraph::Ref& graph() const { return eg_; }
 
   /// The shard's private simulator.  Safe without locks because a shard
   /// index is executed by exactly one task at a time.
   DiffSim& at(std::size_t shard) {
-    if (!sims_[shard]) sims_[shard] = std::make_unique<DiffSim>(*nl_);
+    if (!sims_[shard]) sims_[shard] = std::make_unique<DiffSim>(eg_);
     return *sims_[shard];
   }
 
  private:
-  const netlist::Netlist* nl_;
+  sim::EvalGraph::Ref eg_;
   std::vector<std::unique_ptr<DiffSim>> sims_;
 };
 

@@ -7,10 +7,13 @@
 /// ternary simulation pins an output to 0/1 pins it for *every* completion
 /// of the X's (monotonicity), which is the property the stitching flow's
 /// fill step relies on.
+///
+/// Evaluation runs over the compiled EvalGraph schedule, reading fanin
+/// trits straight out of the CSR index buffer.
 
 #include <vector>
 
-#include "vcomp/netlist/netlist.hpp"
+#include "vcomp/sim/eval_graph.hpp"
 #include "vcomp/sim/trit.hpp"
 
 namespace vcomp::sim {
@@ -18,9 +21,13 @@ namespace vcomp::sim {
 /// Ternary combinational simulator; mirrors WordSim's interface.
 class TernarySim {
  public:
+  /// Shares a pre-compiled evaluation graph (the cheap constructor).
+  explicit TernarySim(EvalGraph::Ref graph);
+  /// Convenience: compiles a private graph for \p nl.
   explicit TernarySim(const netlist::Netlist& nl);
 
-  const netlist::Netlist& netlist() const { return *nl_; }
+  const netlist::Netlist& netlist() const { return eg_->netlist(); }
+  const EvalGraph::Ref& graph() const { return eg_; }
 
   /// Sets all sources to X.
   void clear();
@@ -37,9 +44,8 @@ class TernarySim {
   Trit next_state(std::size_t i) const;
 
  private:
-  const netlist::Netlist* nl_;
+  EvalGraph::Ref eg_;
   std::vector<Trit> values_;
-  std::vector<Trit> scratch_;
 };
 
 }  // namespace vcomp::sim

@@ -51,4 +51,40 @@ inline Trit trit_xor(Trit a, Trit b) {
 /// combinational type (Buf/Not/And/Nand/Or/Nor/Xor/Xnor).
 Trit trit_eval(netlist::GateType type, std::span<const Trit> fanin);
 
+/// Fused gate kernel over an arbitrary fanin accessor: \p get(k) returns
+/// the trit on the k-th fanin pin, \p n is the pin count.  Evaluates
+/// without a gather copy (mirrors word_eval_fused).
+template <typename Get>
+inline Trit trit_eval_fused(netlist::GateType type, std::size_t n,
+                            Get&& get) {
+  switch (type) {
+    case netlist::GateType::Buf:
+      return get(0);
+    case netlist::GateType::Not:
+      return trit_not(get(0));
+    case netlist::GateType::And:
+    case netlist::GateType::Nand: {
+      Trit v = get(0);
+      for (std::size_t i = 1; i < n; ++i) v = trit_and(v, get(i));
+      return type == netlist::GateType::Nand ? trit_not(v) : v;
+    }
+    case netlist::GateType::Or:
+    case netlist::GateType::Nor: {
+      Trit v = get(0);
+      for (std::size_t i = 1; i < n; ++i) v = trit_or(v, get(i));
+      return type == netlist::GateType::Nor ? trit_not(v) : v;
+    }
+    case netlist::GateType::Xor:
+    case netlist::GateType::Xnor: {
+      Trit v = get(0);
+      for (std::size_t i = 1; i < n; ++i) v = trit_xor(v, get(i));
+      return type == netlist::GateType::Xnor ? trit_not(v) : v;
+    }
+    case netlist::GateType::Input:
+    case netlist::GateType::Dff:
+      break;
+  }
+  return trit_eval(type, {});  // unreachable: raises the contract error
+}
+
 }  // namespace vcomp::sim

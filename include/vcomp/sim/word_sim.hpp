@@ -7,12 +7,17 @@
 /// pattern k, so one eval() pass simulates up to 64 stimuli.  This is the
 /// workhorse under fault simulation, hardness estimation and candidate-fill
 /// scoring.
+///
+/// Evaluation runs over the compiled EvalGraph: a tight sweep of the
+/// level-partitioned schedule reading fanin words straight out of the CSR
+/// index buffer — no per-gate scratch copy, no pointer chasing through the
+/// builder netlist.
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
-#include "vcomp/netlist/netlist.hpp"
+#include "vcomp/sim/eval_graph.hpp"
 
 namespace vcomp::sim {
 
@@ -22,6 +27,55 @@ using Word = std::uint64_t;
 /// Evaluates one combinational gate over word-valued fanins.
 Word word_eval(netlist::GateType type, std::span<const Word> fanin);
 
+/// Fused gate kernel over an arbitrary fanin accessor: \p get(k) returns
+/// the word of the k-th fanin pin, \p n is the pin count.  Lets every
+/// engine (plain values, good^delta, forced pins) evaluate without first
+/// copying fanin words into a gather buffer.
+template <typename Get>
+inline Word word_eval_fused(netlist::GateType type, std::size_t n,
+                            Get&& get) {
+  switch (type) {
+    case netlist::GateType::Buf:
+      return get(0);
+    case netlist::GateType::Not:
+      return ~get(0);
+    case netlist::GateType::And: {
+      Word v = get(0);
+      for (std::size_t i = 1; i < n; ++i) v &= get(i);
+      return v;
+    }
+    case netlist::GateType::Nand: {
+      Word v = get(0);
+      for (std::size_t i = 1; i < n; ++i) v &= get(i);
+      return ~v;
+    }
+    case netlist::GateType::Or: {
+      Word v = get(0);
+      for (std::size_t i = 1; i < n; ++i) v |= get(i);
+      return v;
+    }
+    case netlist::GateType::Nor: {
+      Word v = get(0);
+      for (std::size_t i = 1; i < n; ++i) v |= get(i);
+      return ~v;
+    }
+    case netlist::GateType::Xor: {
+      Word v = get(0);
+      for (std::size_t i = 1; i < n; ++i) v ^= get(i);
+      return v;
+    }
+    case netlist::GateType::Xnor: {
+      Word v = get(0);
+      for (std::size_t i = 1; i < n; ++i) v ^= get(i);
+      return ~v;
+    }
+    case netlist::GateType::Input:
+    case netlist::GateType::Dff:
+      break;
+  }
+  return word_eval(type, {});  // unreachable: raises the contract error
+}
+
 /// Pattern-parallel combinational simulator for a finalized netlist.
 ///
 /// Usage: set_input / set_state, eval(), then read values.  Input and Dff
@@ -29,9 +83,13 @@ Word word_eval(netlist::GateType type, std::span<const Word> fanin);
 /// topological order.
 class WordSim {
  public:
+  /// Shares a pre-compiled evaluation graph (the cheap constructor).
+  explicit WordSim(EvalGraph::Ref graph);
+  /// Convenience: compiles a private graph for \p nl.
   explicit WordSim(const netlist::Netlist& nl);
 
-  const netlist::Netlist& netlist() const { return *nl_; }
+  const netlist::Netlist& netlist() const { return eg_->netlist(); }
+  const EvalGraph::Ref& graph() const { return eg_; }
 
   /// Sets the value of the i-th primary input (index into netlist.inputs()).
   void set_input(std::size_t i, Word v);
@@ -59,9 +117,8 @@ class WordSim {
   std::span<Word> mutable_values() { return values_; }
 
  private:
-  const netlist::Netlist* nl_;
+  EvalGraph::Ref eg_;
   std::vector<Word> values_;
-  std::vector<Word> scratch_;  // fanin gather buffer
 };
 
 }  // namespace vcomp::sim

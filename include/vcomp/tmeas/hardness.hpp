@@ -26,11 +26,21 @@ struct HardnessOptions {
 /// Detection count per fault over \p opts.random_patterns random vectors
 /// (full observation: POs + all capture points).
 std::vector<std::uint32_t> detection_counts(
+    const sim::EvalGraph::Ref& graph, const std::vector<fault::Fault>& faults,
+    const HardnessOptions& opts = {});
+
+/// Convenience: compiles a transient evaluation graph for \p nl.
+std::vector<std::uint32_t> detection_counts(
     const netlist::Netlist& nl, const std::vector<fault::Fault>& faults,
     const HardnessOptions& opts = {});
 
 /// Indices into \p faults ordered hardest-first: ascending random detection
 /// count, ties broken by descending SCOAP difficulty.
+std::vector<std::size_t> hardness_order(
+    const sim::EvalGraph::Ref& graph, const std::vector<fault::Fault>& faults,
+    const HardnessOptions& opts = {});
+
+/// Convenience: compiles a transient evaluation graph for \p nl.
 std::vector<std::size_t> hardness_order(
     const netlist::Netlist& nl, const std::vector<fault::Fault>& faults,
     const HardnessOptions& opts = {});

@@ -18,6 +18,7 @@
 
 #include "vcomp/fault/fault.hpp"
 #include "vcomp/netlist/netlist.hpp"
+#include "vcomp/sim/eval_graph.hpp"
 
 namespace vcomp::tmeas {
 
@@ -34,6 +35,10 @@ inline Cost cost_add(Cost a, Cost b) {
 /// SCOAP measures for every signal of a finalized netlist.
 class Scoap {
  public:
+  /// Computes the measures over a compiled evaluation graph (the graph is
+  /// only read during construction and need not outlive the object).
+  explicit Scoap(const sim::EvalGraph& eg);
+  /// Convenience: compiles a transient graph for \p nl.
   explicit Scoap(const netlist::Netlist& nl);
 
   Cost cc0(netlist::GateId g) const { return cc0_[g]; }

@@ -46,3 +46,13 @@ namespace detail {
       ::vcomp::detail::contract_fail("invariant", #cond, __FILE__, __LINE__, \
                                      (msg));                                 \
   } while (false)
+
+/// Debug-build-only invariant check for hot paths: compiled out under
+/// NDEBUG, a full VCOMP_ENSURE otherwise.
+#ifdef NDEBUG
+#define VCOMP_DASSERT(cond, msg) \
+  do {                           \
+  } while (false)
+#else
+#define VCOMP_DASSERT(cond, msg) VCOMP_ENSURE(cond, msg)
+#endif

@@ -39,21 +39,25 @@ Trit noncontrolling(GateType t) {
 
 }  // namespace
 
-Podem::Podem(const netlist::Netlist& nl, const tmeas::Scoap& scoap)
-    : nl_(&nl), scoap_(&scoap) {
-  const std::size_t n = nl.num_gates();
+Podem::Podem(sim::EvalGraph::Ref graph, const tmeas::Scoap& scoap)
+    : eg_(std::move(graph)), nl_(&eg_->netlist()), scoap_(&scoap) {
+  const std::size_t n = eg_->num_gates();
   assign_.assign(n, Trit::X);
   good_.assign(n, Trit::X);
   bad_.assign(n, Trit::X);
   is_obs_.assign(n, 0);
-  for (GateId g : nl.outputs()) is_obs_[g] = 1;
-  for (GateId d : nl.dffs()) is_obs_[nl.gate(d).fanin[0]] = 1;
+  for (GateId g : eg_->outputs()) is_obs_[g] = 1;
+  for (std::size_t i = 0; i < eg_->num_dffs(); ++i)
+    is_obs_[eg_->dff_input(i)] = 1;
   in_cone_.assign(n, 0);
-  buckets_.resize(nl.depth() + 1);
+  buckets_.resize(eg_->num_levels());
   queued_.assign(n, 0);
   xpath_seen_.assign(n, 0);
   xpath_val_.assign(n, 0);
 }
+
+Podem::Podem(const netlist::Netlist& nl, const tmeas::Scoap& scoap)
+    : Podem(sim::EvalGraph::compile(nl), scoap) {}
 
 void Podem::compute_cone(const Fault& f) {
   for (GateId g : cone_) in_cone_[g] = 0;
@@ -64,7 +68,7 @@ void Podem::compute_cone(const Fault& f) {
   // site's fanouts plus the site itself; for a branch fault the sink gate.
   std::vector<GateId> work;
   auto push = [&](GateId g) {
-    const GateType t = nl_->gate(g).type;
+    const GateType t = eg_->type(g);
     if (t == GateType::Dff || t == GateType::Input) return;
     if (in_cone_[g]) return;
     in_cone_[g] = 1;
@@ -73,13 +77,13 @@ void Podem::compute_cone(const Fault& f) {
     work.push_back(g);
   };
   if (f.is_stem()) {
-    const GateType t = nl_->gate(f.gate).type;
+    const GateType t = eg_->type(f.gate);
     if (t != GateType::Dff && t != GateType::Input) push(f.gate);
     if (t == GateType::Dff || t == GateType::Input) {
       // PPI / PI stem: cone is the fanout logic; the stem line itself is
       // observable only through its sinks (it is never a PO in this model,
       // but keep the stem observable if marked).
-      for (GateId s : nl_->gate(f.gate).fanout) push(s);
+      for (GateId s : eg_->fanout(f.gate)) push(s);
       if (is_obs_[f.gate]) cone_obs_.push_back(f.gate);
     }
   } else if (!is_dff_pin_fault(*nl_, f)) {
@@ -88,7 +92,7 @@ void Podem::compute_cone(const Fault& f) {
   while (!work.empty()) {
     const GateId u = work.back();
     work.pop_back();
-    for (GateId s : nl_->gate(u).fanout) push(s);
+    for (GateId s : eg_->fanout(u)) push(s);
   }
 }
 
@@ -103,20 +107,20 @@ void Podem::load_assignments() {
 }
 
 void Podem::eval_pair(GateId u, const Fault& f, Trit& good, Trit& bad) {
-  const auto& g = nl_->gate(u);
-  auto& gg = gather_good_;
-  auto& gb = gather_bad_;
-  gg.clear();
-  gb.clear();
-  for (GateId fin : g.fanin) {
-    gg.push_back(good_[fin]);
-    gb.push_back(bad_[fin]);
+  const auto fin = eg_->fanin(u);
+  const GateType type = eg_->type(u);
+  good = sim::trit_eval_fused(type, fin.size(),
+                              [&](std::size_t k) { return good_[fin[k]]; });
+  if (f.is_stem() && f.gate == u) {
+    bad = stuck_trit(f);
+    return;
   }
-  if (!f.is_stem() && f.gate == u)
-    gb[static_cast<std::size_t>(f.pin)] = stuck_trit(f);
-  good = sim::trit_eval(g.type, gg);
-  bad = (f.is_stem() && f.gate == u) ? stuck_trit(f)
-                                     : sim::trit_eval(g.type, gb);
+  const std::size_t forced_pin =
+      (!f.is_stem() && f.gate == u) ? static_cast<std::size_t>(f.pin)
+                                    : fin.size();
+  bad = sim::trit_eval_fused(type, fin.size(), [&](std::size_t k) {
+    return k == forced_pin ? stuck_trit(f) : bad_[fin[k]];
+  });
 }
 
 void Podem::full_imply(const Fault& f) {
@@ -130,10 +134,10 @@ void Podem::full_imply(const Fault& f) {
     bad_[g] = assign_[g];
   }
   if (f.is_stem()) {
-    const auto t = nl_->gate(f.gate).type;
+    const auto t = eg_->type(f.gate);
     if (t == GateType::Input || t == GateType::Dff) bad_[f.gate] = sv;
   }
-  for (GateId u : nl_->topo_order()) eval_pair(u, f, good_[u], bad_[u]);
+  for (GateId u : eg_->schedule()) eval_pair(u, f, good_[u], bad_[u]);
 }
 
 void Podem::assign_source(GateId src, Trit v, const Fault& f) {
@@ -145,13 +149,13 @@ void Podem::assign_source(GateId src, Trit v, const Fault& f) {
 
   // Levelized event propagation.
   auto schedule = [&](GateId g) {
-    const auto& gate = nl_->gate(g);
-    if (gate.type == GateType::Input || gate.type == GateType::Dff) return;
+    const GateType t = eg_->type(g);
+    if (t == GateType::Input || t == GateType::Dff) return;
     if (queued_[g]) return;
     queued_[g] = 1;
-    buckets_[gate.level].push_back(g);
+    buckets_[eg_->level(g)].push_back(g);
   };
-  for (GateId s : nl_->gate(src).fanout) schedule(s);
+  for (GateId s : eg_->fanout(src)) schedule(s);
 
   for (std::uint32_t lvl = 0; lvl < buckets_.size(); ++lvl) {
     auto& bucket = buckets_[lvl];
@@ -164,7 +168,7 @@ void Podem::assign_source(GateId src, Trit v, const Fault& f) {
       trail_.push_back({u, good_[u], bad_[u]});
       good_[u] = ng;
       bad_[u] = nb;
-      for (GateId s : nl_->gate(u).fanout) schedule(s);
+      for (GateId s : eg_->fanout(u)) schedule(s);
     }
     bucket.clear();
   }
@@ -211,7 +215,7 @@ std::optional<std::pair<GateId, Trit>> Podem::objective(const Fault& f) {
   // A just-activated branch fault carries its D on the *pin* of the sink
   // gate, not on any signal, so the sink gate is a frontier member that
   // the signal-level scan below cannot see.
-  if (!f.is_stem() && nl_->gate(f.gate).type != GateType::Dff &&
+  if (!f.is_stem() && eg_->type(f.gate) != GateType::Dff &&
       (!definite(good_[f.gate]) || !definite(bad_[f.gate]))) {
     best = f.gate;
     best_co = scoap_->co(f.gate);
@@ -219,9 +223,8 @@ std::optional<std::pair<GateId, Trit>> Podem::objective(const Fault& f) {
   for (GateId u : cone_) {
     const bool unresolved = !definite(good_[u]) || !definite(bad_[u]);
     if (!unresolved) continue;
-    const auto& g = nl_->gate(u);
     bool has_d = false;
-    for (GateId fin : g.fanin)
+    for (GateId fin : eg_->fanin(u))
       if (definite(good_[fin]) && definite(bad_[fin]) &&
           good_[fin] != bad_[fin]) {
         has_d = true;
@@ -236,10 +239,9 @@ std::optional<std::pair<GateId, Trit>> Podem::objective(const Fault& f) {
   }
   if (best == netlist::kNoGate) return std::nullopt;
 
-  const auto& g = nl_->gate(best);
   // Pick an unspecified input to set to the non-controlling value.
   GateId pick = netlist::kNoGate;
-  for (GateId fin : g.fanin) {
+  for (GateId fin : eg_->fanin(best)) {
     if (definite(good_[fin]) && definite(bad_[fin])) continue;
     if (!definite(good_[fin])) {
       pick = fin;
@@ -248,22 +250,22 @@ std::optional<std::pair<GateId, Trit>> Podem::objective(const Fault& f) {
     if (pick == netlist::kNoGate) pick = fin;
   }
   if (pick == netlist::kNoGate) return std::nullopt;
-  return std::make_pair(pick, noncontrolling(g.type));
+  return std::make_pair(pick, noncontrolling(eg_->type(best)));
 }
 
 std::pair<GateId, Trit> Podem::backtrace(GateId g, Trit v) const {
   for (;;) {
-    const auto& gate = nl_->gate(g);
-    if (gate.type == GateType::Input || gate.type == GateType::Dff)
-      return {g, v};
+    const GateType type = eg_->type(g);
+    if (type == GateType::Input || type == GateType::Dff) return {g, v};
+    const auto fanin = eg_->fanin(g);
 
     // Desired value at this gate's inputs (strip the output bubble).
-    Trit want = netlist::is_inverting(gate.type) ? sim::trit_not(v) : v;
+    Trit want = netlist::is_inverting(type) ? sim::trit_not(v) : v;
 
     // Choose among unspecified fanins.
     GateId pick = netlist::kNoGate;
     bool want_all = false;  // must set *all* inputs (pick hardest) vs any one
-    switch (gate.type) {
+    switch (type) {
       case GateType::And:
       case GateType::Nand:
         want_all = (want == Trit::One);
@@ -278,7 +280,7 @@ std::pair<GateId, Trit> Podem::backtrace(GateId g, Trit v) const {
     }
 
     tmeas::Cost best_cost = want_all ? 0 : tmeas::kInfCost + 1;
-    for (GateId fin : gate.fanin) {
+    for (GateId fin : fanin) {
       if (definite(good_[fin])) continue;
       const tmeas::Cost c = scoap_->cc(fin, want == Trit::One);
       const bool better =
@@ -291,7 +293,7 @@ std::pair<GateId, Trit> Podem::backtrace(GateId g, Trit v) const {
     }
     if (pick == netlist::kNoGate) {
       // All good-side values specified; follow a bad-side X line instead.
-      for (GateId fin : gate.fanin)
+      for (GateId fin : fanin)
         if (!definite(bad_[fin])) {
           pick = fin;
           break;
@@ -300,10 +302,10 @@ std::pair<GateId, Trit> Podem::backtrace(GateId g, Trit v) const {
                    "backtrace stuck on fully specified gate");
     }
 
-    if (gate.type == GateType::Xor || gate.type == GateType::Xnor) {
+    if (type == GateType::Xor || type == GateType::Xnor) {
       // Desired pick value = want ⊕ (xor of other inputs, X treated as 0).
       Trit acc = Trit::Zero;
-      for (GateId fin : gate.fanin) {
+      for (GateId fin : fanin) {
         if (fin == pick) continue;
         if (good_[fin] == Trit::One) acc = sim::trit_not(acc);
       }
@@ -350,8 +352,8 @@ bool Podem::xpath_exists(const Fault& f) {
         found = true;
         break;
       }
-      for (GateId s : nl_->gate(u).fanout) {
-        const auto st = nl_->gate(s).type;
+      for (GateId s : eg_->fanout(u)) {
+        const auto st = eg_->type(s);
         if (st == GateType::Dff || st == GateType::Input) continue;
         if (!unresolved(s)) continue;
         if (seen(s) && memo_val(s) == 1) {
@@ -379,8 +381,8 @@ bool Podem::xpath_exists(const Fault& f) {
     if (!(definite(good_[g]) && definite(bad_[g]) && good_[g] != bad_[g]))
       return false;
     if (is_obs_[g]) return true;  // would have been `detected`
-    for (GateId s : nl_->gate(g).fanout) {
-      const auto st = nl_->gate(s).type;
+    for (GateId s : eg_->fanout(g)) {
+      const auto st = eg_->type(s);
       if (st == GateType::Dff || st == GateType::Input) continue;
       if ((!definite(good_[s]) || !definite(bad_[s])) && reaches(s))
         return true;
@@ -389,7 +391,7 @@ bool Podem::xpath_exists(const Fault& f) {
   };
   // The stem line of a PPI-sited fault lives outside cone_.
   if (f.is_stem()) {
-    const auto t = nl_->gate(f.gate).type;
+    const auto t = eg_->type(f.gate);
     if ((t == GateType::Dff || t == GateType::Input) && check_line(f.gate))
       return true;
   }

@@ -40,8 +40,10 @@ TestSetResult generate_full_scan_tests(const netlist::Netlist& nl,
   // independent, so the bulk scans below are sharded over the thread pool
   // with one private DiffSim per shard.  All merges are index-ordered (or
   // write disjoint flags), so the result is bit-identical to the serial
-  // run for any VCOMP_THREADS.
-  DiffSimShards sims(nl);
+  // run for any VCOMP_THREADS.  One compiled graph backs every shard and
+  // the deterministic-phase engines below.
+  const auto eg = sim::EvalGraph::compile(nl);
+  DiffSimShards sims(eg);
   Rng rng(options.seed);
   std::vector<std::uint8_t> detected(faults.size(), 0);
 
@@ -123,8 +125,8 @@ TestSetResult generate_full_scan_tests(const netlist::Netlist& nl,
   }
 
   // ---- Deterministic phase --------------------------------------------
-  tmeas::Scoap scoap(nl);
-  Podem podem(nl, scoap);
+  tmeas::Scoap scoap(*eg);
+  Podem podem(eg, scoap);
   for (std::size_t fi = 0; fi < faults.size(); ++fi) {
     if (detected[fi]) continue;
     const auto res = podem.generate(faults[fi], nullptr, options.podem);

@@ -51,9 +51,11 @@ VirtualScanResult run_virtual_scan(const netlist::Netlist& nl,
       ++remaining_count;
     }
 
-  tmeas::Scoap scoap(nl);
-  atpg::Podem podem(nl, scoap);
-  DiffSim sim(nl);
+  // One compiled evaluation graph serves ATPG and fault dropping alike.
+  const auto eg = sim::EvalGraph::compile(nl);
+  tmeas::Scoap scoap(*eg);
+  atpg::Podem podem(eg, scoap);
+  DiffSim sim(eg);
   Rng rng(options.seed);
   const scan::Lfsr proto = scan::Lfsr::standard(lfsr_len);
 

@@ -14,7 +14,7 @@ std::string to_string(SelectionPolicy p) {
 }
 
 std::vector<std::size_t> target_order(
-    SelectionPolicy policy, const netlist::Netlist& nl,
+    SelectionPolicy policy, const sim::EvalGraph::Ref& graph,
     const std::vector<fault::Fault>& faults,
     const tmeas::HardnessOptions& hardness, Rng& rng) {
   switch (policy) {
@@ -25,7 +25,7 @@ std::vector<std::size_t> target_order(
       return order;
     }
     case SelectionPolicy::Hardness:
-      return tmeas::hardness_order(nl, faults, hardness);
+      return tmeas::hardness_order(graph, faults, hardness);
     case SelectionPolicy::MostFaults: {
       // Natural order; the greedy candidate scoring does the real work.
       std::vector<std::size_t> order(faults.size());
@@ -34,6 +34,17 @@ std::vector<std::size_t> target_order(
     }
   }
   return {};
+}
+
+std::vector<std::size_t> target_order(
+    SelectionPolicy policy, const netlist::Netlist& nl,
+    const std::vector<fault::Fault>& faults,
+    const tmeas::HardnessOptions& hardness, Rng& rng) {
+  if (policy == SelectionPolicy::Hardness)
+    return target_order(policy, sim::EvalGraph::compile(nl), faults, hardness,
+                        rng);
+  sim::EvalGraph::Ref none;
+  return target_order(policy, none, faults, hardness, rng);
 }
 
 }  // namespace vcomp::core

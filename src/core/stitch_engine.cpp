@@ -39,16 +39,19 @@ StitchEngine::StitchEngine(const netlist::Netlist& nl,
                      ? scan::ScanOutModel::hxor(nl.num_dffs(),
                                                 options.hxor_taps)
                      : scan::ScanOutModel::direct(nl.num_dffs())),
-      scoap_(nl),
-      podem_(nl, scoap_),
-      dsim_(nl),
-      ssims_(nl),
+      eg_(sim::EvalGraph::compile(nl)),
+      scoap_(*eg_),
+      podem_(eg_, scoap_),
+      dsim_(eg_),
+      ssims_(eg_),
       rng_(options.seed) {
   VCOMP_REQUIRE(nl.num_dffs() > 0, "stitching requires a scan chain");
   VCOMP_REQUIRE(baseline.classes.size() == faults.size(),
                 "baseline classification does not match fault list");
-  order_ = target_order(opts_.selection, nl, faults.faults(), opts_.hardness,
+  order_ = target_order(opts_.selection, eg_, faults.faults(), opts_.hardness,
                         rng_);
+  scored_.reserve(faults.size());
+  shard_scores_.resize(ssims_.max_shards());
   targetable_.assign(faults.size(), 0);
   for (std::size_t i = 0; i < faults.size(); ++i)
     if (baseline.classes[i] == atpg::FaultClass::Detected) targetable_[i] = 1;
@@ -163,18 +166,19 @@ std::optional<StitchEngine::Candidate> StitchEngine::generate(
     }
   }
 
-  std::vector<Word> pi_w(nl_->num_inputs()), ppi_w(nl_->num_dffs());
+  pi_w_.resize(nl_->num_inputs());
+  ppi_w_.resize(nl_->num_dffs());
   for (std::size_t i = 0; i < nl_->num_inputs(); ++i) {
     Word w = 0;
     for (std::size_t k = 0; k < cands.size(); ++k)
       if (cands[k].vector.pi[i]) w |= Word{1} << k;
-    pi_w[i] = w;
+    pi_w_[i] = w;
   }
   for (std::size_t i = 0; i < nl_->num_dffs(); ++i) {
     Word w = 0;
     for (std::size_t k = 0; k < cands.size(); ++k)
       if (cands[k].vector.ppi[i]) w |= Word{1} << k;
-    ppi_w[i] = w;
+    ppi_w_[i] = w;
   }
 
   // Approximate per-position observability for the scoring pass: a single
@@ -182,28 +186,27 @@ std::optional<StitchEngine::Candidate> StitchEngine::generate(
   // t >= p lies within s steps.  (The commit path uses the exact,
   // cancellation-aware check.)
   const std::size_t L = nl_->num_dffs();
-  std::vector<std::uint8_t> observed_pos(L, 0);
+  observed_pos_.assign(L, 0);
   for (std::uint32_t t : out_model_.taps)
     for (std::size_t p = (t + 1 >= s ? t + 1 - s : 0); p <= t; ++p)
-      observed_pos[p] = 1;
+      observed_pos_[p] = 1;
 
   // On very large uncaught sets, score against a deterministic stride
   // sample — the argmax is statistics, not bookkeeping, so sampling is
   // safe (catch classification in the tracker stays exact).
   constexpr std::size_t kScoreSampleCap = 4096;
-  std::vector<std::size_t> scored;
-  scored.reserve(faults_->size());
+  scored_.clear();
   for (std::size_t i = 0; i < faults_->size(); ++i) {
     if (sets.state(i) != FaultState::Uncaught) continue;
     if (baseline_->classes[i] == atpg::FaultClass::Redundant) continue;
-    scored.push_back(i);
+    scored_.push_back(i);
   }
-  if (scored.size() > kScoreSampleCap) {
-    const std::size_t stride = scored.size() / kScoreSampleCap + 1;
+  if (scored_.size() > kScoreSampleCap) {
+    const std::size_t stride = scored_.size() / kScoreSampleCap + 1;
     std::size_t out = 0;
-    for (std::size_t k = 0; k < scored.size(); k += stride)
-      scored[out++] = scored[k];
-    scored.resize(out);
+    for (std::size_t k = 0; k < scored_.size(); k += stride)
+      scored_[out++] = scored_[k];
+    scored_.resize(out);
   }
 
   // Score all completions against the (sampled) uncaught set, sharded over
@@ -215,26 +218,27 @@ std::optional<StitchEngine::Candidate> StitchEngine::generate(
   std::vector<std::uint32_t> score(cands.size(), 0);
   const Word active =
       cands.size() == 64 ? ~Word{0} : ((Word{1} << cands.size()) - 1);
-  std::vector<std::vector<std::uint32_t>> shard_scores(ssims_.max_shards());
+  // Shards with an empty range never run, so drop last cycle's counts.
+  for (auto& sc : shard_scores_) sc.clear();
   util::parallel_for_shards(
-      scored.size(), ssims_.max_shards(),
+      scored_.size(), ssims_.max_shards(),
       [&](std::size_t shard, std::size_t b, std::size_t e) {
         fault::DiffSim& sim = ssims_.at(shard);
-        for (std::size_t i = 0; i < pi_w.size(); ++i)
-          sim.good().set_input(i, pi_w[i]);
-        for (std::size_t i = 0; i < ppi_w.size(); ++i)
-          sim.good().set_state(i, ppi_w[i]);
+        for (std::size_t i = 0; i < pi_w_.size(); ++i)
+          sim.good().set_input(i, pi_w_[i]);
+        for (std::size_t i = 0; i < ppi_w_.size(); ++i)
+          sim.good().set_state(i, ppi_w_[i]);
         sim.commit_good();
-        auto& sc = shard_scores[shard];
+        auto& sc = shard_scores_[shard];
         sc.assign(cands.size(), 0);
         for (std::size_t n_i = b; n_i < e; ++n_i) {
-          const std::size_t i = scored[n_i];
+          const std::size_t i = scored_[n_i];
           const auto eff = sim.simulate((*faults_)[i]);
           Word obs = eff.po_any;
           Word hid = 0;
           for (const auto& d : eff.ppo_diffs) {
             const std::size_t p = chain_map_.pos_of(d.dff_index);
-            (observed_pos[p] ? obs : hid) |= d.diff;
+            (observed_pos_[p] ? obs : hid) |= d.diff;
           }
           Word any = (obs | hid) & active;
           if (any == 0) continue;
@@ -245,7 +249,7 @@ std::optional<StitchEngine::Candidate> StitchEngine::generate(
                 ((obs >> k) & 1) ? kObservedWeight : kHiddenWeight;
         }
       });
-  for (const auto& sc : shard_scores)
+  for (const auto& sc : shard_scores_)
     for (std::size_t k = 0; k < sc.size(); ++k) score[k] += sc[k];
 
   std::size_t best = 0;
@@ -270,7 +274,7 @@ StitchResult StitchEngine::run() {
   std::vector<std::uint8_t> track(faults_->size(), 1);
   for (std::size_t i = 0; i < faults_->size(); ++i)
     if (baseline_->classes[i] == atpg::FaultClass::Redundant) track[i] = 0;
-  StitchTracker tracker(*nl_, *faults_, opts_.capture, out_model_,
+  StitchTracker tracker(eg_, *faults_, opts_.capture, out_model_,
                         std::move(track));
   // O(1) loop-termination predicate: the sets maintain the count of
   // targetable faults still in f_u across state transitions.

@@ -10,25 +10,33 @@ using atpg::TestVector;
 using scan::ChainState;
 using sim::Word;
 
+StitchTracker::StitchTracker(sim::EvalGraph::Ref graph,
+                             const fault::CollapsedFaults& faults,
+                             scan::CaptureMode capture,
+                             scan::ScanOutModel out_model,
+                             std::vector<std::uint8_t> track)
+    : nl_(&graph->netlist()),
+      faults_(&faults),
+      capture_(capture),
+      out_model_(std::move(out_model)),
+      chain_map_(*nl_),
+      track_(std::move(track)),
+      sets_(faults.size()),
+      chain_(nl_->num_dffs()),
+      dsim_(graph),
+      lanes_(std::move(graph)) {
+  VCOMP_REQUIRE(nl_->num_dffs() > 0, "tracker requires a scan chain");
+  if (track_.empty()) track_.assign(faults.size(), 1);
+  VCOMP_REQUIRE(track_.size() == faults.size(), "track mask size mismatch");
+}
+
 StitchTracker::StitchTracker(const netlist::Netlist& nl,
                              const fault::CollapsedFaults& faults,
                              scan::CaptureMode capture,
                              scan::ScanOutModel out_model,
                              std::vector<std::uint8_t> track)
-    : nl_(&nl),
-      faults_(&faults),
-      capture_(capture),
-      out_model_(std::move(out_model)),
-      chain_map_(nl),
-      track_(std::move(track)),
-      sets_(faults.size()),
-      chain_(nl.num_dffs()),
-      dsim_(nl),
-      lanes_(nl) {
-  VCOMP_REQUIRE(nl.num_dffs() > 0, "tracker requires a scan chain");
-  if (track_.empty()) track_.assign(faults.size(), 1);
-  VCOMP_REQUIRE(track_.size() == faults.size(), "track mask size mismatch");
-}
+    : StitchTracker(sim::EvalGraph::compile(nl), faults, capture,
+                    std::move(out_model), std::move(track)) {}
 
 void StitchTracker::load_good_sim(const TestVector& v) {
   for (std::size_t i = 0; i < nl_->num_inputs(); ++i)

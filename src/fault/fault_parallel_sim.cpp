@@ -6,13 +6,17 @@ namespace vcomp::fault {
 
 using netlist::GateId;
 using netlist::GateType;
+using sim::EvalGraph;
 using sim::Word;
 
-LaneSim::LaneSim(const netlist::Netlist& nl) : nl_(&nl) {
-  VCOMP_REQUIRE(nl.finalized(), "LaneSim requires a finalized netlist");
-  values_.assign(nl.num_gates(), 0);
+LaneSim::LaneSim(EvalGraph::Ref graph) : eg_(std::move(graph)) {
+  VCOMP_REQUIRE(eg_ != nullptr, "LaneSim requires an evaluation graph");
+  values_.assign(eg_->num_gates(), 0);
   gather_.reserve(16);
 }
+
+LaneSim::LaneSim(const netlist::Netlist& nl)
+    : LaneSim(EvalGraph::compile(nl)) {}
 
 void LaneSim::clear() {
   lanes_ = 0;
@@ -28,17 +32,17 @@ int LaneSim::add_lane() {
 
 void LaneSim::set_pi(int lane, std::size_t input_index, bool v) {
   VCOMP_REQUIRE(lane >= 0 && lane < lanes_, "bad lane index");
-  VCOMP_REQUIRE(input_index < nl_->num_inputs(), "input index out of range");
+  VCOMP_REQUIRE(input_index < eg_->num_inputs(), "input index out of range");
   const Word m = Word{1} << lane;
-  Word& w = values_[nl_->inputs()[input_index]];
+  Word& w = values_[eg_->inputs()[input_index]];
   w = v ? (w | m) : (w & ~m);
 }
 
 void LaneSim::set_state(int lane, std::size_t dff_index, bool v) {
   VCOMP_REQUIRE(lane >= 0 && lane < lanes_, "bad lane index");
-  VCOMP_REQUIRE(dff_index < nl_->num_dffs(), "state index out of range");
+  VCOMP_REQUIRE(dff_index < eg_->num_dffs(), "state index out of range");
   const Word m = Word{1} << lane;
-  Word& w = values_[nl_->dffs()[dff_index]];
+  Word& w = values_[eg_->dffs()[dff_index]];
   w = v ? (w | m) : (w & ~m);
 }
 
@@ -65,22 +69,40 @@ void LaneSim::inject(int lane, const Fault& f) {
 void LaneSim::eval() {
   // Stem forces on sources (PI / PPI stem faults).
   for (const auto& [g, force] : stem_forces_) {
-    const GateType t = nl_->gate(g).type;
+    const GateType t = eg_->type(g);
     if (t == GateType::Input || t == GateType::Dff)
       values_[g] = apply_force(values_[g], force.mask0, force.mask1);
   }
 
-  for (GateId id : nl_->topo_order()) {
-    const auto& gate = nl_->gate(id);
-    gather_.clear();
-    for (GateId f : gate.fanin) gather_.push_back(values_[f]);
-    if (auto it = pin_forces_.find(id); it != pin_forces_.end())
-      for (const auto& pf : it->second)
+  const EvalGraph& eg = *eg_;
+  const std::uint32_t* off = eg.fanin_offsets();
+  const GateId* ids = eg.fanin_ids();
+  Word* vals = values_.data();
+  const bool any_pin_forces = !pin_forces_.empty();
+  const bool any_stem_forces = !stem_forces_.empty();
+  for (GateId id : eg.schedule()) {
+    const std::uint32_t b = off[id];
+    const std::uint32_t n = off[id + 1] - b;
+    Word v;
+    const auto pin_it =
+        any_pin_forces ? pin_forces_.find(id) : pin_forces_.end();
+    if (pin_it != pin_forces_.end()) {
+      // Rare slow path: gather, patch the forced pins, evaluate.
+      gather_.clear();
+      for (std::uint32_t k = 0; k < n; ++k)
+        gather_.push_back(vals[ids[b + k]]);
+      for (const auto& pf : pin_it->second)
         gather_[pf.pin] = apply_force(gather_[pf.pin], pf.mask0, pf.mask1);
-    Word v = sim::word_eval(gate.type, gather_);
-    if (auto it = stem_forces_.find(id); it != stem_forces_.end())
-      v = apply_force(v, it->second.mask0, it->second.mask1);
-    values_[id] = v;
+      v = sim::word_eval(eg.type(id), gather_);
+    } else {
+      v = sim::word_eval_fused(eg.type(id), n, [&](std::size_t k) {
+        return vals[ids[b + k]];
+      });
+    }
+    if (any_stem_forces)
+      if (auto it = stem_forces_.find(id); it != stem_forces_.end())
+        v = apply_force(v, it->second.mask0, it->second.mask1);
+    vals[id] = v;
   }
 }
 
@@ -93,15 +115,15 @@ bool LaneSim::next_state(int lane, std::size_t dff_index) const {
 }
 
 Word LaneSim::output_word(std::size_t po_index) const {
-  VCOMP_REQUIRE(po_index < nl_->num_outputs(), "output index out of range");
-  return values_[nl_->outputs()[po_index]];
+  VCOMP_REQUIRE(po_index < eg_->num_outputs(), "output index out of range");
+  return values_[eg_->outputs()[po_index]];
 }
 
 Word LaneSim::next_state_word(std::size_t dff_index) const {
-  VCOMP_REQUIRE(dff_index < nl_->num_dffs(), "state index out of range");
-  const GateId dff = nl_->dffs()[dff_index];
-  Word v = values_[nl_->gate(dff).fanin[0]];
+  VCOMP_REQUIRE(dff_index < eg_->num_dffs(), "state index out of range");
+  Word v = values_[eg_->dff_input(dff_index)];
   // Branch faults on the flip-flop data pin perturb only the captured bit.
+  const GateId dff = eg_->dffs()[dff_index];
   if (auto it = pin_forces_.find(dff); it != pin_forces_.end())
     for (const auto& pf : it->second)
       if (pf.pin == 0) v = apply_force(v, pf.mask0, pf.mask1);

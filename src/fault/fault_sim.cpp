@@ -7,25 +7,20 @@ namespace vcomp::fault {
 
 using netlist::GateId;
 using netlist::GateType;
+using sim::EvalGraph;
 using sim::Word;
 
-DiffSim::DiffSim(const netlist::Netlist& nl) : nl_(&nl), good_(nl) {
-  const std::size_t n = nl.num_gates();
+DiffSim::DiffSim(EvalGraph::Ref graph) : eg_(std::move(graph)), good_(eg_) {
+  const std::size_t n = eg_->num_gates();
   delta_.assign(n, 0);
   touched_.assign(n, 0);
   queued_.assign(n, 0);
-  buckets_.resize(nl.depth() + 1);
-  is_po_.assign(n, 0);
-  feeds_dff_.resize(n);
-  for (GateId po : nl.outputs()) is_po_[po] = 1;
-  dff_index_of_.assign(n, kNotDff);
-  for (std::uint32_t i = 0; i < nl.num_dffs(); ++i) {
-    feeds_dff_[nl.gate(nl.dffs()[i]).fanin[0]].push_back(i);
-    dff_index_of_[nl.dffs()[i]] = i;
-  }
+  buckets_.resize(eg_->num_levels());
   ppo_out_.reserve(16);
-  gather_.reserve(16);
 }
+
+DiffSim::DiffSim(const netlist::Netlist& nl)
+    : DiffSim(EvalGraph::compile(nl)) {}
 
 void DiffSim::commit_good() { good_.eval(); }
 
@@ -35,21 +30,39 @@ void DiffSim::reset_deltas() {
     touched_[g] = 0;
   }
   touched_list_.clear();
+  // Normally the propagation loop drains every scheduled event, but a
+  // simulate() that threw mid-flight (a contract error inside a kernel)
+  // abandons its queue.  Left alone, those stale queued_ marks would make
+  // later calls silently skip re-scheduling the same gates — a fault whose
+  // delta is zero at the origin returns early and never runs the loop that
+  // would have flushed them.  Drain explicitly so every call starts clean.
+  if (pending_events_ != 0) {
+    for (auto& bucket : buckets_) {
+      for (GateId g : bucket) queued_[g] = 0;
+      bucket.clear();
+    }
+    pending_events_ = 0;
+  }
+#ifndef NDEBUG
+  for (const auto& bucket : buckets_)
+    VCOMP_DASSERT(bucket.empty(), "event bucket not drained");
+#endif
 }
 
 void DiffSim::schedule(GateId g) {
-  const auto& gate = nl_->gate(g);
-  if (gate.type == GateType::Input || gate.type == GateType::Dff) return;
+  const GateType t = eg_->type(g);
+  if (t == GateType::Input || t == GateType::Dff) return;
   if (queued_[g]) return;
   queued_[g] = 1;
-  buckets_[gate.level].push_back(g);
+  buckets_[eg_->level(g)].push_back(g);
+  ++pending_events_;
 }
 
 void DiffSim::set_origin(GateId g, Word d) {
   delta_[g] = d;
   touched_[g] = 1;
   touched_list_.push_back(g);
-  for (GateId s : nl_->gate(g).fanout) schedule(s);
+  for (GateId s : eg_->fanout(g)) schedule(s);
 }
 
 DiffSim::Effect DiffSim::simulate(const Fault& f) {
@@ -57,8 +70,9 @@ DiffSim::Effect DiffSim::simulate(const Fault& f) {
   ppo_out_.clear();
   Effect effect;
 
-  const auto& good_vals = good_.values();
-  const auto& site = nl_->gate(f.gate);
+  const EvalGraph& eg = *eg_;
+  const Word* good_vals = good_.values().data();
+  Word* delta = delta_.data();
 
   if (f.is_stem()) {
     const Word forced = f.stuck ? ~Word{0} : Word{0};
@@ -67,66 +81,76 @@ DiffSim::Effect DiffSim::simulate(const Fault& f) {
     set_origin(f.gate, d);
   } else {
     const std::size_t pin = static_cast<std::size_t>(f.pin);
-    const GateId src = site.fanin.at(pin);
+    const auto site_fanin = eg.fanin(f.gate);
+    const GateId src = site_fanin[pin];
     const Word forced = f.stuck ? ~Word{0} : Word{0};
-    if (site.type == GateType::Dff) {
+    if (eg.type(f.gate) == GateType::Dff) {
       // A branch into a flip-flop data pin only perturbs the captured state.
       const Word d = good_vals[src] ^ forced;
       if (d == 0) return effect;
-      VCOMP_ENSURE(dff_index_of_[f.gate] != kNotDff, "fault site not a dff");
-      ppo_out_.push_back({dff_index_of_[f.gate], d});
+      VCOMP_ENSURE(eg.dff_index_of(f.gate) != EvalGraph::kNotDff,
+                   "fault site not a dff");
+      ppo_out_.push_back({eg.dff_index_of(f.gate), d});
       effect.ppo_diffs = ppo_out_;
       return effect;
     }
-    gather_.clear();
-    for (std::size_t p = 0; p < site.fanin.size(); ++p)
-      gather_.push_back(p == pin ? forced : good_vals[site.fanin[p]]);
-    const Word faulty = sim::word_eval(site.type, gather_);
+    const Word faulty = sim::word_eval_fused(
+        eg.type(f.gate), site_fanin.size(), [&](std::size_t p) {
+          return p == pin ? forced : good_vals[site_fanin[p]];
+        });
     const Word d = faulty ^ good_vals[f.gate];
     if (d == 0) return effect;
     set_origin(f.gate, d);
   }
 
-  // Levelized event propagation.  Deltas only flow to strictly higher
-  // levels, so a single low-to-high sweep suffices.
+  // Levelized event propagation over the CSR arrays.  Deltas only flow to
+  // strictly higher levels, so a single low-to-high sweep suffices.
+  const std::uint32_t* off = eg.fanin_offsets();
+  const GateId* ids = eg.fanin_ids();
   for (std::uint32_t lvl = 0; lvl < buckets_.size(); ++lvl) {
     auto& bucket = buckets_[lvl];
     for (std::size_t i = 0; i < bucket.size(); ++i) {
       const GateId u = bucket[i];
       queued_[u] = 0;
-      const auto& gate = nl_->gate(u);
-      gather_.clear();
-      for (GateId fin : gate.fanin)
-        gather_.push_back(good_vals[fin] ^ delta_[fin]);
-      const Word faulty = sim::word_eval(gate.type, gather_);
+      --pending_events_;
+      const std::uint32_t b = off[u];
+      const Word faulty = sim::word_eval_fused(
+          eg.type(u), off[u + 1] - b, [&](std::size_t k) {
+            const GateId fin = ids[b + k];
+            return good_vals[fin] ^ delta[fin];
+          });
       const Word d = faulty ^ good_vals[u];
-      if (d == delta_[u]) continue;
-      delta_[u] = d;
+      if (d == delta[u]) continue;
+      delta[u] = d;
       if (!touched_[u]) {
         touched_[u] = 1;
         touched_list_.push_back(u);
       }
-      for (GateId s : gate.fanout) schedule(s);
+      for (GateId s : eg.fanout(u)) schedule(s);
     }
     bucket.clear();
   }
+  VCOMP_DASSERT(pending_events_ == 0, "events left after propagation");
 
   // Harvest observation points from the touched set.
   for (GateId g : touched_list_) {
-    const Word d = delta_[g];
+    const Word d = delta[g];
     if (d == 0) continue;
-    if (is_po_[g]) effect.po_any |= d;
-    for (std::uint32_t dff : feeds_dff_[g]) ppo_out_.push_back({dff, d});
+    if (eg.is_po(g)) effect.po_any |= d;
+    for (std::uint32_t dff : eg.feeds_dff(g)) ppo_out_.push_back({dff, d});
   }
   effect.ppo_diffs = ppo_out_;
   return effect;
 }
 
-DiffSimShards::DiffSimShards(const netlist::Netlist& nl,
-                             std::size_t max_shards)
-    : nl_(&nl) {
+DiffSimShards::DiffSimShards(EvalGraph::Ref graph, std::size_t max_shards)
+    : eg_(std::move(graph)) {
   const std::size_t n = max_shards > 0 ? max_shards : util::parallelism();
   sims_.resize(n > 0 ? n : 1);
 }
+
+DiffSimShards::DiffSimShards(const netlist::Netlist& nl,
+                             std::size_t max_shards)
+    : DiffSimShards(EvalGraph::compile(nl), max_shards) {}
 
 }  // namespace vcomp::fault

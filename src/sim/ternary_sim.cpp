@@ -38,50 +38,54 @@ Trit trit_eval(GateType type, std::span<const Trit> fanin) {
   return Trit::X;
 }
 
-TernarySim::TernarySim(const netlist::Netlist& nl) : nl_(&nl) {
-  VCOMP_REQUIRE(nl.finalized(), "TernarySim requires a finalized netlist");
-  values_.assign(nl.num_gates(), Trit::X);
-  scratch_.reserve(16);
+TernarySim::TernarySim(EvalGraph::Ref graph) : eg_(std::move(graph)) {
+  VCOMP_REQUIRE(eg_ != nullptr, "TernarySim requires an evaluation graph");
+  values_.assign(eg_->num_gates(), Trit::X);
 }
 
+TernarySim::TernarySim(const netlist::Netlist& nl)
+    : TernarySim(EvalGraph::compile(nl)) {}
+
 void TernarySim::clear() {
-  values_.assign(nl_->num_gates(), Trit::X);
+  values_.assign(eg_->num_gates(), Trit::X);
 }
 
 void TernarySim::set_input(std::size_t i, Trit v) {
-  VCOMP_REQUIRE(i < nl_->num_inputs(), "input index out of range");
-  values_[nl_->inputs()[i]] = v;
+  VCOMP_REQUIRE(i < eg_->num_inputs(), "input index out of range");
+  values_[eg_->inputs()[i]] = v;
 }
 
 void TernarySim::set_state(std::size_t i, Trit v) {
-  VCOMP_REQUIRE(i < nl_->num_dffs(), "state index out of range");
-  values_[nl_->dffs()[i]] = v;
+  VCOMP_REQUIRE(i < eg_->num_dffs(), "state index out of range");
+  values_[eg_->dffs()[i]] = v;
 }
 
 void TernarySim::set_source(netlist::GateId g, Trit v) {
-  const auto t = nl_->gate(g).type;
+  const auto t = eg_->type(g);
   VCOMP_REQUIRE(t == GateType::Input || t == GateType::Dff,
                 "set_source target must be an Input or Dff");
   values_[g] = v;
 }
 
 void TernarySim::eval() {
-  for (netlist::GateId id : nl_->topo_order()) {
-    const netlist::Gate& g = nl_->gate(id);
-    scratch_.clear();
-    for (netlist::GateId f : g.fanin) scratch_.push_back(values_[f]);
-    values_[id] = trit_eval(g.type, scratch_);
+  const std::uint32_t* off = eg_->fanin_offsets();
+  const netlist::GateId* ids = eg_->fanin_ids();
+  Trit* vals = values_.data();
+  for (netlist::GateId id : eg_->schedule()) {
+    const std::uint32_t b = off[id];
+    vals[id] = trit_eval_fused(eg_->type(id), off[id + 1] - b,
+                               [&](std::size_t k) { return vals[ids[b + k]]; });
   }
 }
 
 Trit TernarySim::output(std::size_t i) const {
-  VCOMP_REQUIRE(i < nl_->num_outputs(), "output index out of range");
-  return values_[nl_->outputs()[i]];
+  VCOMP_REQUIRE(i < eg_->num_outputs(), "output index out of range");
+  return values_[eg_->outputs()[i]];
 }
 
 Trit TernarySim::next_state(std::size_t i) const {
-  VCOMP_REQUIRE(i < nl_->num_dffs(), "state index out of range");
-  return values_[nl_->gate(nl_->dffs()[i]).fanin[0]];
+  VCOMP_REQUIRE(i < eg_->num_dffs(), "state index out of range");
+  return values_[eg_->dff_input(i)];
 }
 
 }  // namespace vcomp::sim

@@ -7,9 +7,10 @@
 namespace vcomp::tmeas {
 
 std::vector<std::uint32_t> detection_counts(
-    const netlist::Netlist& nl, const std::vector<fault::Fault>& faults,
+    const sim::EvalGraph::Ref& graph, const std::vector<fault::Fault>& faults,
     const HardnessOptions& opts) {
-  fault::DiffSim sim(nl);
+  fault::DiffSim sim(graph);
+  const netlist::Netlist& nl = graph->netlist();
   Rng rng(opts.seed);
   std::vector<std::uint32_t> counts(faults.size(), 0);
 
@@ -27,11 +28,18 @@ std::vector<std::uint32_t> detection_counts(
   return counts;
 }
 
-std::vector<std::size_t> hardness_order(
+std::vector<std::uint32_t> detection_counts(
     const netlist::Netlist& nl, const std::vector<fault::Fault>& faults,
     const HardnessOptions& opts) {
-  const auto counts = detection_counts(nl, faults, opts);
-  Scoap scoap(nl);
+  return detection_counts(sim::EvalGraph::compile(nl), faults, opts);
+}
+
+std::vector<std::size_t> hardness_order(
+    const sim::EvalGraph::Ref& graph, const std::vector<fault::Fault>& faults,
+    const HardnessOptions& opts) {
+  const auto counts = detection_counts(graph, faults, opts);
+  const netlist::Netlist& nl = graph->netlist();
+  Scoap scoap(*graph);
   std::vector<Cost> difficulty(faults.size());
   for (std::size_t i = 0; i < faults.size(); ++i)
     difficulty[i] = scoap.fault_difficulty(nl, faults[i]);
@@ -44,6 +52,12 @@ std::vector<std::size_t> hardness_order(
                      return difficulty[a] > difficulty[b];
                    });
   return order;
+}
+
+std::vector<std::size_t> hardness_order(
+    const netlist::Netlist& nl, const std::vector<fault::Fault>& faults,
+    const HardnessOptions& opts) {
+  return hardness_order(sim::EvalGraph::compile(nl), faults, opts);
 }
 
 }  // namespace vcomp::tmeas

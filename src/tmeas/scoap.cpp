@@ -8,6 +8,7 @@ namespace vcomp::tmeas {
 
 using netlist::GateId;
 using netlist::GateType;
+using sim::EvalGraph;
 
 namespace {
 
@@ -19,22 +20,23 @@ void xor_cc(Cost a0, Cost a1, Cost b0, Cost b1, Cost& out0, Cost& out1) {
 
 }  // namespace
 
-Scoap::Scoap(const netlist::Netlist& nl) {
-  VCOMP_REQUIRE(nl.finalized(), "Scoap requires a finalized netlist");
-  const std::size_t n = nl.num_gates();
+Scoap::Scoap(const netlist::Netlist& nl) : Scoap(EvalGraph(nl)) {}
+
+Scoap::Scoap(const EvalGraph& eg) {
+  const std::size_t n = eg.num_gates();
   cc0_.assign(n, kInfCost);
   cc1_.assign(n, kInfCost);
   co_.assign(n, kInfCost);
 
   // Controllability: sources cost 1 (full scan makes PPIs directly loadable).
-  for (GateId g : nl.inputs()) cc0_[g] = cc1_[g] = 1;
-  for (GateId g : nl.dffs()) cc0_[g] = cc1_[g] = 1;
+  for (GateId g : eg.inputs()) cc0_[g] = cc1_[g] = 1;
+  for (GateId g : eg.dffs()) cc0_[g] = cc1_[g] = 1;
 
-  for (GateId id : nl.topo_order()) {
-    const auto& g = nl.gate(id);
-    const auto& fin = g.fanin;
+  for (GateId id : eg.schedule()) {
+    const auto fin = eg.fanin(id);
+    const GateType type = eg.type(id);
     Cost c0 = kInfCost, c1 = kInfCost;
-    switch (g.type) {
+    switch (type) {
       case GateType::Buf:
         c0 = cost_add(cc0_[fin[0]], 1);
         c1 = cost_add(cc1_[fin[0]], 1);
@@ -52,7 +54,7 @@ Scoap::Scoap(const netlist::Netlist& nl) {
         }
         const Cost out1 = cost_add(all1, 1);   // all inputs 1
         const Cost out0 = cost_add(min0, 1);   // any input 0
-        if (g.type == GateType::And) { c1 = out1; c0 = out0; }
+        if (type == GateType::And) { c1 = out1; c0 = out0; }
         else { c0 = out1; c1 = out0; }
         break;
       }
@@ -65,7 +67,7 @@ Scoap::Scoap(const netlist::Netlist& nl) {
         }
         const Cost out0 = cost_add(all0, 1);
         const Cost out1 = cost_add(min1, 1);
-        if (g.type == GateType::Or) { c0 = out0; c1 = out1; }
+        if (type == GateType::Or) { c0 = out0; c1 = out1; }
         else { c1 = out0; c0 = out1; }
         break;
       }
@@ -80,7 +82,7 @@ Scoap::Scoap(const netlist::Netlist& nl) {
         }
         c0 = cost_add(a0, 1);
         c1 = cost_add(a1, 1);
-        if (g.type == GateType::Xnor) std::swap(c0, c1);
+        if (type == GateType::Xnor) std::swap(c0, c1);
         break;
       }
       case GateType::Input:
@@ -92,20 +94,21 @@ Scoap::Scoap(const netlist::Netlist& nl) {
   }
 
   // Observability: POs and capture points (DFF data inputs) cost 0.
-  for (GateId g : nl.outputs()) co_[g] = 0;
-  for (GateId d : nl.dffs()) co_[nl.gate(d).fanin[0]] = 0;
+  for (GateId g : eg.outputs()) co_[g] = 0;
+  for (std::size_t i = 0; i < eg.num_dffs(); ++i) co_[eg.dff_input(i)] = 0;
 
   // Reverse topological sweep; co(signal) = min over sink pins.
-  const auto& topo = nl.topo_order();
+  const auto topo = eg.schedule();
   auto relax_through = [&](GateId sink) {
-    const auto& g = nl.gate(sink);
-    if (g.type == GateType::Input || g.type == GateType::Dff) return;
-    for (std::size_t p = 0; p < g.fanin.size(); ++p) {
+    const GateType type = eg.type(sink);
+    if (type == GateType::Input || type == GateType::Dff) return;
+    const auto fin = eg.fanin(sink);
+    for (std::size_t p = 0; p < fin.size(); ++p) {
       Cost side = 0;
-      for (std::size_t q = 0; q < g.fanin.size(); ++q) {
+      for (std::size_t q = 0; q < fin.size(); ++q) {
         if (q == p) continue;
-        const GateId other = g.fanin[q];
-        switch (g.type) {
+        const GateId other = fin[q];
+        switch (type) {
           case GateType::And:
           case GateType::Nand:
             side = cost_add(side, cc1_[other]);
@@ -123,7 +126,7 @@ Scoap::Scoap(const netlist::Netlist& nl) {
         }
       }
       const Cost through = cost_add(cost_add(co_[sink], side), 1);
-      const GateId src = g.fanin[p];
+      const GateId src = fin[p];
       co_[src] = std::min(co_[src], through);
     }
   };
