@@ -48,6 +48,7 @@ int main() {
 
   auto profiles = netgen::table234_profiles();
   if (benchutil::quick_mode()) profiles.resize(4);
+  profiles = benchutil::filter_circuits(std::move(profiles));
 
   report::Table table({"circ", "aTV", "info", "shift", "TV", "ex", "m", "t",
                        "paper m", "paper t"});

@@ -26,6 +26,31 @@ inline bool quick_mode() {
 /// Threads the process pool runs on (VCOMP_THREADS; reported in the JSON).
 inline std::size_t threads_used() { return util::parallelism(); }
 
+/// VCOMP_CIRCUITS=s5378,s9234 restricts a table bench to the named
+/// profiles (empty/unset = all).  Filtering only selects which circuits
+/// run; per-circuit results are unchanged, so single-circuit before/after
+/// profiles stay comparable with full-table runs.
+inline std::vector<netgen::CircuitProfile> filter_circuits(
+    std::vector<netgen::CircuitProfile> profiles) {
+  const char* env = std::getenv("VCOMP_CIRCUITS");
+  if (env == nullptr || env[0] == '\0') return profiles;
+  std::vector<std::string> wanted;
+  for (const char* p = env; *p != '\0';) {
+    const char* e = p;
+    while (*e != '\0' && *e != ',') ++e;
+    if (e != p) wanted.emplace_back(p, e);
+    p = *e == ',' ? e + 1 : e;
+  }
+  std::vector<netgen::CircuitProfile> out;
+  for (auto& pr : profiles)
+    for (const auto& w : wanted)
+      if (pr.name == w) {
+        out.push_back(std::move(pr));
+        break;
+      }
+  return out;
+}
+
 /// One paper reference pair (m, t); negative = not reported.
 struct PaperRef {
   double m = -1;

@@ -95,9 +95,16 @@ class FaultSets {
   /// Snapshot of the current hidden set (indices).
   std::vector<std::size_t> hidden_list() const {
     std::vector<std::size_t> v;
-    v.reserve(hidden_states_.size());
-    for (const auto& [i, _] : hidden_states_) v.push_back(i);
+    hidden_list(v);
     return v;
+  }
+
+  /// Allocation-free snapshot into \p out (cleared first, capacity
+  /// reused) — the tracker snapshots the hidden set every stitched cycle.
+  void hidden_list(std::vector<std::size_t>& out) const {
+    out.clear();
+    out.reserve(hidden_states_.size());
+    for (const auto& [i, _] : hidden_states_) out.push_back(i);
   }
 
  private:

@@ -86,6 +86,22 @@ struct StitchedSchedule {
   std::vector<atpg::TestVector> extra;
 };
 
+/// Per-phase wall-clock breakdown of one stitched run (monotonic clock).
+/// Measurement only — timings never feed back into the computed schedule,
+/// so results stay byte-identical for every thread count.  Surfaced by
+/// `vcomp_stitch --profile` and the bench_tracker throughput bench.
+struct PhaseProfile {
+  double podem_seconds = 0;     ///< constrained PODEM cube search
+  double scoring_seconds = 0;   ///< MostFaults completion scoring
+  double shift_seconds = 0;     ///< tracker scan-shift + hidden compare
+  double classify_seconds = 0;  ///< tracker uncaught-fault classification
+  double advance_seconds = 0;   ///< tracker 64-lane hidden advance
+  double terminal_seconds = 0;  ///< terminal observes + ex-phase dropping
+  double total_seconds = 0;     ///< whole StitchEngine::run call
+  std::size_t faults_classified = 0;  ///< DiffSim classification queries
+  std::size_t hidden_advanced = 0;    ///< LaneSim lanes evaluated
+};
+
 struct StitchResult {
   std::size_t vectors_applied = 0;      ///< TV
   std::size_t extra_full_vectors = 0;   ///< ex
@@ -106,6 +122,8 @@ struct StitchResult {
 
   std::size_t hidden_peak = 0;
   std::vector<CycleStats> cycles;
+
+  PhaseProfile profile;                 ///< per-phase wall-clock breakdown
 };
 
 /// One-shot stitched-test-generation engine.
@@ -135,7 +153,7 @@ class StitchEngine {
                                     const scan::ChainState& chain,
                                     std::size_t s, bool first_vector,
                                     std::size_t cycle);
-  void load_scoring_sim(const atpg::TestVector& v);
+  void load_scoring_sim(fault::DiffSim& sim, const atpg::TestVector& v);
 
   const netlist::Netlist* nl_;
   const fault::CollapsedFaults* faults_;
@@ -147,8 +165,8 @@ class StitchEngine {
   sim::EvalGraph::Ref eg_;     // one compiled graph under every engine below
   tmeas::Scoap scoap_;
   atpg::Podem podem_;
-  fault::DiffSim dsim_;        // the ex-phase fault-dropping sim
-  fault::DiffSimShards ssims_; // per-shard clones for candidate scoring
+  fault::DiffSimShards ssims_; // per-shard clones: candidate scoring + the
+                               // ex-phase fault-dropping scans
   Rng rng_;
 
   // Per-cycle scratch reused across generate() calls (hot path: one call
@@ -157,6 +175,11 @@ class StitchEngine {
   std::vector<std::uint8_t> observed_pos_;        // chain-position visibility
   std::vector<std::size_t> scored_;               // sampled uncaught faults
   std::vector<std::vector<std::uint32_t>> shard_scores_;
+  std::vector<std::uint8_t> drop_hit_;            // ex-phase verdict buffer
+
+  // Accumulated engine-side phase timings (the tracker holds its own).
+  double podem_seconds_ = 0;
+  double scoring_seconds_ = 0;
 
   std::vector<std::size_t> order_;       // target walk order
   std::vector<std::uint8_t> targetable_; // baseline-detected faults

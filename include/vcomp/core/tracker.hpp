@@ -19,6 +19,15 @@
 /// The StitchEngine drives it with ATPG-generated vectors; tests and the
 /// quickstart example drive it with the paper's scripted vectors to
 /// reproduce Table 1 event by event.
+///
+/// The per-cycle sweep over every uncaught fault is the hottest loop of
+/// the whole system, so apply() runs it sharded over the process thread
+/// pool: each shard drives a private DiffSim and records per-fault
+/// verdicts into a preallocated buffer, and a serial merge applies the
+/// state transitions in fault-index order.  Per-fault verdicts are pure
+/// functions of the fault index, so every thread count produces
+/// byte-identical CycleStats, FaultSets and schedules (checked by
+/// tests/core/tracker_parallel_test.cpp).
 
 #include <cstdint>
 #include <vector>
@@ -40,12 +49,26 @@ struct CycleStats {
   std::size_t new_hidden = 0;
   std::size_t hidden_reverted = 0;  ///< hidden faults back to uncaught
   std::size_t hidden_after = 0;     ///< |f_h| at end of cycle
+
+  friend bool operator==(const CycleStats&, const CycleStats&) = default;
+};
+
+/// Cumulative wall-clock per tracker phase (monotonic clock), plus the
+/// work counters the throughput benches divide by.  Timings are
+/// measurement only — they never feed back into the computation.
+struct TrackerProfile {
+  double shift_seconds = 0;     ///< scan-shift + hidden-chain compare
+  double classify_seconds = 0;  ///< sharded uncaught-fault classification
+  double advance_seconds = 0;   ///< 64-lane hidden-fault advance
+  double terminal_seconds = 0;  ///< terminal/partial observation scans
+  std::size_t faults_classified = 0;  ///< DiffSim classification queries
+  std::size_t hidden_advanced = 0;    ///< LaneSim lanes evaluated
 };
 
 class StitchTracker {
  public:
   /// \p track marks the faults to follow (e.g. everything but proven
-  /// redundancies); empty means "track all".  Both internal simulators
+  /// redundancies); empty means "track all".  All internal simulators
   /// share the given pre-compiled evaluation graph.
   StitchTracker(sim::EvalGraph::Ref graph,
                 const fault::CollapsedFaults& faults,
@@ -84,6 +107,9 @@ class StitchTracker {
   std::size_t cycle() const { return cycle_; }
   const netlist::Netlist& netlist() const { return *nl_; }
 
+  /// Cumulative per-phase wall-clock and work counters.
+  const TrackerProfile& profile() const { return profile_; }
+
   /// Catch cycle of fault \p i (requires it to be caught).
   std::size_t catch_cycle(std::size_t i) const {
     return sets_.catch_cycle(i);
@@ -91,9 +117,9 @@ class StitchTracker {
 
  private:
   CycleStats apply(const atpg::TestVector& v, std::size_t s, bool first);
-  void load_good_sim(const atpg::TestVector& v);
-  std::vector<std::uint8_t> capture_bits_by_position() const;
-  std::vector<std::uint8_t> po_bits() const;
+  void load_stimulus(fault::DiffSim& sim, const atpg::TestVector& v) const;
+  void read_po_bits();       // fills po_ff_
+  void read_capture_bits();  // fills ppo_ff_ (by chain position)
 
   const netlist::Netlist* nl_;
   const fault::CollapsedFaults* faults_;
@@ -104,9 +130,29 @@ class StitchTracker {
 
   FaultSets sets_;
   scan::ChainState chain_;
-  fault::DiffSim dsim_;
+  fault::DiffSimShards ssims_;  // per-shard classification engines
+  fault::DiffSim* sim0_;        // shard 0: also the good-machine readout
   fault::LaneSim lanes_;
   std::size_t cycle_ = 0;
+  mutable TrackerProfile profile_;
+
+  /// One uncaught-fault classification verdict, written by exactly one
+  /// shard and consumed by the serial fault-index-order merge.
+  struct Verdict {
+    std::uint8_t kind = 0;             ///< 0 none / 1 PO-caught / 2 differs
+    std::vector<std::uint32_t> flips;  ///< chain positions whose capture flips
+  };
+
+  // Reused per-cycle scratch (one apply() per stitched cycle; none of
+  // these may allocate in steady state).
+  std::vector<std::uint8_t> by_pos_, in_bits_, obs_ff_, obs_f_, pre_capture_,
+      po_ff_, ppo_ff_, faulty_next_;
+  mutable std::vector<std::uint8_t> diff_;    // observe-scan scratch
+  std::vector<std::size_t> hidden_before_, batch_, classify_;
+  mutable std::vector<std::size_t> observe_list_;
+  std::vector<sim::Word> state_words_, next_words_;
+  std::vector<Verdict> verdicts_;
+  scan::ChainState sf_chain_;  // faulty-capture scratch chain
 };
 
 }  // namespace vcomp::core

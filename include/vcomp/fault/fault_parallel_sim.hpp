@@ -46,6 +46,16 @@ class LaneSim {
   void set_pi(int lane, std::size_t input_index, bool v);
   void set_state(int lane, std::size_t dff_index, bool v);
 
+  /// Broadcasts one primary-input bit to every lane in a single word store.
+  /// The stitched advance applies the *same* test vector to all hidden
+  /// faults, so the PI stimulus never differs per lane.
+  void set_pi_all(std::size_t input_index, bool v);
+
+  /// Raw word write of one state bit across lanes (bit k = lane k).
+  /// Callers transpose per-lane chain contents into words once and load
+  /// them here instead of 64 bit-at-a-time set_state calls.
+  void set_state_word(std::size_t dff_index, sim::Word w);
+
   /// Injects a stuck-at fault into one lane (multiple faults per lane are
   /// allowed; the stitching engine uses one).
   void inject(int lane, const Fault& f);

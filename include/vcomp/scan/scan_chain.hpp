@@ -82,6 +82,12 @@ class ChainState {
   std::vector<std::uint8_t> shift(std::span<const std::uint8_t> in_bits,
                                   const ScanOutModel& out);
 
+  /// Allocation-free variant: writes the observed bits into \p observed
+  /// (cleared first, capacity reused).  The tracker shifts every hidden
+  /// fault's private chain each stitched cycle, so this is a hot path.
+  void shift(std::span<const std::uint8_t> in_bits, const ScanOutModel& out,
+             std::vector<std::uint8_t>& observed);
+
   /// Capture \p next_state (one bit per chain position) per \p mode.
   void capture(std::span<const std::uint8_t> next_state, CaptureMode mode);
 

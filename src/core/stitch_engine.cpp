@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 
 #include "vcomp/atpg/fill.hpp"
 #include "vcomp/util/assert.hpp"
@@ -24,6 +25,12 @@ namespace {
 constexpr std::uint32_t kObservedWeight = 4;
 constexpr std::uint32_t kHiddenWeight = 1;
 
+using Clock = std::chrono::steady_clock;
+
+double secs_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
 }  // namespace
 
 StitchEngine::StitchEngine(const netlist::Netlist& nl,
@@ -42,7 +49,6 @@ StitchEngine::StitchEngine(const netlist::Netlist& nl,
       eg_(sim::EvalGraph::compile(nl)),
       scoap_(*eg_),
       podem_(eg_, scoap_),
-      dsim_(eg_),
       ssims_(eg_),
       rng_(options.seed) {
   VCOMP_REQUIRE(nl.num_dffs() > 0, "stitching requires a scan chain");
@@ -79,11 +85,11 @@ PpiConstraints StitchEngine::constraints_for(const ChainState& chain,
   return cons;
 }
 
-void StitchEngine::load_scoring_sim(const TestVector& v) {
+void StitchEngine::load_scoring_sim(fault::DiffSim& sim, const TestVector& v) {
   for (std::size_t i = 0; i < nl_->num_inputs(); ++i)
-    dsim_.good().set_input(i, v.pi[i] ? ~Word{0} : Word{0});
+    sim.good().set_input(i, v.pi[i] ? ~Word{0} : Word{0});
   for (std::size_t i = 0; i < nl_->num_dffs(); ++i)
-    dsim_.good().set_state(i, v.ppi[i] ? ~Word{0} : Word{0});
+    sim.good().set_state(i, v.ppi[i] ? ~Word{0} : Word{0});
 }
 
 std::optional<StitchEngine::Candidate> StitchEngine::generate(
@@ -105,6 +111,7 @@ std::optional<StitchEngine::Candidate> StitchEngine::generate(
   const std::size_t n = order_.size();
   const std::size_t start = greedy ? cursor_ : 0;
   std::uint32_t attempts = 0;
+  const auto t_podem = Clock::now();
   for (std::size_t k = 0; k < n; ++k) {
     if (cubes.size() >= want) break;
     if (attempts >= opts_.max_targets_per_cycle) break;
@@ -144,6 +151,7 @@ std::optional<StitchEngine::Candidate> StitchEngine::generate(
       }
     }
   }
+  podem_seconds_ += secs_since(t_podem);
   if (cubes.empty()) return std::nullopt;
 
   if (!greedy) {
@@ -155,6 +163,7 @@ std::optional<StitchEngine::Candidate> StitchEngine::generate(
 
   // MostFaults: complete every cube several ways and score all completions
   // in one 64-way pattern-parallel fault-simulation pass.
+  const auto t_score = Clock::now();
   std::vector<Candidate> cands;
   for (const auto& tc : cubes) {
     for (std::uint32_t f = 0; f < opts_.fills_per_cube && cands.size() < 64;
@@ -255,10 +264,12 @@ std::optional<StitchEngine::Candidate> StitchEngine::generate(
   std::size_t best = 0;
   for (std::size_t k = 1; k < cands.size(); ++k)
     if (score[k] > score[best]) best = k;
+  scoring_seconds_ += secs_since(t_score);
   return std::move(cands[best]);
 }
 
 StitchResult StitchEngine::run() {
+  const auto t_run = Clock::now();
   const std::size_t L = nl_->num_dffs();
   const std::size_t npi = nl_->num_inputs();
   const std::size_t npo = nl_->num_outputs();
@@ -390,24 +401,39 @@ StitchResult StitchEngine::run() {
     (void)flushed;
 
     // Cover the leftovers with traditional vectors drawn from the baseline
-    // pool (greedy, with fault dropping).
+    // pool (greedy, with fault dropping).  The per-vector detection scan
+    // runs sharded over the thread pool: each shard drives a private
+    // DiffSim loaded with the same vector and writes its slots of the
+    // verdict buffer; the serial merge below walks the buffer in index
+    // order, so catches and the retained `remaining` order are identical
+    // for every thread count.
+    const auto t_drop = Clock::now();
     std::size_t ex = 0;
     for (const auto& bv : baseline_->vectors) {
       if (remaining.empty()) break;
-      load_scoring_sim(bv);
-      dsim_.commit_good();
-      std::vector<std::size_t> still;
+      drop_hit_.assign(remaining.size(), 0);
+      util::parallel_for_shards(
+          remaining.size(), ssims_.max_shards(),
+          [&](std::size_t shard, std::size_t b, std::size_t e) {
+            fault::DiffSim& sim = ssims_.at(shard);
+            load_scoring_sim(sim, bv);
+            sim.commit_good();
+            for (std::size_t n = b; n < e; ++n)
+              drop_hit_[n] =
+                  sim.simulate((*faults_)[remaining[n]]).any() != 0 ? 1 : 0;
+          });
       bool useful = false;
-      for (std::size_t i : remaining) {
-        if (dsim_.simulate((*faults_)[i]).any() != 0) {
-          tracker.catch_externally(i);
+      std::size_t kept = 0;
+      for (std::size_t n = 0; n < remaining.size(); ++n) {
+        if (drop_hit_[n]) {
+          tracker.catch_externally(remaining[n]);
           ++res.caught_extra;
           useful = true;
         } else {
-          still.push_back(i);
+          remaining[kept++] = remaining[n];
         }
       }
-      remaining = std::move(still);
+      remaining.resize(kept);
       if (useful) {
         ++ex;
         res.schedule.extra.push_back(bv);
@@ -417,6 +443,7 @@ StitchResult StitchEngine::run() {
     meter.extra_full_vectors(ex);
     VCOMP_ENSURE(remaining.empty(),
                  "baseline pool failed to cover remaining faults");
+    res.profile.terminal_seconds += secs_since(t_drop);
   } else if (tracker.sets().num_hidden() > 0) {
     // All of f_u is covered; observe the still-hidden faults.  Prefer the
     // cheap partial observation when it provably catches all of them.
@@ -446,6 +473,17 @@ StitchResult StitchEngine::run() {
   for (std::size_t i = 0; i < faults_->size(); ++i)
     if (targetable_[i] && tracker.sets().state(i) != FaultState::Caught)
       ++res.uncovered;
+
+  const TrackerProfile& tp = tracker.profile();
+  res.profile.podem_seconds = podem_seconds_;
+  res.profile.scoring_seconds = scoring_seconds_;
+  res.profile.shift_seconds = tp.shift_seconds;
+  res.profile.classify_seconds = tp.classify_seconds;
+  res.profile.advance_seconds = tp.advance_seconds;
+  res.profile.terminal_seconds += tp.terminal_seconds;
+  res.profile.faults_classified = tp.faults_classified;
+  res.profile.hidden_advanced = tp.hidden_advanced;
+  res.profile.total_seconds = secs_since(t_run);
   return res;
 }
 

@@ -1,14 +1,26 @@
 #include "vcomp/core/tracker.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "vcomp/util/assert.hpp"
+#include "vcomp/util/parallel.hpp"
 
 namespace vcomp::core {
 
 using atpg::TestVector;
 using scan::ChainState;
 using sim::Word;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secs_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
 
 StitchTracker::StitchTracker(sim::EvalGraph::Ref graph,
                              const fault::CollapsedFaults& faults,
@@ -23,8 +35,10 @@ StitchTracker::StitchTracker(sim::EvalGraph::Ref graph,
       track_(std::move(track)),
       sets_(faults.size()),
       chain_(nl_->num_dffs()),
-      dsim_(graph),
-      lanes_(std::move(graph)) {
+      ssims_(graph),
+      sim0_(&ssims_.at(0)),
+      lanes_(std::move(graph)),
+      sf_chain_(nl_->num_dffs()) {
   VCOMP_REQUIRE(nl_->num_dffs() > 0, "tracker requires a scan chain");
   if (track_.empty()) track_.assign(faults.size(), 1);
   VCOMP_REQUIRE(track_.size() == faults.size(), "track mask size mismatch");
@@ -38,27 +52,26 @@ StitchTracker::StitchTracker(const netlist::Netlist& nl,
     : StitchTracker(sim::EvalGraph::compile(nl), faults, capture,
                     std::move(out_model), std::move(track)) {}
 
-void StitchTracker::load_good_sim(const TestVector& v) {
+void StitchTracker::load_stimulus(fault::DiffSim& sim,
+                                  const TestVector& v) const {
   for (std::size_t i = 0; i < nl_->num_inputs(); ++i)
-    dsim_.good().set_input(i, v.pi[i] ? ~Word{0} : Word{0});
+    sim.good().set_input(i, v.pi[i] ? ~Word{0} : Word{0});
   for (std::size_t i = 0; i < nl_->num_dffs(); ++i)
-    dsim_.good().set_state(i, v.ppi[i] ? ~Word{0} : Word{0});
+    sim.good().set_state(i, v.ppi[i] ? ~Word{0} : Word{0});
 }
 
-std::vector<std::uint8_t> StitchTracker::capture_bits_by_position() const {
+void StitchTracker::read_capture_bits() {
   const std::size_t L = nl_->num_dffs();
-  std::vector<std::uint8_t> bits(L);
+  ppo_ff_.resize(L);
   for (std::size_t p = 0; p < L; ++p)
-    bits[p] = static_cast<std::uint8_t>(
-        dsim_.good_sim().next_state(chain_map_.dff_at(p)) & 1);
-  return bits;
+    ppo_ff_[p] = static_cast<std::uint8_t>(
+        sim0_->good_sim().next_state(chain_map_.dff_at(p)) & 1);
 }
 
-std::vector<std::uint8_t> StitchTracker::po_bits() const {
-  std::vector<std::uint8_t> bits(nl_->num_outputs());
-  for (std::size_t i = 0; i < bits.size(); ++i)
-    bits[i] = static_cast<std::uint8_t>(dsim_.good_sim().output(i) & 1);
-  return bits;
+void StitchTracker::read_po_bits() {
+  po_ff_.resize(nl_->num_outputs());
+  for (std::size_t i = 0; i < po_ff_.size(); ++i)
+    po_ff_[i] = static_cast<std::uint8_t>(sim0_->good_sim().output(i) & 1);
 }
 
 CycleStats StitchTracker::apply_first(const TestVector& v) {
@@ -85,144 +98,198 @@ CycleStats StitchTracker::apply(const TestVector& v, std::size_t s,
   st.shift = s;
 
   if (first) {
-    std::vector<std::uint8_t> by_pos(L);
+    hidden_before_.clear();  // nothing can be hidden before vector 1
+    by_pos_.resize(L);
     for (std::size_t p = 0; p < L; ++p)
-      by_pos[p] = v.ppi[chain_map_.dff_at(p)];
-    chain_.load(by_pos);
+      by_pos_[p] = v.ppi[chain_map_.dff_at(p)];
+    chain_.load(by_pos_);
   } else {
     // Shift phase: the ATE compares s scan-out observations against the
     // fault-free values; a hidden fault emitting any different value is
-    // caught right here.
-    std::vector<std::uint8_t> in_bits(s);
+    // caught right here.  The snapshot also feeds the advance phase below
+    // (shift-caught faults are skipped there).
+    const auto t0 = Clock::now();
+    in_bits_.resize(s);
     for (std::size_t j = 0; j < s; ++j)
-      in_bits[j] = v.ppi[chain_map_.dff_at(s - 1 - j)];
-    const auto obs_ff = chain_.shift(in_bits, out_model_);
-    for (std::size_t i : sets_.hidden_list()) {
-      const auto obs_f =
-          sets_.mutable_hidden_state(i).shift(in_bits, out_model_);
-      if (obs_f != obs_ff) {
+      in_bits_[j] = v.ppi[chain_map_.dff_at(s - 1 - j)];
+    chain_.shift(in_bits_, out_model_, obs_ff_);
+    sets_.hidden_list(hidden_before_);
+    for (std::size_t i : hidden_before_) {
+      sets_.mutable_hidden_state(i).shift(in_bits_, out_model_, obs_f_);
+      if (obs_f_ != obs_ff_) {
         sets_.set_caught(i, cycle_ + 1);
         ++st.caught_at_shift;
       }
     }
+    profile_.shift_seconds += secs_since(t0);
   }
   ++cycle_;
 
   // Apply & capture the fault-free machine.
-  const std::vector<std::uint8_t> pre_capture = chain_.bits();
-  load_good_sim(v);
-  dsim_.commit_good();
-  const auto po_ff = po_bits();
-  const auto ppo_ff = capture_bits_by_position();
-  const auto hidden_before = sets_.hidden_list();
-  chain_.capture(ppo_ff, capture_);
+  pre_capture_ = chain_.bits();
+  load_stimulus(*sim0_, v);
+  sim0_->commit_good();
+  read_po_bits();
+  read_capture_bits();
+  chain_.capture(ppo_ff_, capture_);
 
   // Classify freshly differentiated uncaught faults.  Their machines held
   // the same chain content as the fault-free one, so they saw exactly v.
-  for (std::size_t i = 0; i < faults_->size(); ++i) {
-    if (!track_[i] || sets_.state(i) != FaultState::Uncaught) continue;
-    const auto eff = dsim_.simulate((*faults_)[i]);
-    if (eff.po_any & 1) {
+  // Sharded over the thread pool: each shard drives a private DiffSim and
+  // writes its slots of the verdict buffer; the merge below applies state
+  // transitions serially in fault-index order, so the resulting CycleStats
+  // and FaultSets are identical for every thread count.
+  const auto t1 = Clock::now();
+  classify_.clear();
+  for (std::size_t i = 0; i < faults_->size(); ++i)
+    if (track_[i] && sets_.state(i) == FaultState::Uncaught)
+      classify_.push_back(i);
+  if (verdicts_.size() < classify_.size()) verdicts_.resize(classify_.size());
+  util::parallel_for_shards(
+      classify_.size(), ssims_.max_shards(),
+      [&](std::size_t shard, std::size_t b, std::size_t e) {
+        fault::DiffSim& sim = ssims_.at(shard);
+        if (shard != 0) {  // shard 0 is sim0_, already committed above
+          load_stimulus(sim, v);
+          sim.commit_good();
+        }
+        for (std::size_t n = b; n < e; ++n) {
+          Verdict& vd = verdicts_[n];
+          vd.kind = 0;
+          vd.flips.clear();
+          const auto eff = sim.simulate((*faults_)[classify_[n]]);
+          if (eff.po_any & 1) {
+            vd.kind = 1;
+            continue;
+          }
+          for (const auto& d : eff.ppo_diffs)
+            if (d.diff & 1)
+              vd.flips.push_back(
+                  static_cast<std::uint32_t>(chain_map_.pos_of(d.dff_index)));
+          if (!vd.flips.empty()) vd.kind = 2;
+        }
+      });
+  for (std::size_t n = 0; n < classify_.size(); ++n) {
+    const Verdict& vd = verdicts_[n];
+    if (vd.kind == 0) continue;
+    const std::size_t i = classify_[n];
+    if (vd.kind == 1) {
       sets_.set_caught(i, cycle_);
       ++st.caught_at_po;
       continue;
     }
-    if (eff.ppo_diffs.empty()) continue;
-    bool any = false;
-    std::vector<std::uint8_t> faulty_next = ppo_ff;
-    for (const auto& d : eff.ppo_diffs) {
-      if ((d.diff & 1) == 0) continue;
-      faulty_next[chain_map_.pos_of(d.dff_index)] ^= 1;
-      any = true;
-    }
-    if (!any) continue;
-    ChainState s_f{pre_capture};
-    s_f.capture(faulty_next, capture_);
-    if (s_f == chain_) continue;  // VXor can cancel the difference
-    sets_.set_hidden(i, std::move(s_f));
+    faulty_next_ = ppo_ff_;
+    for (std::uint32_t p : vd.flips) faulty_next_[p] ^= 1;
+    sf_chain_.load(pre_capture_);
+    sf_chain_.capture(faulty_next_, capture_);
+    if (sf_chain_ == chain_) continue;  // VXor can cancel the difference
+    sets_.set_hidden(i, sf_chain_);
     ++st.new_hidden;
   }
+  profile_.classify_seconds += secs_since(t1);
+  profile_.faults_classified += classify_.size();
 
   // Advance surviving hidden faults through their mutated vectors T_f, in
   // 64-lane batches (each lane carries a private stimulus plus its fault).
-  for (std::size_t base = 0; base < hidden_before.size(); base += 64) {
+  // The PI stimulus is identical across lanes, so it is broadcast once per
+  // batch; only the per-lane chain states are transposed into words.
+  const auto t2 = Clock::now();
+  for (std::size_t base = 0; base < hidden_before_.size(); base += 64) {
     const std::size_t count =
-        std::min<std::size_t>(64, hidden_before.size() - base);
-    lanes_.clear();
-    std::vector<std::size_t> batch;
-    batch.reserve(count);
+        std::min<std::size_t>(64, hidden_before_.size() - base);
+    batch_.clear();
     for (std::size_t k = 0; k < count; ++k) {
-      const std::size_t i = hidden_before[base + k];
-      if (sets_.state(i) != FaultState::Hidden) continue;  // shift-caught
-      const int lane = lanes_.add_lane();
-      batch.push_back(i);
-      for (std::size_t pi = 0; pi < npi; ++pi)
-        lanes_.set_pi(lane, pi, v.pi[pi] != 0);
-      const auto& bits = sets_.hidden_state(i).bits();
-      for (std::size_t p = 0; p < L; ++p)
-        lanes_.set_state(lane, chain_map_.dff_at(p), bits[p] != 0);
-      lanes_.inject(lane, (*faults_)[i]);
+      const std::size_t i = hidden_before_[base + k];
+      if (sets_.state(i) == FaultState::Hidden) batch_.push_back(i);
     }
-    if (batch.empty()) continue;
+    if (batch_.empty()) continue;  // whole batch shift-caught: skip the sim
+    lanes_.clear();
+    state_words_.assign(L, 0);
+    for (std::size_t k = 0; k < batch_.size(); ++k) {
+      lanes_.add_lane();
+      const auto& bits = sets_.hidden_state(batch_[k]).bits();
+      for (std::size_t p = 0; p < L; ++p)
+        state_words_[p] |= Word{bits[p]} << k;
+      lanes_.inject(static_cast<int>(k), (*faults_)[batch_[k]]);
+    }
+    for (std::size_t pi = 0; pi < npi; ++pi)
+      lanes_.set_pi_all(pi, v.pi[pi] != 0);
+    for (std::size_t p = 0; p < L; ++p)
+      lanes_.set_state_word(chain_map_.dff_at(p), state_words_[p]);
     lanes_.eval();
-    for (std::size_t lane = 0; lane < batch.size(); ++lane) {
-      const std::size_t i = batch[lane];
-      bool po_diff = false;
-      for (std::size_t j = 0; j < npo; ++j)
-        if (lanes_.output(static_cast<int>(lane), j) != (po_ff[j] != 0)) {
-          po_diff = true;
-          break;
-        }
-      if (po_diff) {
+
+    const Word active = batch_.size() == 64
+                            ? ~Word{0}
+                            : (Word{1} << batch_.size()) - 1;
+    Word po_diff = 0;
+    for (std::size_t j = 0; j < npo; ++j)
+      po_diff |= lanes_.output_word(j) ^ (po_ff_[j] ? ~Word{0} : Word{0});
+    po_diff &= active;
+    next_words_.resize(L);
+    for (std::size_t p = 0; p < L; ++p)
+      next_words_[p] = lanes_.next_state_word(chain_map_.dff_at(p));
+
+    for (std::size_t k = 0; k < batch_.size(); ++k) {
+      const std::size_t i = batch_[k];
+      if ((po_diff >> k) & 1) {
         sets_.set_caught(i, cycle_);
         ++st.caught_at_po;
         continue;
       }
-      std::vector<std::uint8_t> faulty_next(L);
+      faulty_next_.resize(L);
       for (std::size_t p = 0; p < L; ++p)
-        faulty_next[p] =
-            lanes_.next_state(static_cast<int>(lane), chain_map_.dff_at(p))
-                ? 1
-                : 0;
-      ChainState s_f = sets_.hidden_state(i);
-      s_f.capture(faulty_next, capture_);
-      if (s_f == chain_) {
+        faulty_next_[p] = static_cast<std::uint8_t>((next_words_[p] >> k) & 1);
+      sf_chain_ = sets_.hidden_state(i);
+      sf_chain_.capture(faulty_next_, capture_);
+      if (sf_chain_ == chain_) {
         sets_.set_uncaught(i);
         ++st.hidden_reverted;
       } else {
-        sets_.mutable_hidden_state(i) = std::move(s_f);
+        sets_.mutable_hidden_state(i) = sf_chain_;
       }
     }
+    profile_.hidden_advanced += batch_.size();
   }
+  profile_.advance_seconds += secs_since(t2);
 
   st.hidden_after = sets_.num_hidden();
   return st;
 }
 
 bool StitchTracker::partial_observe_suffices(std::size_t s) const {
+  const auto t0 = Clock::now();
   const std::size_t L = nl_->num_dffs();
-  std::vector<std::uint8_t> diff(L);
-  for (std::size_t i : sets_.hidden_list()) {
+  diff_.resize(L);
+  bool ok = true;
+  sets_.hidden_list(observe_list_);
+  for (std::size_t i : observe_list_) {
     const auto& bits = sets_.hidden_state(i).bits();
-    for (std::size_t p = 0; p < L; ++p) diff[p] = bits[p] ^ chain_.at(p);
-    if (!scan::diff_observable(diff, s, out_model_)) return false;
+    for (std::size_t p = 0; p < L; ++p) diff_[p] = bits[p] ^ chain_.at(p);
+    if (!scan::diff_observable(diff_, s, out_model_)) {
+      ok = false;
+      break;
+    }
   }
-  return true;
+  profile_.terminal_seconds += secs_since(t0);
+  return ok;
 }
 
 std::size_t StitchTracker::terminal_observe(std::size_t s) {
   VCOMP_REQUIRE(s <= nl_->num_dffs(), "observe size out of range");
+  const auto t0 = Clock::now();
   const std::size_t L = nl_->num_dffs();
-  std::vector<std::uint8_t> diff(L);
+  diff_.resize(L);
   std::size_t caught = 0;
-  for (std::size_t i : sets_.hidden_list()) {
+  sets_.hidden_list(observe_list_);
+  for (std::size_t i : observe_list_) {
     const auto& bits = sets_.hidden_state(i).bits();
-    for (std::size_t p = 0; p < L; ++p) diff[p] = bits[p] ^ chain_.at(p);
-    if (scan::diff_observable(diff, s, out_model_)) {
+    for (std::size_t p = 0; p < L; ++p) diff_[p] = bits[p] ^ chain_.at(p);
+    if (scan::diff_observable(diff_, s, out_model_)) {
       sets_.set_caught(i, cycle_ + 1);
       ++caught;
     }
   }
+  profile_.terminal_seconds += secs_since(t0);
   return caught;
 }
 

@@ -46,6 +46,16 @@ void LaneSim::set_state(int lane, std::size_t dff_index, bool v) {
   w = v ? (w | m) : (w & ~m);
 }
 
+void LaneSim::set_pi_all(std::size_t input_index, bool v) {
+  VCOMP_REQUIRE(input_index < eg_->num_inputs(), "input index out of range");
+  values_[eg_->inputs()[input_index]] = v ? ~Word{0} : Word{0};
+}
+
+void LaneSim::set_state_word(std::size_t dff_index, Word w) {
+  VCOMP_REQUIRE(dff_index < eg_->num_dffs(), "state index out of range");
+  values_[eg_->dffs()[dff_index]] = w;
+}
+
 void LaneSim::inject(int lane, const Fault& f) {
   VCOMP_REQUIRE(lane >= 0 && lane < lanes_, "bad lane index");
   const Word m = Word{1} << lane;

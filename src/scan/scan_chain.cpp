@@ -59,9 +59,17 @@ void ChainState::load(std::span<const std::uint8_t> bits) {
 
 std::vector<std::uint8_t> ChainState::shift(
     std::span<const std::uint8_t> in_bits, const ScanOutModel& out) {
+  std::vector<std::uint8_t> observed;
+  shift(in_bits, out, observed);
+  return observed;
+}
+
+void ChainState::shift(std::span<const std::uint8_t> in_bits,
+                       const ScanOutModel& out,
+                       std::vector<std::uint8_t>& observed) {
   VCOMP_REQUIRE(in_bits.size() <= bits_.size(),
                 "cannot shift more bits than the chain holds");
-  std::vector<std::uint8_t> observed;
+  observed.clear();
   observed.reserve(in_bits.size());
   for (std::size_t j = 0; j < in_bits.size(); ++j) {
     std::uint8_t obs = 0;
@@ -71,7 +79,6 @@ std::vector<std::uint8_t> ChainState::shift(
     for (std::size_t i = bits_.size(); i-- > 1;) bits_[i] = bits_[i - 1];
     bits_[0] = in_bits[j] & 1;
   }
-  return observed;
 }
 
 void ChainState::capture(std::span<const std::uint8_t> next_state,

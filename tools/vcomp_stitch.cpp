@@ -16,6 +16,9 @@
 //     --threads <n>       worker threads (default: VCOMP_THREADS or all
 //                         hardware threads; results are identical for any
 //                         thread count)
+//     --profile           print the per-phase wall-clock breakdown of the
+//                         stitched run (PODEM, scoring, shift, classify,
+//                         hidden advance, terminal) with throughput
 //
 // Exit code 0 iff coverage is fully preserved.
 
@@ -39,9 +42,32 @@ int usage(const char* argv0) {
                "usage: %s <netlist.bench> [--out f] [--shift n | --info r]\n"
                "       [--selection random|hardness|most-faults]\n"
                "       [--capture normal|vxor] [--hxor taps] [--seed n]\n"
-               "       [--threads n]\n",
+               "       [--threads n] [--profile]\n",
                argv0);
   return 2;
+}
+
+void print_profile(const core::PhaseProfile& p) {
+  std::printf("phase profile (wall seconds):\n");
+  std::printf("  podem     %9.3f\n", p.podem_seconds);
+  std::printf("  scoring   %9.3f\n", p.scoring_seconds);
+  std::printf("  shift     %9.3f\n", p.shift_seconds);
+  if (p.classify_seconds > 0)
+    std::printf("  classify  %9.3f  (%zu faults, %.0f/s)\n",
+                p.classify_seconds, p.faults_classified,
+                double(p.faults_classified) / p.classify_seconds);
+  else
+    std::printf("  classify  %9.3f  (%zu faults)\n", p.classify_seconds,
+                p.faults_classified);
+  if (p.advance_seconds > 0)
+    std::printf("  advance   %9.3f  (%zu lanes, %.0f/s)\n", p.advance_seconds,
+                p.hidden_advanced,
+                double(p.hidden_advanced) / p.advance_seconds);
+  else
+    std::printf("  advance   %9.3f  (%zu lanes)\n", p.advance_seconds,
+                p.hidden_advanced);
+  std::printf("  terminal  %9.3f\n", p.terminal_seconds);
+  std::printf("  total     %9.3f\n", p.total_seconds);
 }
 
 }  // namespace
@@ -52,6 +78,7 @@ int main(int argc, char** argv) {
   std::string out_path;
   core::StitchOptions opts;
   double info = 0.0;
+  bool profile = false;
 
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
@@ -69,6 +96,7 @@ int main(int argc, char** argv) {
     else if (a == "--threads")
       util::ThreadPool::instance().configure(std::stoul(need("--threads")));
     else if (a == "--hxor") opts.hxor_taps = std::stoul(need("--hxor"));
+    else if (a == "--profile") profile = true;
     else if (a == "--capture") {
       const std::string c = need("--capture");
       if (c == "vxor") opts.capture = scan::CaptureMode::VXor;
@@ -116,6 +144,7 @@ int main(int argc, char** argv) {
     std::printf("stitched: TV=%zu ex=%zu  t=%.3f m=%.3f  coverage %s\n",
                 r.vectors_applied, r.extra_full_vectors, r.time_ratio,
                 r.memory_ratio, r.uncovered == 0 ? "preserved" : "LOST");
+    if (profile) print_profile(r.profile);
 
     if (!out_path.empty()) {
       std::ofstream out(out_path);
