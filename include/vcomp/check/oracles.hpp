@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file oracles.hpp
+/// Differential oracles of the check harness.
+///
+/// Two families:
+///  * simulator oracles — WordSim, TernarySim, DiffSim and LaneSim are run
+///    on identical stimuli and compared against the naive reference
+///    evaluators of reference.hpp (and against each other where their
+///    domains overlap);
+///  * the tracker oracle — a StitchTracker is driven through the case's
+///    stitched schedule and its per-cycle CycleStats, final fault states,
+///    catch cycles and surviving hidden-chain contents are compared against
+///    a brute-force full-shift fault simulation of the same schedule that
+///    keeps one private chain per fault and evaluates every machine with
+///    the naive reference.
+///
+/// All entry points return std::nullopt on agreement and a Failure naming
+/// the first diverging oracle otherwise.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "vcomp/check/scenario.hpp"
+
+namespace vcomp::check {
+
+struct Failure {
+  std::string oracle;  ///< "word-sim", "ternary-sim", "diff-sim",
+                       ///< "lane-sim", "tracker", "thread-identity",
+                       ///< "exception"
+  std::string detail;  ///< human-readable mismatch description
+};
+
+/// Simulator oracles on \p rounds random stimuli (seeded by
+/// \p stimulus_seed, independent of the schedule).
+std::optional<Failure> check_simulators(const Case& c,
+                                        std::uint64_t stimulus_seed,
+                                        std::size_t rounds);
+
+/// Tracker oracle: stitched tracker vs brute-force reference over the
+/// case's schedule (including the terminal observation).
+std::optional<Failure> check_tracker(const Case& c);
+
+/// Canonical byte string of a tracker run over the case's schedule
+/// (per-cycle stats, final fault states, catch cycles, hidden chains,
+/// terminal catches).  Equal digests <=> byte-identical tracker behaviour;
+/// the runner compares digests across thread counts.
+std::string tracker_digest(const Case& c);
+
+/// Every oracle in sequence; first failure wins.  Exceptions out of the
+/// checked code are converted into Failure{"exception", what()}.
+std::optional<Failure> run_oracles(const Case& c, const Scenario& sc);
+
+}  // namespace vcomp::check

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file repro.hpp
+/// Self-contained reproducer files for failing fuzz cases.
+///
+/// A reproducer carries everything needed to replay a failure with zero
+/// dependence on the generator's future behaviour: the scenario header
+/// (seed and shape fields, for regeneration and shrinking), the *generated
+/// netlist itself* as embedded .bench text, the tracked-fault subset, and
+/// the concrete stitched schedule in the schedule_io text format.  Replay
+/// parses the embedded netlist and schedule — it never re-runs netgen — so
+/// committed corpus entries stay valid even if the generator drifts.
+///
+/// Format (line oriented):
+///
+///     # vcomp fuzz reproducer
+///     # <free-text failure description>
+///     scenario seed <u64> netseed <u64>
+///     shape pi <n> po <n> ff <n> gates <n> arity <n> depth <n> easiness <milli>
+///     config capture <normal|vxor> hxor <taps> shift <fixed k|var>
+///            cycles <n> observe <n> maxfaults <n> simrounds <n>
+///     faults all            (or: faults <i> <i> ...)
+///     begin-netlist
+///     <.bench text>
+///     end-netlist
+///     begin-schedule
+///     <schedule_io text>
+///     end-schedule
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "vcomp/check/oracles.hpp"
+#include "vcomp/check/scenario.hpp"
+
+namespace vcomp::check {
+
+/// Serializes scenario + materialized case + failure note.
+void write_reproducer(std::ostream& out, const Scenario& sc, const Case& c,
+                      const Failure& failure);
+std::string write_reproducer_string(const Scenario& sc, const Case& c,
+                                    const Failure& failure);
+
+struct Reproducer {
+  Scenario scenario;
+  Case kase;  ///< rebuilt from the embedded netlist and schedule
+};
+
+/// Parses a reproducer; throws vcomp::ContractError on malformed input.
+Reproducer read_reproducer(std::istream& in);
+Reproducer read_reproducer_file(const std::string& path);
+
+/// Replays every oracle on the embedded case.  std::nullopt = clean.
+std::optional<Failure> replay_reproducer(const Reproducer& r);
+
+}  // namespace vcomp::check

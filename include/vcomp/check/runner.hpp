@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file runner.hpp
+/// The seeded fuzz loop: generate case i from the master seed, run every
+/// oracle, optionally assert 1-vs-k-thread byte identity of the tracker,
+/// shrink failures and write self-contained reproducers.
+///
+/// Case seeds are a pure function of (master seed, case index) — never of
+/// wall time or thread count — so the same master seed replays the same
+/// case sequence on any machine and under any --minutes budget (a time
+/// limit only truncates the sequence, it never perturbs it).
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "vcomp/check/oracles.hpp"
+
+namespace vcomp::check {
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  std::size_t cases = 100;  ///< max cases (0 = unbounded, use minutes)
+  double minutes = 0;       ///< wall-clock budget (0 = no limit)
+  /// >1: per case, re-run the tracker at 1 thread and at this many threads
+  /// and require byte-identical digests.
+  std::size_t identity_threads = 0;
+  bool shrink_failures = true;
+  std::size_t shrink_budget = 200;
+  std::size_t max_failures = 1;  ///< stop after this many failures
+  std::string repro_dir;         ///< reproducer destination ("" = disabled)
+  std::ostream* log = nullptr;   ///< progress / failure log (null = quiet)
+};
+
+/// Per-case seed derivation (exposed so tests can pin it).
+std::uint64_t case_seed(std::uint64_t master_seed, std::size_t index);
+
+struct FuzzStats {
+  std::size_t cases_run = 0;
+  std::size_t failures = 0;
+  std::vector<std::string> repro_paths;  ///< written reproducer files
+  std::string first_failure;             ///< "" when clean
+};
+
+/// Runs the fuzz loop; never throws for failures found (they are counted
+/// and reported through the stats).
+FuzzStats run_fuzz(const FuzzOptions& opts);
+
+}  // namespace vcomp::check

@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file scenario.hpp
+/// Seeded random-scenario generation for the differential check harness.
+///
+/// A Scenario is a small plain-data record that *fully determines* one
+/// randomized test case: the synthetic netlist (netgen profile fields), the
+/// scan configuration (capture mode, scan-out model), the stitched shift
+/// schedule (fixed 3/8–7/8 or variable), the tracked fault subset and the
+/// stimulus rounds of the simulator oracles.  Everything is derived from a
+/// single uint64 seed through util/rng, so a case is reproducible from its
+/// seed alone and the shrinker can mutate individual fields while keeping
+/// the rest of the case byte-identical.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vcomp/core/stitch_engine.hpp"
+#include "vcomp/fault/collapse.hpp"
+#include "vcomp/netlist/netlist.hpp"
+#include "vcomp/scan/scan_chain.hpp"
+
+namespace vcomp::check {
+
+/// Shift-size regime of a scenario's stitched schedule.
+enum class ShiftKind : std::uint8_t {
+  Fixed,     ///< one size for every cycle (the paper's 3/8 .. 7/8 points)
+  Variable,  ///< fresh random size per cycle
+};
+
+struct Scenario {
+  std::uint64_t seed = 1;  ///< master seed the whole case derives from
+
+  // Netlist shape (netgen CircuitProfile fields).
+  std::size_t num_pi = 4;
+  std::size_t num_po = 2;
+  std::size_t num_ff = 8;
+  std::size_t num_gates = 40;
+  std::size_t max_arity = 4;
+  std::size_t depth_limit = 0;
+  /// Stored in 1/1000 steps so reproducer files round-trip exactly.
+  std::uint32_t easiness_milli = 0;
+  std::uint64_t net_seed = 1;
+
+  // Chain / observation configuration.
+  scan::CaptureMode capture = scan::CaptureMode::Normal;
+  std::size_t hxor_taps = 0;  ///< 0 = direct scan-out
+
+  // Schedule shape.
+  ShiftKind shift_kind = ShiftKind::Variable;
+  std::size_t fixed_numerator = 4;   ///< s = max(1, L*k/8) when Fixed
+  std::size_t cycles = 8;            ///< stitched cycles after the full load
+  std::size_t terminal_observe = 0;  ///< trailing observation size (0..L)
+
+  /// Collapsed-fault indices the tracker oracle follows; empty = derive
+  /// from max_track_faults.
+  std::vector<std::uint32_t> fault_subset;
+  /// When fault_subset is empty: track a random sample of this many
+  /// collapsed faults (0 = all).  Keeps the brute-force reference cheap on
+  /// large random circuits.
+  std::size_t max_track_faults = 0;
+
+  /// Random-stimulus rounds of the simulator oracles.
+  std::size_t sim_rounds = 2;
+
+  friend bool operator==(const Scenario&, const Scenario&) = default;
+};
+
+/// Draws a fully random scenario — a pure function of \p seed.
+Scenario random_scenario(std::uint64_t seed);
+
+/// The materialized case the oracles replay: circuit, collapsed faults,
+/// tracked-fault mask and the concrete stitched schedule.
+struct Case {
+  netlist::Netlist netlist;
+  fault::CollapsedFaults faults;
+  std::vector<std::uint8_t> track;  ///< per-collapsed-fault oracle mask
+  core::StitchedSchedule schedule;  ///< vectors[0] = full initial load
+  scan::CaptureMode capture = scan::CaptureMode::Normal;
+  scan::ScanOutModel out_model{};
+};
+
+/// Builds the deterministic case for \p sc: generates the netlist, selects
+/// the fault subset and constructs a random schedule satisfying the
+/// stitching invariant (retained scan bits equal the fault-free chain
+/// content, advanced with a single-pattern WordSim).
+Case materialize(const Scenario& sc);
+
+/// Collapsed-fault indices with a set track bit (the effective subset).
+std::vector<std::uint32_t> tracked_indices(const Case& c);
+
+/// One-line summary for logs and reproducer headers.
+std::string describe(const Scenario& sc);
+
+}  // namespace vcomp::check

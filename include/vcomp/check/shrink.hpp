@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file shrink.hpp
+/// Greedy scenario shrinking for failing fuzz cases.
+///
+/// A failing Scenario is minimized by repeatedly proposing cheaper variants
+/// — fewer stitched cycles, a smaller tracked-fault subset, a smaller gate
+/// budget, simpler observation modes, fewer stimulus rounds — re-running
+/// the oracles on each, and keeping any variant that still fails (not
+/// necessarily with the same oracle: a shrink that trades one mismatch for
+/// another is still progress).  Every variant is a full re-materialization
+/// from the mutated scenario, so the result is exactly as reproducible as
+/// the original.
+
+#include <cstddef>
+
+#include "vcomp/check/oracles.hpp"
+#include "vcomp/check/scenario.hpp"
+
+namespace vcomp::check {
+
+struct ShrinkResult {
+  Scenario scenario;       ///< smallest still-failing scenario found
+  Failure failure;         ///< the failure that scenario produces
+  std::size_t attempts = 0;  ///< oracle runs spent shrinking
+};
+
+/// Shrinks \p sc, which must currently fail with \p failure.  \p budget
+/// caps the number of oracle re-runs.
+ShrinkResult shrink(const Scenario& sc, const Failure& failure,
+                    std::size_t budget = 200);
+
+}  // namespace vcomp::check

@@ -1,0 +1,443 @@
+#include "vcomp/check/oracles.hpp"
+
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+#include "vcomp/check/reference.hpp"
+#include "vcomp/core/tracker.hpp"
+#include "vcomp/fault/fault_parallel_sim.hpp"
+#include "vcomp/fault/fault_sim.hpp"
+#include "vcomp/sim/ternary_sim.hpp"
+#include "vcomp/sim/word_sim.hpp"
+#include "vcomp/util/parallel.hpp"
+#include "vcomp/util/rng.hpp"
+
+namespace vcomp::check {
+
+using fault::Fault;
+using netlist::GateId;
+using netlist::Netlist;
+using sim::Trit;
+using sim::Word;
+
+namespace {
+
+constexpr std::uint64_t kStimulusSalt = 0x0bace5a17ed5eedULL;
+
+/// Faults the simulator oracles sample per stimulus round.
+constexpr std::size_t kSimFaultSample = 48;
+
+std::optional<Failure> fail(const char* oracle, std::string detail) {
+  return Failure{oracle, std::move(detail)};
+}
+
+std::vector<std::uint32_t> sample_faults(std::size_t num_faults, Rng& rng,
+                                         std::size_t want) {
+  std::vector<std::uint32_t> all(num_faults);
+  for (std::uint32_t i = 0; i < num_faults; ++i) all[i] = i;
+  if (all.size() <= want) return all;
+  rng.shuffle(all);
+  all.resize(want);
+  return all;
+}
+
+// ---- simulator oracles ----------------------------------------------------
+
+std::optional<Failure> simulators_round(const Case& c,
+                                        sim::EvalGraph::Ref graph, Rng& rng) {
+  const Netlist& nl = c.netlist;
+
+  // Shared random source words for this round.
+  std::vector<Word> src(nl.num_gates(), 0);
+  for (GateId g : nl.inputs()) src[g] = rng.next();
+  for (GateId g : nl.dffs()) src[g] = rng.next();
+
+  std::vector<Word> good = src;
+  ref_word_eval(nl, good);
+
+  // WordSim vs reference, every gate and every captured next-state.
+  sim::WordSim wsim(graph);
+  for (std::size_t i = 0; i < nl.num_inputs(); ++i)
+    wsim.set_input(i, src[nl.inputs()[i]]);
+  for (std::size_t i = 0; i < nl.num_dffs(); ++i)
+    wsim.set_state(i, src[nl.dffs()[i]]);
+  wsim.eval();
+  for (GateId g = 0; g < nl.num_gates(); ++g)
+    if (wsim.value(g) != good[g])
+      return fail("word-sim", "gate " + nl.gate(g).name + " value mismatch");
+  for (std::size_t i = 0; i < nl.num_dffs(); ++i)
+    if (wsim.next_state(i) != ref_next_state(nl, good, nullptr, i))
+      return fail("word-sim", "dff " + std::to_string(i) +
+                                  " next-state mismatch");
+
+  // TernarySim vs the plain trit-kernel reference (includes X draws).
+  sim::TernarySim tsim(graph);
+  std::vector<Trit> tref(nl.num_gates(), Trit::X);
+  tsim.clear();
+  auto draw_trit = [&] {
+    const auto r = rng.below(3);
+    return r == 0 ? Trit::Zero : r == 1 ? Trit::One : Trit::X;
+  };
+  for (std::size_t i = 0; i < nl.num_inputs(); ++i) {
+    tref[nl.inputs()[i]] = draw_trit();
+    tsim.set_input(i, tref[nl.inputs()[i]]);
+  }
+  for (std::size_t i = 0; i < nl.num_dffs(); ++i) {
+    tref[nl.dffs()[i]] = draw_trit();
+    tsim.set_state(i, tref[nl.dffs()[i]]);
+  }
+  tsim.eval();
+  ref_trit_eval(nl, tref);
+  for (GateId g = 0; g < nl.num_gates(); ++g)
+    if (tsim.value(g) != tref[g])
+      return fail("ternary-sim",
+                  "gate " + nl.gate(g).name + " trit mismatch");
+
+  // DiffSim vs forked reference on a fault sample.
+  const auto sample = sample_faults(c.faults.size(), rng, kSimFaultSample);
+  fault::DiffSim dsim(graph);
+  for (std::size_t i = 0; i < nl.num_inputs(); ++i)
+    dsim.good().set_input(i, src[nl.inputs()[i]]);
+  for (std::size_t i = 0; i < nl.num_dffs(); ++i)
+    dsim.good().set_state(i, src[nl.dffs()[i]]);
+  dsim.commit_good();
+  for (std::uint32_t fi : sample) {
+    const Fault& f = c.faults[fi];
+    std::vector<Word> bad = src;
+    ref_faulty_eval(nl, bad, f);
+    Word po_any = 0;
+    for (GateId po : nl.outputs()) po_any |= good[po] ^ bad[po];
+    std::map<std::uint32_t, Word> want;
+    for (std::size_t i = 0; i < nl.num_dffs(); ++i) {
+      const Word d = ref_next_state(nl, good, nullptr, i) ^
+                     ref_next_state(nl, bad, &f, i);
+      if (d != 0) want[static_cast<std::uint32_t>(i)] = d;
+    }
+    const auto eff = dsim.simulate(f);
+    if (eff.po_any != po_any)
+      return fail("diff-sim",
+                  "po_any mismatch for " + fault::fault_name(nl, f));
+    std::map<std::uint32_t, Word> got;
+    for (const auto& d : eff.ppo_diffs)
+      if (d.diff != 0) got[d.dff_index] |= d.diff;
+    if (got != want)
+      return fail("diff-sim",
+                  "ppo diffs mismatch for " + fault::fault_name(nl, f));
+  }
+
+  // LaneSim vs forked reference: lane k carries pattern k of the same
+  // source words plus its own fault — genuinely per-lane stimuli.
+  fault::LaneSim lsim(graph);
+  for (std::size_t base = 0; base < sample.size(); base += 64) {
+    const std::size_t count = std::min<std::size_t>(64, sample.size() - base);
+    lsim.clear();
+    for (std::size_t k = 0; k < count; ++k) {
+      const int lane = lsim.add_lane();
+      for (std::size_t i = 0; i < nl.num_inputs(); ++i)
+        lsim.set_pi(lane, i, (src[nl.inputs()[i]] >> k) & 1);
+      for (std::size_t i = 0; i < nl.num_dffs(); ++i)
+        lsim.set_state(lane, i, (src[nl.dffs()[i]] >> k) & 1);
+      lsim.inject(lane, c.faults[sample[base + k]]);
+    }
+    lsim.eval();
+    for (std::size_t k = 0; k < count; ++k) {
+      const Fault& f = c.faults[sample[base + k]];
+      std::vector<Word> bad = src;
+      ref_faulty_eval(nl, bad, f);
+      for (std::size_t o = 0; o < nl.num_outputs(); ++o)
+        if (lsim.output(static_cast<int>(k), o) !=
+            static_cast<bool>((bad[nl.outputs()[o]] >> k) & 1))
+          return fail("lane-sim",
+                      "po mismatch for " + fault::fault_name(nl, f));
+      for (std::size_t i = 0; i < nl.num_dffs(); ++i)
+        if (lsim.next_state(static_cast<int>(k), i) !=
+            static_cast<bool>((ref_next_state(nl, bad, &f, i) >> k) & 1))
+          return fail("lane-sim",
+                      "next-state mismatch for " + fault::fault_name(nl, f));
+    }
+  }
+  return std::nullopt;
+}
+
+// ---- brute-force reference tracker ----------------------------------------
+
+struct RefTrackerResult {
+  std::vector<core::CycleStats> cycles;
+  std::vector<std::uint8_t> chain_ff;  ///< final fault-free chain
+  /// Per tracked fault (key = collapsed index).
+  std::unordered_map<std::uint32_t, core::FaultState> state;
+  std::unordered_map<std::uint32_t, std::size_t> catch_cycle;
+  std::unordered_map<std::uint32_t, std::vector<std::uint8_t>> hidden_chain;
+  std::size_t terminal_caught = 0;
+};
+
+/// Full-shift brute force: every tracked fault keeps a private chain and is
+/// re-evaluated from scratch with the naive reference each cycle.  No
+/// DiffSim, no LaneSim, no sharding, no diff_observable.
+RefTrackerResult ref_track(const Case& c) {
+  const Netlist& nl = c.netlist;
+  const scan::ScanChain map(nl);
+  const std::size_t L = nl.num_dffs();
+  const std::size_t npi = nl.num_inputs();
+
+  RefTrackerResult r;
+  const auto tracked = tracked_indices(c);
+  for (std::uint32_t i : tracked) r.state[i] = core::FaultState::Uncaught;
+
+  std::vector<std::uint8_t> chain_ff(L, 0);
+  std::vector<Word> vals(nl.num_gates(), 0);
+  std::vector<std::uint8_t> ns_ff(L, 0), ns_f(L, 0), po_ff, po_f;
+  std::vector<std::uint8_t> in_bits, obs_ff, obs_f, pre_capture, new_chain;
+  po_ff.resize(nl.num_outputs());
+  po_f.resize(nl.num_outputs());
+
+  auto load_sources = [&](const atpg::TestVector& v,
+                          const std::vector<std::uint8_t>& chain) {
+    for (std::size_t i = 0; i < npi; ++i)
+      vals[nl.inputs()[i]] = v.pi[i] ? ~Word{0} : Word{0};
+    for (std::size_t pos = 0; pos < L; ++pos)
+      vals[nl.dffs()[map.dff_at(pos)]] = chain[pos] ? ~Word{0} : Word{0};
+  };
+
+  for (std::size_t ci = 0; ci < c.schedule.vectors.size(); ++ci) {
+    const auto& v = c.schedule.vectors[ci];
+    const std::size_t s = c.schedule.shifts[ci];
+    const std::size_t cycle = ci + 1;
+    core::CycleStats st;
+    st.shift = s;
+
+    if (ci == 0) {
+      for (std::size_t pos = 0; pos < L; ++pos)
+        chain_ff[pos] = v.ppi[map.dff_at(pos)];
+    } else {
+      in_bits.resize(s);
+      for (std::size_t j = 0; j < s; ++j)
+        in_bits[j] = v.ppi[map.dff_at(s - 1 - j)];
+      ref_shift(chain_ff, in_bits, c.out_model, obs_ff);
+      for (std::uint32_t i : tracked) {
+        if (r.state[i] != core::FaultState::Hidden) continue;
+        auto& chain_f = r.hidden_chain[i];
+        ref_shift(chain_f, in_bits, c.out_model, obs_f);
+        if (obs_f != obs_ff) {
+          r.state[i] = core::FaultState::Caught;
+          r.catch_cycle[i] = cycle;
+          r.hidden_chain.erase(i);
+          ++st.caught_at_shift;
+        }
+      }
+    }
+
+    // Fault-free apply & capture.
+    load_sources(v, chain_ff);
+    ref_word_eval(nl, vals);
+    for (std::size_t o = 0; o < nl.num_outputs(); ++o)
+      po_ff[o] = static_cast<std::uint8_t>(vals[nl.outputs()[o]] & 1);
+    for (std::size_t pos = 0; pos < L; ++pos)
+      ns_ff[pos] = static_cast<std::uint8_t>(
+          ref_next_state(nl, vals, nullptr, map.dff_at(pos)) & 1);
+    pre_capture = chain_ff;
+    ref_capture(chain_ff, ns_ff, c.capture);
+
+    // Every surviving tracked fault, from scratch.
+    for (std::uint32_t i : tracked) {
+      if (r.state[i] == core::FaultState::Caught) continue;
+      const bool was_hidden = r.state[i] == core::FaultState::Hidden;
+      const std::vector<std::uint8_t>& chain_pre =
+          was_hidden ? r.hidden_chain[i] : pre_capture;
+      const Fault& f = c.faults[i];
+      load_sources(v, chain_pre);
+      ref_faulty_eval(nl, vals, f);
+      for (std::size_t o = 0; o < nl.num_outputs(); ++o)
+        po_f[o] = static_cast<std::uint8_t>(vals[nl.outputs()[o]] & 1);
+      if (po_f != po_ff) {
+        r.state[i] = core::FaultState::Caught;
+        r.catch_cycle[i] = cycle;
+        if (was_hidden) r.hidden_chain.erase(i);
+        ++st.caught_at_po;
+        continue;
+      }
+      for (std::size_t pos = 0; pos < L; ++pos)
+        ns_f[pos] = static_cast<std::uint8_t>(
+            ref_next_state(nl, vals, &f, map.dff_at(pos)) & 1);
+      new_chain = chain_pre;
+      ref_capture(new_chain, ns_f, c.capture);
+      if (new_chain == chain_ff) {
+        if (was_hidden) {
+          r.state[i] = core::FaultState::Uncaught;
+          r.hidden_chain.erase(i);
+          ++st.hidden_reverted;
+        }
+      } else {
+        if (!was_hidden) ++st.new_hidden;
+        r.state[i] = core::FaultState::Hidden;
+        r.hidden_chain[i] = new_chain;
+      }
+    }
+
+    st.hidden_after = r.hidden_chain.size();
+    r.cycles.push_back(st);
+  }
+
+  // Terminal observation: shift both machines and compare what the ATE
+  // actually reads (independent of scan::diff_observable).
+  const std::size_t st_obs = c.schedule.terminal_observe;
+  if (st_obs > 0) {
+    const std::size_t final_cycle = c.schedule.vectors.size() + 1;
+    in_bits.assign(st_obs, 0);
+    std::vector<std::uint8_t> tmp_ff, tmp_f;
+    std::vector<std::uint32_t> observed_caught;
+    for (const auto& [i, chain_f] : r.hidden_chain) {
+      tmp_ff = chain_ff;
+      tmp_f = chain_f;
+      ref_shift(tmp_ff, in_bits, c.out_model, obs_ff);
+      ref_shift(tmp_f, in_bits, c.out_model, obs_f);
+      if (obs_f != obs_ff) observed_caught.push_back(i);
+    }
+    for (std::uint32_t i : observed_caught) {
+      r.state[i] = core::FaultState::Caught;
+      r.catch_cycle[i] = final_cycle;
+      r.hidden_chain.erase(i);
+      ++r.terminal_caught;
+    }
+  }
+
+  r.chain_ff = chain_ff;
+  return r;
+}
+
+// ---- stitched tracker run -------------------------------------------------
+
+struct TrackerRun {
+  std::vector<core::CycleStats> cycles;
+  std::vector<std::uint8_t> chain_ff;
+  std::unordered_map<std::uint32_t, core::FaultState> state;
+  std::unordered_map<std::uint32_t, std::size_t> catch_cycle;
+  std::unordered_map<std::uint32_t, std::vector<std::uint8_t>> hidden_chain;
+  std::size_t terminal_caught = 0;
+};
+
+TrackerRun run_tracker(const Case& c) {
+  core::StitchTracker tracker(c.netlist, c.faults, c.capture, c.out_model,
+                              c.track);
+  TrackerRun out;
+  out.cycles.push_back(tracker.apply_first(c.schedule.vectors[0]));
+  for (std::size_t ci = 1; ci < c.schedule.vectors.size(); ++ci)
+    out.cycles.push_back(tracker.apply_stitched(c.schedule.vectors[ci],
+                                                c.schedule.shifts[ci]));
+  if (c.schedule.terminal_observe > 0)
+    out.terminal_caught = tracker.terminal_observe(c.schedule.terminal_observe);
+  out.chain_ff = tracker.chain().bits();
+  for (std::uint32_t i : tracked_indices(c)) {
+    out.state[i] = tracker.sets().state(i);
+    if (out.state[i] == core::FaultState::Caught)
+      out.catch_cycle[i] = tracker.sets().catch_cycle(i);
+    else if (out.state[i] == core::FaultState::Hidden)
+      out.hidden_chain[i] = tracker.sets().hidden_state(i).bits();
+  }
+  return out;
+}
+
+std::string stats_str(const core::CycleStats& st) {
+  std::ostringstream os;
+  os << "shift=" << st.shift << " caught_at_shift=" << st.caught_at_shift
+     << " caught_at_po=" << st.caught_at_po
+     << " new_hidden=" << st.new_hidden
+     << " hidden_reverted=" << st.hidden_reverted
+     << " hidden_after=" << st.hidden_after;
+  return os.str();
+}
+
+}  // namespace
+
+std::optional<Failure> check_simulators(const Case& c,
+                                        std::uint64_t stimulus_seed,
+                                        std::size_t rounds) {
+  const auto graph = sim::EvalGraph::compile(c.netlist);
+  Rng rng(stimulus_seed);
+  for (std::size_t round = 0; round < rounds; ++round) {
+    auto f = simulators_round(c, graph, rng);
+    if (f) {
+      f->detail = "round " + std::to_string(round) + ": " + f->detail;
+      return f;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Failure> check_tracker(const Case& c) {
+  const TrackerRun got = run_tracker(c);
+  const RefTrackerResult want = ref_track(c);
+
+  if (got.chain_ff != want.chain_ff)
+    return fail("tracker", "fault-free chain diverges from naive reference");
+  for (std::size_t ci = 0; ci < want.cycles.size(); ++ci)
+    if (!(got.cycles[ci] == want.cycles[ci]))
+      return fail("tracker", "cycle " + std::to_string(ci + 1) +
+                                 " stats: tracker {" +
+                                 stats_str(got.cycles[ci]) + "} vs ref {" +
+                                 stats_str(want.cycles[ci]) + "}");
+  if (got.terminal_caught != want.terminal_caught)
+    return fail("tracker",
+                "terminal observe caught " +
+                    std::to_string(got.terminal_caught) + " vs ref " +
+                    std::to_string(want.terminal_caught));
+  for (const auto& [i, st] : want.state) {
+    const auto it = got.state.find(i);
+    if (it == got.state.end() || it->second != st)
+      return fail("tracker",
+                  "fault " + fault::fault_name(c.netlist, c.faults[i]) +
+                      " final state mismatch");
+    if (st == core::FaultState::Caught &&
+        got.catch_cycle.at(i) != want.catch_cycle.at(i))
+      return fail("tracker",
+                  "fault " + fault::fault_name(c.netlist, c.faults[i]) +
+                      " catch cycle " +
+                      std::to_string(got.catch_cycle.at(i)) + " vs ref " +
+                      std::to_string(want.catch_cycle.at(i)));
+    if (st == core::FaultState::Hidden &&
+        got.hidden_chain.at(i) != want.hidden_chain.at(i))
+      return fail("tracker",
+                  "fault " + fault::fault_name(c.netlist, c.faults[i]) +
+                      " surviving hidden chain mismatch");
+  }
+  return std::nullopt;
+}
+
+std::string tracker_digest(const Case& c) {
+  const TrackerRun run = run_tracker(c);
+  std::ostringstream os;
+  for (const auto& st : run.cycles)
+    os << st.shift << ',' << st.caught_at_shift << ',' << st.caught_at_po
+       << ',' << st.new_hidden << ',' << st.hidden_reverted << ','
+       << st.hidden_after << ';';
+  os << '|';
+  for (std::uint8_t b : run.chain_ff) os << char('0' + b);
+  os << '|' << run.terminal_caught << '|';
+  // Deterministic fault order: tracked_indices is ascending.
+  for (std::uint32_t i : tracked_indices(c)) {
+    os << i << ':' << static_cast<int>(run.state.at(i));
+    const auto cc = run.catch_cycle.find(i);
+    if (cc != run.catch_cycle.end()) os << '@' << cc->second;
+    const auto hc = run.hidden_chain.find(i);
+    if (hc != run.hidden_chain.end()) {
+      os << '=';
+      for (std::uint8_t b : hc->second) os << char('0' + b);
+    }
+    os << ';';
+  }
+  return os.str();
+}
+
+std::optional<Failure> run_oracles(const Case& c, const Scenario& sc) {
+  try {
+    if (auto f = check_simulators(
+            c, sc.seed ^ util::splitmix64(kStimulusSalt), sc.sim_rounds))
+      return f;
+    return check_tracker(c);
+  } catch (const std::exception& e) {
+    return Failure{"exception", e.what()};
+  }
+}
+
+}  // namespace vcomp::check

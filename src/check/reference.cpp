@@ -1,0 +1,121 @@
+#include "vcomp/check/reference.hpp"
+
+#include <atomic>
+
+#include "vcomp/util/assert.hpp"
+
+namespace vcomp::check {
+
+using netlist::GateId;
+using netlist::GateType;
+using netlist::Netlist;
+using sim::Trit;
+using sim::Word;
+
+namespace {
+
+std::atomic<Mutation> g_mutation{Mutation::None};
+
+/// Applies the active reference mutation to one evaluated gate word.
+Word mutate(GateType type, std::span<const Word> fanin, Word v) {
+  if (g_mutation.load(std::memory_order_relaxed) == Mutation::NandTruthTable &&
+      type == GateType::Nand) {
+    Word all_ones = ~Word{0};
+    for (Word w : fanin) all_ones &= w;
+    return v | all_ones;  // the all-ones row reads 1 instead of 0
+  }
+  return v;
+}
+
+}  // namespace
+
+void set_reference_mutation(Mutation m) {
+  g_mutation.store(m, std::memory_order_relaxed);
+}
+
+Mutation reference_mutation() {
+  return g_mutation.load(std::memory_order_relaxed);
+}
+
+void ref_word_eval(const Netlist& nl, std::vector<Word>& vals) {
+  std::vector<Word> scratch;
+  for (GateId id : nl.topo_order()) {
+    const auto& g = nl.gate(id);
+    scratch.clear();
+    for (GateId f : g.fanin) scratch.push_back(vals[f]);
+    vals[id] = mutate(g.type, scratch, sim::word_eval(g.type, scratch));
+  }
+}
+
+void ref_faulty_eval(const Netlist& nl, std::vector<Word>& vals,
+                     const fault::Fault& f) {
+  const Word stuck = f.stuck ? ~Word{0} : Word{0};
+  const auto src_type = nl.gate(f.gate).type;
+  if (f.is_stem() &&
+      (src_type == GateType::Input || src_type == GateType::Dff))
+    vals[f.gate] = stuck;
+  std::vector<Word> scratch;
+  for (GateId id : nl.topo_order()) {
+    const auto& g = nl.gate(id);
+    scratch.clear();
+    for (std::size_t k = 0; k < g.fanin.size(); ++k) {
+      Word w = vals[g.fanin[k]];
+      if (!f.is_stem() && f.gate == id &&
+          static_cast<std::int16_t>(k) == f.pin)
+        w = stuck;
+      scratch.push_back(w);
+    }
+    Word v = mutate(g.type, scratch, sim::word_eval(g.type, scratch));
+    if (f.is_stem() && f.gate == id) v = stuck;
+    vals[id] = v;
+  }
+}
+
+Word ref_next_state(const Netlist& nl, const std::vector<Word>& vals,
+                    const fault::Fault* f, std::size_t i) {
+  const GateId dff = nl.dffs()[i];
+  Word w = vals[nl.gate(dff).fanin[0]];
+  if (f != nullptr && !f->is_stem() && f->gate == dff && f->pin == 0)
+    w = f->stuck ? ~Word{0} : Word{0};
+  return w;
+}
+
+void ref_trit_eval(const Netlist& nl, std::vector<Trit>& vals) {
+  std::vector<Trit> scratch;
+  for (GateId id : nl.topo_order()) {
+    const auto& g = nl.gate(id);
+    scratch.clear();
+    for (GateId f : g.fanin) scratch.push_back(vals[f]);
+    vals[id] = sim::trit_eval(g.type, scratch);
+  }
+}
+
+void ref_shift(std::vector<std::uint8_t>& chain,
+               const std::vector<std::uint8_t>& in_bits,
+               const scan::ScanOutModel& out,
+               std::vector<std::uint8_t>& observed) {
+  const std::size_t L = chain.size();
+  observed.clear();
+  for (std::uint8_t in : in_bits) {
+    std::uint8_t o = 0;
+    for (std::uint32_t tap : out.taps) o ^= chain[tap];
+    observed.push_back(o);
+    for (std::size_t p = L; p-- > 1;) chain[p] = chain[p - 1];
+    chain[0] = in;
+  }
+}
+
+void ref_capture(std::vector<std::uint8_t>& chain,
+                 const std::vector<std::uint8_t>& next_state,
+                 scan::CaptureMode mode) {
+  VCOMP_REQUIRE(chain.size() == next_state.size(),
+                "ref_capture size mismatch");
+  for (std::size_t p = 0; p < chain.size(); ++p) {
+    if (mode == scan::CaptureMode::Normal)
+      chain[p] = next_state[p];
+    else
+      chain[p] = chain[p] ^ next_state[p];
+  }
+}
+
+}  // namespace vcomp::check

@@ -1,0 +1,197 @@
+#include "vcomp/check/repro.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "vcomp/core/schedule_io.hpp"
+#include "vcomp/fault/collapse.hpp"
+#include "vcomp/netlist/bench_io.hpp"
+#include "vcomp/util/assert.hpp"
+
+namespace vcomp::check {
+
+namespace {
+
+std::string one_line(std::string s) {
+  std::replace(s.begin(), s.end(), '\n', ' ');
+  return s;
+}
+
+std::string next_content_line(std::istream& in, const char* what) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    return line;
+  }
+  VCOMP_REQUIRE(false, std::string("reproducer truncated before ") + what);
+  return {};
+}
+
+/// Reads `key <value>` pairs off a header line that starts with \p tag.
+std::istringstream open_tagged(const std::string& line, const char* tag) {
+  std::istringstream is(line);
+  std::string got;
+  is >> got;
+  VCOMP_REQUIRE(got == tag, "reproducer: expected '" + std::string(tag) +
+                                "' line, got '" + got + "'");
+  return is;
+}
+
+std::string read_block(std::istream& in, const char* begin, const char* end) {
+  const std::string opener = next_content_line(in, begin);
+  VCOMP_REQUIRE(opener == begin, "reproducer: expected " + std::string(begin));
+  std::string line, body;
+  while (std::getline(in, line)) {
+    if (line == end) return body;
+    body += line;
+    body += '\n';
+  }
+  VCOMP_REQUIRE(false, std::string("reproducer: missing ") + end);
+  return {};
+}
+
+}  // namespace
+
+void write_reproducer(std::ostream& out, const Scenario& sc, const Case& c,
+                      const Failure& failure) {
+  out << "# vcomp fuzz reproducer\n";
+  out << "# oracle: " << one_line(failure.oracle) << " -- "
+      << one_line(failure.detail) << '\n';
+  out << "# " << describe(sc) << '\n';
+  out << "scenario seed " << sc.seed << " netseed " << sc.net_seed << '\n';
+  out << "shape pi " << sc.num_pi << " po " << sc.num_po << " ff "
+      << sc.num_ff << " gates " << sc.num_gates << " arity " << sc.max_arity
+      << " depth " << sc.depth_limit << " easiness " << sc.easiness_milli
+      << '\n';
+  out << "config capture "
+      << (sc.capture == scan::CaptureMode::VXor ? "vxor" : "normal")
+      << " hxor " << sc.hxor_taps << " shift ";
+  if (sc.shift_kind == ShiftKind::Fixed)
+    out << "fixed " << sc.fixed_numerator;
+  else
+    out << "var";
+  out << " cycles " << sc.cycles << " observe " << sc.terminal_observe
+      << " maxfaults " << sc.max_track_faults << " simrounds "
+      << sc.sim_rounds << '\n';
+
+  // The *effective* tracked subset, so replay never depends on the
+  // subset-sampling stream.
+  const auto tracked = tracked_indices(c);
+  if (tracked.size() == c.faults.size()) {
+    out << "faults all\n";
+  } else {
+    out << "faults";
+    for (std::uint32_t i : tracked) out << ' ' << i;
+    out << '\n';
+  }
+
+  out << "begin-netlist\n";
+  netlist::write_bench(out, c.netlist);
+  out << "end-netlist\n";
+  out << "begin-schedule\n";
+  core::write_schedule(out, c.schedule);
+  out << "end-schedule\n";
+}
+
+std::string write_reproducer_string(const Scenario& sc, const Case& c,
+                                    const Failure& failure) {
+  std::ostringstream os;
+  write_reproducer(os, sc, c, failure);
+  return os.str();
+}
+
+Reproducer read_reproducer(std::istream& in) {
+  Reproducer r;
+  Scenario& sc = r.scenario;
+
+  {
+    auto is = open_tagged(next_content_line(in, "scenario"), "scenario");
+    std::string key;
+    is >> key >> sc.seed >> key >> sc.net_seed;
+  }
+  {
+    auto is = open_tagged(next_content_line(in, "shape"), "shape");
+    std::string key;
+    is >> key >> sc.num_pi >> key >> sc.num_po >> key >> sc.num_ff >> key >>
+        sc.num_gates >> key >> sc.max_arity >> key >> sc.depth_limit >> key >>
+        sc.easiness_milli;
+    VCOMP_REQUIRE(static_cast<bool>(is), "reproducer: malformed shape line");
+  }
+  {
+    auto is = open_tagged(next_content_line(in, "config"), "config");
+    std::string key, value;
+    is >> key >> value;
+    VCOMP_REQUIRE(value == "vxor" || value == "normal",
+                  "reproducer: bad capture mode '" + value + "'");
+    sc.capture = value == "vxor" ? scan::CaptureMode::VXor
+                                 : scan::CaptureMode::Normal;
+    is >> key >> sc.hxor_taps;
+    is >> key >> value;
+    if (value == "fixed") {
+      sc.shift_kind = ShiftKind::Fixed;
+      is >> sc.fixed_numerator;
+    } else {
+      VCOMP_REQUIRE(value == "var",
+                    "reproducer: bad shift kind '" + value + "'");
+      sc.shift_kind = ShiftKind::Variable;
+    }
+    is >> key >> sc.cycles >> key >> sc.terminal_observe >> key >>
+        sc.max_track_faults >> key >> sc.sim_rounds;
+    VCOMP_REQUIRE(static_cast<bool>(is), "reproducer: malformed config line");
+  }
+
+  const std::string faults_line = next_content_line(in, "faults");
+  std::vector<std::uint32_t> subset;
+  bool track_all = false;
+  {
+    auto is = open_tagged(faults_line, "faults");
+    std::string tok;
+    while (is >> tok) {
+      if (tok == "all") {
+        track_all = true;
+        break;
+      }
+      subset.push_back(static_cast<std::uint32_t>(std::stoul(tok)));
+    }
+  }
+
+  const std::string bench = read_block(in, "begin-netlist", "end-netlist");
+  const std::string sched = read_block(in, "begin-schedule", "end-schedule");
+
+  Case& c = r.kase;
+  c.netlist = netlist::read_bench_string(bench);
+  c.faults = fault::collapsed_fault_list(c.netlist);
+  c.schedule = core::read_schedule_string(sched);
+  c.capture = sc.capture;
+  const std::size_t L = c.netlist.num_dffs();
+  c.out_model = sc.hxor_taps > 0
+                    ? scan::ScanOutModel::hxor(L, std::min(sc.hxor_taps, L))
+                    : scan::ScanOutModel::direct(L);
+  if (track_all) {
+    c.track.assign(c.faults.size(), 1);
+  } else {
+    c.track.assign(c.faults.size(), 0);
+    for (std::uint32_t i : subset) {
+      VCOMP_REQUIRE(i < c.track.size(),
+                    "reproducer: fault index out of range");
+      c.track[i] = 1;
+    }
+    // Pin the subset on the scenario too, so a re-materialization (e.g.
+    // during shrinking) tracks exactly the same faults.
+    sc.fault_subset = subset;
+  }
+  return r;
+}
+
+Reproducer read_reproducer_file(const std::string& path) {
+  std::ifstream in(path);
+  VCOMP_REQUIRE(in.good(), "cannot open reproducer file: " + path);
+  return read_reproducer(in);
+}
+
+std::optional<Failure> replay_reproducer(const Reproducer& r) {
+  return run_oracles(r.kase, r.scenario);
+}
+
+}  // namespace vcomp::check

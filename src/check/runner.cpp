@@ -1,0 +1,129 @@
+#include "vcomp/check/runner.hpp"
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+
+#include "vcomp/check/repro.hpp"
+#include "vcomp/check/shrink.hpp"
+#include "vcomp/util/parallel.hpp"
+
+namespace vcomp::check {
+
+namespace {
+
+constexpr std::uint64_t kCaseSalt = 0xca5e5eedf022ea11ULL;
+
+}  // namespace
+
+std::uint64_t case_seed(std::uint64_t master_seed, std::size_t index) {
+  // Pure function of (master, index): the sequence is identical for every
+  // thread count, machine and time budget.
+  return util::splitmix64(master_seed ^ util::splitmix64(kCaseSalt + index));
+}
+
+FuzzStats run_fuzz(const FuzzOptions& opts) {
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  const auto deadline =
+      opts.minutes > 0
+          ? start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(opts.minutes * 60.0))
+          : Clock::time_point::max();
+
+  FuzzStats stats;
+
+  auto log = [&](const std::string& msg) {
+    if (opts.log != nullptr) *opts.log << "[vcomp_fuzz] " << msg << '\n';
+  };
+
+  auto write_failure = [&](const Scenario& sc, const Failure& f) {
+    if (opts.repro_dir.empty()) return;
+    try {
+      const Case c = materialize(sc);
+      std::filesystem::create_directories(opts.repro_dir);
+      const std::string path =
+          opts.repro_dir + "/repro-" + std::to_string(sc.seed) + ".txt";
+      std::ofstream out(path);
+      write_reproducer(out, sc, c, f);
+      if (out.good()) {
+        stats.repro_paths.push_back(path);
+        log("wrote reproducer " + path);
+      }
+    } catch (const std::exception& e) {
+      log(std::string("could not write reproducer: ") + e.what());
+    }
+  };
+
+  for (std::size_t index = 0;; ++index) {
+    if (opts.cases > 0 && stats.cases_run >= opts.cases) break;
+    if (Clock::now() >= deadline) break;
+
+    const std::uint64_t seed = case_seed(opts.seed, index);
+    Scenario sc = random_scenario(seed);
+
+    std::optional<Failure> failure;
+    try {
+      const Case c = materialize(sc);
+      failure = run_oracles(c, sc);
+      if (!failure && opts.identity_threads > 1) {
+        std::string d1, dk;
+        {
+          util::ScopedParallelism serial(1);
+          d1 = tracker_digest(c);
+        }
+        {
+          util::ScopedParallelism wide(opts.identity_threads);
+          dk = tracker_digest(c);
+        }
+        if (d1 != dk)
+          failure = Failure{
+              "thread-identity",
+              "tracker digest differs between 1 and " +
+                  std::to_string(opts.identity_threads) + " threads"};
+      }
+    } catch (const std::exception& e) {
+      failure = Failure{"exception", e.what()};
+    }
+
+    ++stats.cases_run;
+
+    if (!failure) {
+      if (stats.cases_run % 1000 == 0)
+        log(std::to_string(stats.cases_run) + " cases clean");
+      continue;
+    }
+
+    ++stats.failures;
+    log("case " + std::to_string(index) + " (" + describe(sc) +
+        ") FAILED [" + failure->oracle + "] " + failure->detail);
+    if (stats.first_failure.empty())
+      stats.first_failure = failure->oracle + ": " + failure->detail +
+                            " (seed " + std::to_string(seed) + ")";
+
+    Scenario final_sc = sc;
+    Failure final_failure = *failure;
+    // Thread-identity failures are invisible to run_oracles, so the
+    // shrinker cannot preserve them; keep the original scenario.
+    if (opts.shrink_failures && failure->oracle != "thread-identity") {
+      const ShrinkResult sr = shrink(sc, *failure, opts.shrink_budget);
+      final_sc = sr.scenario;
+      final_failure = sr.failure;
+      log("shrunk to (" + describe(final_sc) + ") after " +
+          std::to_string(sr.attempts) + " attempts");
+    }
+    write_failure(final_sc, final_failure);
+
+    if (stats.failures >= opts.max_failures) break;
+  }
+
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  log(std::to_string(stats.cases_run) + " cases, " +
+      std::to_string(stats.failures) + " failures, " +
+      std::to_string(seconds) + "s");
+  return stats;
+}
+
+}  // namespace vcomp::check

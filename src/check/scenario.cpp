@@ -1,0 +1,189 @@
+#include "vcomp/check/scenario.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "vcomp/netgen/netgen.hpp"
+#include "vcomp/netgen/profiles.hpp"
+#include "vcomp/sim/word_sim.hpp"
+#include "vcomp/util/assert.hpp"
+#include "vcomp/util/parallel.hpp"
+#include "vcomp/util/rng.hpp"
+
+namespace vcomp::check {
+
+using atpg::TestVector;
+using sim::Word;
+
+namespace {
+
+// Distinct salts keep the netlist-shape, fault-subset and schedule streams
+// independent: shrinking one dimension never perturbs the others.
+constexpr std::uint64_t kSubsetSalt = 0x5ab5e7c4f00dULL;
+constexpr std::uint64_t kScheduleSalt = 0x5c8ed01eba5eULL;
+
+}  // namespace
+
+Scenario random_scenario(std::uint64_t seed) {
+  Rng rng(seed);
+  Scenario sc;
+  sc.seed = seed;
+  sc.num_pi = 2 + rng.below(9);    // 2..10
+  sc.num_po = 1 + rng.below(6);    // 1..6
+  sc.num_ff = 3 + rng.below(14);   // 3..16
+  sc.num_gates = std::max<std::size_t>(sc.num_po + 2, 12 + rng.below(109));
+  sc.max_arity = 2 + rng.below(3);  // 2..4
+  sc.depth_limit = rng.chance(1, 3) ? 3 + rng.below(7) : 0;
+  sc.easiness_milli = static_cast<std::uint32_t>(rng.below(901));
+  sc.net_seed = rng.next();
+
+  sc.capture =
+      rng.chance(1, 3) ? scan::CaptureMode::VXor : scan::CaptureMode::Normal;
+  sc.hxor_taps =
+      rng.chance(1, 2) ? 0 : 2 + rng.below(std::min<std::size_t>(sc.num_ff, 6) - 1);
+
+  if (rng.chance(1, 2)) {
+    sc.shift_kind = ShiftKind::Fixed;
+    sc.fixed_numerator = 3 + rng.below(5);  // the paper's 3/8 .. 7/8 points
+  } else {
+    sc.shift_kind = ShiftKind::Variable;
+  }
+  sc.cycles = 3 + rng.below(10);  // 3..12
+  const auto obs = rng.below(4);
+  sc.terminal_observe = obs == 0  ? 0
+                        : obs == 1 ? 1 + rng.below(sc.num_ff)
+                                   : sc.num_ff;
+  sc.max_track_faults = 16 + rng.below(81);  // 16..96
+  sc.sim_rounds = 1 + rng.below(2);
+  return sc;
+}
+
+Case materialize(const Scenario& sc) {
+  Case c;
+  netgen::CircuitProfile p;
+  p.name = "fuzz";
+  p.num_pi = sc.num_pi;
+  p.num_po = sc.num_po;
+  p.num_ff = sc.num_ff;
+  p.num_gates = std::max(sc.num_gates, sc.num_po);
+  p.easiness = double(sc.easiness_milli) / 1000.0;
+  p.max_arity = sc.max_arity;
+  p.depth_limit = sc.depth_limit;
+  p.seed = sc.net_seed;
+  c.netlist = netgen::generate(p);
+  c.faults = fault::collapsed_fault_list(c.netlist);
+
+  // Tracked-fault mask: explicit subset wins; otherwise sample
+  // max_track_faults indices from an independent stream.
+  c.track.assign(c.faults.size(), 0);
+  if (!sc.fault_subset.empty()) {
+    for (std::uint32_t i : sc.fault_subset)
+      if (i < c.track.size()) c.track[i] = 1;
+  } else if (sc.max_track_faults > 0 &&
+             sc.max_track_faults < c.faults.size()) {
+    std::vector<std::uint32_t> all(c.faults.size());
+    for (std::uint32_t i = 0; i < all.size(); ++i) all[i] = i;
+    Rng srng(sc.seed ^ util::splitmix64(kSubsetSalt));
+    srng.shuffle(all);
+    for (std::size_t k = 0; k < sc.max_track_faults; ++k) c.track[all[k]] = 1;
+  } else {
+    c.track.assign(c.faults.size(), 1);
+  }
+
+  const std::size_t L = c.netlist.num_dffs();
+  c.capture = sc.capture;
+  c.out_model = sc.hxor_taps > 0
+                    ? scan::ScanOutModel::hxor(L, std::min(sc.hxor_taps, L))
+                    : scan::ScanOutModel::direct(L);
+
+  // Schedule construction: random vectors whose retained scan bits equal
+  // the fault-free chain content, advanced with a single-pattern WordSim
+  // (bit 0) — the same invariant StitchTracker::apply_stitched asserts.
+  Rng rng(sc.seed ^ util::splitmix64(kScheduleSalt));
+  sim::WordSim sim(c.netlist);
+  const scan::ScanChain map(c.netlist);
+  std::vector<std::uint8_t> chain(L, 0), next(L, 0);
+
+  auto apply_and_capture = [&](const TestVector& v) {
+    for (std::size_t i = 0; i < c.netlist.num_inputs(); ++i)
+      sim.set_input(i, v.pi[i] ? ~Word{0} : Word{0});
+    for (std::size_t i = 0; i < L; ++i)
+      sim.set_state(i, v.ppi[i] ? ~Word{0} : Word{0});
+    sim.eval();
+    for (std::size_t pos = 0; pos < L; ++pos)
+      next[pos] =
+          static_cast<std::uint8_t>(sim.next_state(map.dff_at(pos)) & 1);
+    for (std::size_t pos = 0; pos < L; ++pos)
+      chain[pos] = sc.capture == scan::CaptureMode::VXor
+                       ? static_cast<std::uint8_t>(chain[pos] ^ next[pos])
+                       : next[pos];
+  };
+
+  auto random_vector = [&](std::size_t s) {
+    TestVector v;
+    v.pi.resize(c.netlist.num_inputs());
+    for (auto& b : v.pi) b = rng.bit();
+    v.ppi.resize(L);
+    for (std::size_t pos = 0; pos < L; ++pos) {
+      const auto dff = map.dff_at(pos);
+      v.ppi[dff] = (s < L && pos >= s)
+                       ? chain[pos - s]
+                       : static_cast<std::uint8_t>(rng.bit());
+    }
+    return v;
+  };
+
+  const std::size_t fixed_s = std::max<std::size_t>(
+      1, std::min(L, L * std::min<std::size_t>(sc.fixed_numerator, 8) / 8));
+
+  TestVector first = random_vector(L);
+  for (std::size_t pos = 0; pos < L; ++pos)
+    chain[pos] = first.ppi[map.dff_at(pos)];
+  c.schedule.vectors.push_back(first);
+  c.schedule.shifts.push_back(L);
+  apply_and_capture(first);
+
+  for (std::size_t cy = 0; cy < sc.cycles; ++cy) {
+    const std::size_t s =
+        sc.shift_kind == ShiftKind::Fixed ? fixed_s : 1 + rng.below(L);
+    TestVector v = random_vector(s);
+    // Post-shift chain content is the vector's scan field by definition.
+    for (std::size_t pos = 0; pos < L; ++pos)
+      chain[pos] = v.ppi[map.dff_at(pos)];
+    c.schedule.vectors.push_back(v);
+    c.schedule.shifts.push_back(s);
+    apply_and_capture(v);
+  }
+  c.schedule.terminal_observe = std::min(sc.terminal_observe, L);
+  return c;
+}
+
+std::vector<std::uint32_t> tracked_indices(const Case& c) {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t i = 0; i < c.track.size(); ++i)
+    if (c.track[i]) out.push_back(i);
+  return out;
+}
+
+std::string describe(const Scenario& sc) {
+  const std::string shift =
+      sc.shift_kind == ShiftKind::Fixed
+          ? "fixed" + std::to_string(sc.fixed_numerator) + "/8"
+          : "var";
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "seed=%llu pi=%zu po=%zu ff=%zu gates=%zu arity=%zu depth=%zu "
+      "ease=%u capture=%s hxor=%zu shift=%s cycles=%zu observe=%zu "
+      "faults=%zu rounds=%zu",
+      static_cast<unsigned long long>(sc.seed), sc.num_pi, sc.num_po,
+      sc.num_ff, sc.num_gates, sc.max_arity, sc.depth_limit,
+      sc.easiness_milli,
+      sc.capture == scan::CaptureMode::VXor ? "vxor" : "normal", sc.hxor_taps,
+      shift.c_str(), sc.cycles, sc.terminal_observe,
+      sc.fault_subset.empty() ? sc.max_track_faults : sc.fault_subset.size(),
+      sc.sim_rounds);
+  return buf;
+}
+
+}  // namespace vcomp::check

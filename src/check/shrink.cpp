@@ -1,0 +1,126 @@
+#include "vcomp/check/shrink.hpp"
+
+namespace vcomp::check {
+
+namespace {
+
+/// One shrink attempt: re-materialize \p candidate and keep it iff it still
+/// fails any oracle.
+bool still_fails(const Scenario& candidate, Failure& failure_out) {
+  try {
+    const Case c = materialize(candidate);
+    if (auto f = run_oracles(c, candidate)) {
+      failure_out = *f;
+      return true;
+    }
+  } catch (const std::exception& e) {
+    failure_out = Failure{"exception", e.what()};
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ShrinkResult shrink(const Scenario& sc, const Failure& failure,
+                    std::size_t budget) {
+  ShrinkResult r;
+  r.scenario = sc;
+  r.failure = failure;
+
+  // If the effective fault subset is implicit, make it explicit once so
+  // halving it below doesn't resample a different subset.
+  if (r.scenario.fault_subset.empty()) {
+    try {
+      r.scenario.fault_subset = tracked_indices(materialize(r.scenario));
+    } catch (const std::exception&) {
+      // Materialization itself is the failure; nothing to pin.
+    }
+  }
+
+  bool progress = true;
+  while (progress && r.attempts < budget) {
+    progress = false;
+
+    // Candidate transformations, cheapest-win first.  Each either halves a
+    // size field or simplifies a mode; any still-failing candidate is
+    // adopted immediately and the sweep restarts.
+    auto try_adopt = [&](Scenario candidate) {
+      if (r.attempts >= budget) return false;
+      if (candidate == r.scenario) return false;
+      ++r.attempts;
+      Failure f = r.failure;
+      if (!still_fails(candidate, f)) return false;
+      r.scenario = std::move(candidate);
+      r.failure = std::move(f);
+      progress = true;
+      return true;
+    };
+
+    // Fewer stitched cycles.
+    for (std::size_t target :
+         {std::size_t{0}, r.scenario.cycles / 2, r.scenario.cycles - 1}) {
+      if (r.scenario.cycles == 0) break;
+      Scenario cand = r.scenario;
+      cand.cycles = target;
+      if (try_adopt(std::move(cand))) break;
+    }
+
+    // Smaller tracked-fault subset: drop the second half, then single
+    // elements from the front.
+    if (r.scenario.fault_subset.size() > 1) {
+      Scenario cand = r.scenario;
+      cand.fault_subset.resize(cand.fault_subset.size() / 2);
+      if (!try_adopt(std::move(cand))) {
+        Scenario one = r.scenario;
+        one.fault_subset.erase(one.fault_subset.begin());
+        try_adopt(std::move(one));
+      }
+    }
+
+    // Smaller circuit.
+    if (r.scenario.num_gates > r.scenario.num_po + 2) {
+      Scenario cand = r.scenario;
+      cand.num_gates = std::max(cand.num_po + 2, cand.num_gates / 2);
+      try_adopt(std::move(cand));
+    }
+    if (r.scenario.num_ff > 3) {
+      Scenario cand = r.scenario;
+      cand.num_ff = std::max<std::size_t>(3, cand.num_ff / 2);
+      try_adopt(std::move(cand));
+    }
+
+    // Simpler modes.
+    if (r.scenario.capture == scan::CaptureMode::VXor) {
+      Scenario cand = r.scenario;
+      cand.capture = scan::CaptureMode::Normal;
+      try_adopt(std::move(cand));
+    }
+    if (r.scenario.hxor_taps > 0) {
+      Scenario cand = r.scenario;
+      cand.hxor_taps = 0;
+      try_adopt(std::move(cand));
+    }
+    if (r.scenario.terminal_observe > 0) {
+      Scenario cand = r.scenario;
+      cand.terminal_observe = 0;
+      try_adopt(std::move(cand));
+    }
+    if (r.scenario.shift_kind == ShiftKind::Variable) {
+      Scenario cand = r.scenario;
+      cand.shift_kind = ShiftKind::Fixed;
+      cand.fixed_numerator = 4;
+      try_adopt(std::move(cand));
+    }
+
+    // Fewer stimulus rounds.
+    if (r.scenario.sim_rounds > 1) {
+      Scenario cand = r.scenario;
+      cand.sim_rounds = 1;
+      try_adopt(std::move(cand));
+    }
+  }
+  return r;
+}
+
+}  // namespace vcomp::check

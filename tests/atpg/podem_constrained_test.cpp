@@ -50,10 +50,12 @@ TEST_P(ConstrainedPodem, VerdictsVerifiedBySimulation) {
 
       if (res.status == PodemStatus::Success) {
         // (a) pinned cells must appear with their pinned values.
-        for (std::size_t p = 0; p < L; ++p)
-          if (cons.fixed[p] != Trit::X)
+        for (std::size_t p = 0; p < L; ++p) {
+          if (cons.fixed[p] != Trit::X) {
             ASSERT_EQ(res.cube.ppi[p], cons.fixed[p])
                 << fault_name(nl, f) << " cell " << p;
+          }
+        }
         // (b) random completions must detect.
         for (int c = 0; c < 3; ++c) {
           for (std::size_t i = 0; i < nl.num_inputs(); ++i) {

@@ -42,16 +42,22 @@ TEST(TestSet, VectorsActuallyCoverDetectedFaults) {
     for (std::size_t fi = 0; fi < cf.size(); ++fi)
       if (!caught[fi] && sim.simulate(cf[fi]).any() != 0) caught[fi] = 1;
   }
-  for (std::size_t fi = 0; fi < cf.size(); ++fi)
-    if (res.classes[fi] == FaultClass::Detected)
+  for (std::size_t fi = 0; fi < cf.size(); ++fi) {
+    if (res.classes[fi] == FaultClass::Detected) {
       EXPECT_TRUE(caught[fi]) << fault_name(nl, cf[fi]);
+    }
+  }
 }
 
 TEST(TestSet, CompactionDoesNotIncreaseCount) {
   auto nl = netgen::generate("s526");
   auto cf = fault::collapsed_fault_list(nl);
-  TestSetOptions with{.seed = 3, .reverse_compaction = true};
-  TestSetOptions without{.seed = 3, .reverse_compaction = false};
+  TestSetOptions with;
+  with.seed = 3;
+  with.reverse_compaction = true;
+  TestSetOptions without;
+  without.seed = 3;
+  without.reverse_compaction = false;
   const auto a = generate_full_scan_tests(nl, cf.faults(), with);
   const auto b = generate_full_scan_tests(nl, cf.faults(), without);
   EXPECT_LE(a.vectors.size(), b.vectors.size());
@@ -61,7 +67,8 @@ TEST(TestSet, CompactionDoesNotIncreaseCount) {
 TEST(TestSet, DeterministicForSeed) {
   auto nl = netgen::generate("s444");
   auto cf = fault::collapsed_fault_list(nl);
-  TestSetOptions opts{.seed = 11};
+  TestSetOptions opts;
+  opts.seed = 11;
   const auto a = generate_full_scan_tests(nl, cf.faults(), opts);
   const auto b = generate_full_scan_tests(nl, cf.faults(), opts);
   EXPECT_EQ(a.vectors.size(), b.vectors.size());

@@ -84,8 +84,9 @@ TEST(VirtualScan, CompressedModeUsesFewerCyclesPerVector) {
   const std::size_t lp = (nl.num_dffs() + 3) / 4;
   const std::size_t per_vec = 3 * 4 + lp;  // seed chain + direct partition
   EXPECT_LT(per_vec, nl.num_dffs());
-  if (r.cheap_vectors > 0 && r.full_vectors == 0)
+  if (r.cheap_vectors > 0 && r.full_vectors == 0) {
     EXPECT_LE(r.cost.shift_cycles, (r.cheap_vectors + 1) * per_vec);
+  }
 }
 
 TEST(Overlap, OverlapFunctionBasics) {

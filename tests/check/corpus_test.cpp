@@ -1,0 +1,44 @@
+// Replays the committed reproducer corpus.  Every entry under
+// tests/check/corpus/ was once a fuzz finding (or a representative pinned
+// case); all of them must replay clean against the current code, so any
+// regression that resurrects an old bug fails here without re-fuzzing.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <vector>
+
+#include "vcomp/check/repro.hpp"
+
+namespace vcomp::check {
+namespace {
+
+std::vector<std::string> corpus_files() {
+  std::vector<std::string> files;
+  const std::filesystem::path dir = VCOMP_CHECK_CORPUS_DIR;
+  if (std::filesystem::exists(dir))
+    for (const auto& entry : std::filesystem::directory_iterator(dir))
+      if (entry.path().extension() == ".txt")
+        files.push_back(entry.path().string());
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(Corpus, HasCommittedEntries) {
+  EXPECT_GE(corpus_files().size(), 2u)
+      << "expected committed reproducers under " << VCOMP_CHECK_CORPUS_DIR;
+}
+
+TEST(Corpus, AllEntriesReplayClean) {
+  for (const auto& path : corpus_files()) {
+    SCOPED_TRACE(path);
+    const Reproducer r = read_reproducer_file(path);
+    const auto failure = replay_reproducer(r);
+    EXPECT_FALSE(failure.has_value())
+        << "[" << failure->oracle << "] " << failure->detail;
+  }
+}
+
+}  // namespace
+}  // namespace vcomp::check

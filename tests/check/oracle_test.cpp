@@ -1,0 +1,101 @@
+// Oracle agreement and sensitivity tests: clean seeds stay clean, an
+// injected reference-kernel mutation is detected quickly, and the tracker
+// digest is byte-identical across thread counts.
+
+#include "vcomp/check/oracles.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vcomp/check/reference.hpp"
+#include "vcomp/check/runner.hpp"
+#include "vcomp/util/parallel.hpp"
+
+namespace vcomp::check {
+namespace {
+
+TEST(Oracles, CleanOnRandomScenarios) {
+  for (std::size_t index = 0; index < 25; ++index) {
+    const Scenario sc = random_scenario(case_seed(1, index));
+    const Case c = materialize(sc);
+    const auto failure = run_oracles(c, sc);
+    ASSERT_FALSE(failure.has_value())
+        << describe(sc) << "\n[" << failure->oracle << "] "
+        << failure->detail;
+  }
+}
+
+// Self-check of the harness's detection power: wedge one wrong truth-table
+// entry into the reference NAND kernel and require the differential oracles
+// to notice within 200 cases (the acceptance bound; in practice the very
+// first case containing a NAND fails).
+TEST(Oracles, InjectedKernelMutationIsDetected) {
+  ScopedMutation guard(Mutation::NandTruthTable);
+  std::size_t detected_at = 0;
+  for (std::size_t index = 1; index <= 200; ++index) {
+    const Scenario sc = random_scenario(case_seed(99, index - 1));
+    const Case c = materialize(sc);
+    if (run_oracles(c, sc)) {
+      detected_at = index;
+      break;
+    }
+  }
+  EXPECT_GT(detected_at, 0u)
+      << "mutated NAND kernel survived 200 fuzz cases";
+  EXPECT_LE(detected_at, 200u);
+}
+
+TEST(Oracles, MutationGuardRestoresCleanliness) {
+  {
+    ScopedMutation guard(Mutation::NandTruthTable);
+    EXPECT_EQ(reference_mutation(), Mutation::NandTruthTable);
+  }
+  EXPECT_EQ(reference_mutation(), Mutation::None);
+  const Scenario sc = random_scenario(case_seed(1, 0));
+  EXPECT_FALSE(run_oracles(materialize(sc), sc).has_value());
+}
+
+TEST(Oracles, TrackerDigestIdenticalAcrossThreadCounts) {
+  for (std::size_t index = 0; index < 8; ++index) {
+    const Scenario sc = random_scenario(case_seed(5, index));
+    const Case c = materialize(sc);
+    std::string d1, d4;
+    {
+      util::ScopedParallelism serial(1);
+      d1 = tracker_digest(c);
+    }
+    {
+      util::ScopedParallelism wide(4);
+      d4 = tracker_digest(c);
+    }
+    EXPECT_EQ(d1, d4) << describe(sc);
+  }
+}
+
+TEST(Runner, FuzzSmokeCleanWithIdentity) {
+  FuzzOptions opts;
+  opts.seed = 1;
+  opts.cases = 15;
+  opts.identity_threads = 4;
+  opts.shrink_failures = false;
+  const FuzzStats stats = run_fuzz(opts);
+  EXPECT_EQ(stats.cases_run, 15u);
+  EXPECT_EQ(stats.failures, 0u) << stats.first_failure;
+}
+
+// The fuzz loop's case sequence is a pure function of the master seed:
+// running twice (and under different thread settings) visits identical
+// scenarios.
+TEST(Runner, CaseSequenceIsThreadAndRunInvariant) {
+  std::vector<Scenario> a, b;
+  for (std::size_t i = 0; i < 10; ++i)
+    a.push_back(random_scenario(case_seed(123, i)));
+  {
+    util::ScopedParallelism wide(4);
+    for (std::size_t i = 0; i < 10; ++i)
+      b.push_back(random_scenario(case_seed(123, i)));
+  }
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace vcomp::check

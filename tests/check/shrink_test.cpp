@@ -1,0 +1,85 @@
+// Shrinker and reproducer round-trip tests.
+
+#include "vcomp/check/shrink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "vcomp/check/repro.hpp"
+#include "vcomp/check/reference.hpp"
+#include "vcomp/netlist/bench_io.hpp"
+
+namespace vcomp::check {
+namespace {
+
+// Under the injected NAND mutation most scenarios fail, which gives the
+// shrinker a stable predicate to minimize against.
+TEST(Shrink, ReducesFailingScenario) {
+  ScopedMutation guard(Mutation::NandTruthTable);
+  Scenario sc;
+  std::optional<Failure> failure;
+  for (std::uint64_t seed = 1; seed < 64; ++seed) {
+    sc = random_scenario(seed);
+    failure = run_oracles(materialize(sc), sc);
+    if (failure) break;
+  }
+  ASSERT_TRUE(failure.has_value()) << "no failing seed under mutation";
+
+  const ShrinkResult r = shrink(sc, *failure, 60);
+  EXPECT_GT(r.attempts, 0u);
+  // The result must still fail...
+  const auto replay = run_oracles(materialize(r.scenario), r.scenario);
+  ASSERT_TRUE(replay.has_value());
+  // ...and must not have grown on any shrunk axis.
+  EXPECT_LE(r.scenario.cycles, sc.cycles);
+  EXPECT_LE(r.scenario.num_gates, sc.num_gates);
+  EXPECT_LE(r.scenario.num_ff, sc.num_ff);
+}
+
+TEST(Repro, RoundTripsThroughText) {
+  const Scenario sc = random_scenario(17);
+  const Case c = materialize(sc);
+  const Failure f{"tracker", "synthetic failure for the round-trip test"};
+
+  const std::string text = write_reproducer_string(sc, c, f);
+  std::istringstream in(text);
+  const Reproducer r = read_reproducer(in);
+
+  EXPECT_EQ(r.scenario.seed, sc.seed);
+  EXPECT_EQ(r.scenario.net_seed, sc.net_seed);
+  EXPECT_EQ(r.scenario.capture, sc.capture);
+  EXPECT_EQ(r.scenario.cycles, sc.cycles);
+  EXPECT_EQ(r.scenario.shift_kind, sc.shift_kind);
+  EXPECT_EQ(netlist::write_bench_string(r.kase.netlist),
+            netlist::write_bench_string(c.netlist));
+  EXPECT_EQ(r.kase.track, c.track);
+  EXPECT_EQ(r.kase.schedule.shifts, c.schedule.shifts);
+  EXPECT_EQ(r.kase.schedule.terminal_observe, c.schedule.terminal_observe);
+  ASSERT_EQ(r.kase.schedule.vectors.size(), c.schedule.vectors.size());
+  for (std::size_t i = 0; i < c.schedule.vectors.size(); ++i)
+    EXPECT_EQ(r.kase.schedule.vectors[i], c.schedule.vectors[i]);
+
+  // A clean case replays clean from its own reproducer.
+  EXPECT_FALSE(replay_reproducer(r).has_value());
+}
+
+TEST(Repro, ExplicitSubsetSurvivesRoundTrip) {
+  Scenario sc = random_scenario(23);
+  sc.fault_subset = {1, 3, 4};
+  const Case c = materialize(sc);
+  const std::string text =
+      write_reproducer_string(sc, c, Failure{"word-sim", "x"});
+  std::istringstream in(text);
+  const Reproducer r = read_reproducer(in);
+  EXPECT_EQ(tracked_indices(r.kase), (std::vector<std::uint32_t>{1, 3, 4}));
+  EXPECT_EQ(r.scenario.fault_subset, sc.fault_subset);
+}
+
+TEST(Repro, MalformedInputThrows) {
+  std::istringstream in("scenario seed 1 netseed 1\n");  // truncated
+  EXPECT_THROW(read_reproducer(in), std::exception);
+}
+
+}  // namespace
+}  // namespace vcomp::check

@@ -39,8 +39,9 @@ TEST(CircuitLab, ScheduleMatchesCounters) {
   EXPECT_EQ(r.schedule.vectors.size(), r.vectors_applied);
   EXPECT_EQ(r.schedule.shifts.size(), r.vectors_applied);
   EXPECT_EQ(r.schedule.extra.size(), r.extra_full_vectors);
-  if (r.vectors_applied > 0)
+  if (r.vectors_applied > 0) {
     EXPECT_EQ(r.schedule.shifts[0], lab.netlist().num_dffs());
+  }
 }
 
 TEST(ApplyInfoRatio, UnattainablePointLeavesOptionsUntouched) {

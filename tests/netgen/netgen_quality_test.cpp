@@ -81,8 +81,9 @@ TEST(NetgenKnobs, MaxArityRespected) {
     // Absorbers may append pins post-hoc; primary construction caps at 2,
     // so anything beyond a handful of extra pins indicates a regression.
     if (gate.type != netlist::GateType::Not &&
-        gate.type != netlist::GateType::Buf)
+        gate.type != netlist::GateType::Buf) {
       EXPECT_LE(gate.fanin.size(), 9u);
+    }
   }
   // The default profile (arity 4) must still produce some 3+-input gates
   // while the capped one produces none at construction.

@@ -28,8 +28,11 @@ TEST(Hardness, EasyFaultsDetectedOften) {
   auto nl = netgen::example_circuit();
   auto cf = fault::collapsed_fault_list(nl);
   const auto counts = detection_counts(nl, cf.faults(), {256, 3});
-  for (std::size_t i = 0; i < cf.size(); ++i)
-    if (fault_name(nl, cf[i]) == "b/0") EXPECT_GT(counts[i], 100u);
+  for (std::size_t i = 0; i < cf.size(); ++i) {
+    if (fault_name(nl, cf[i]) == "b/0") {
+      EXPECT_GT(counts[i], 100u);
+    }
+  }
 }
 
 TEST(Hardness, OrderPutsUndetectedFirst) {

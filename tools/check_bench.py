@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Soft bench-regression gate.
+
+Compares a freshly produced bench JSON (bench_tracker / bench_table2_shift,
+written via VCOMP_BENCH_JSON) against the committed baseline and flags
+timing/throughput drift beyond a tolerance.  Rows are matched by their
+identity keys (circuit, and config where present), so a --quick run is
+compared only on the rows it actually produced.
+
+Intended as a *soft* gate: CI shared runners are noisy, so regressions are
+emitted as GitHub warning annotations and the exit code stays 0 unless
+--strict is given.
+
+Usage:
+  check_bench.py --fresh fresh.json --baseline BENCH_tracker.json \
+                 [--tolerance 0.25] [--strict]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Per-row fields judged with the tolerance; direction says which way is bad.
+TIME_FIELDS = ("seconds", "shift_seconds", "total_seconds")
+RATE_SUFFIX = "_per_sec"
+
+
+def load_rows(doc):
+    """Returns (row_dict, key_fields) for either bench JSON shape."""
+    for array_key, keys in (("circuits", ("circuit",)),
+                            ("configs", ("circuit", "config"))):
+        if array_key in doc:
+            rows = {}
+            for row in doc[array_key]:
+                rows[tuple(row[k] for k in keys)] = row
+            return rows, keys
+    raise SystemExit("unrecognized bench JSON: no 'circuits' or 'configs'")
+
+
+def annotate(kind, message):
+    if os.environ.get("GITHUB_ACTIONS"):
+        print(f"::{kind}::{message}")
+    else:
+        print(f"{kind}: {message}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--fresh", required=True)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--tolerance", type=float, default=0.25)
+    ap.add_argument("--strict", action="store_true",
+                    help="exit nonzero on regressions")
+    args = ap.parse_args()
+
+    with open(args.fresh) as f:
+        fresh_doc = json.load(f)
+    with open(args.baseline) as f:
+        base_doc = json.load(f)
+
+    fresh, keys = load_rows(fresh_doc)
+    base, base_keys = load_rows(base_doc)
+    if keys != base_keys:
+        raise SystemExit("fresh and baseline JSON have different shapes")
+
+    shared = sorted(set(fresh) & set(base))
+    if not shared:
+        raise SystemExit("no common rows between fresh and baseline")
+    for missing in sorted(set(base) - set(fresh)):
+        print(f"note: baseline row {missing} absent from fresh run "
+              f"(quick mode?)")
+
+    tol = args.tolerance
+    regressions = []
+    for key in shared:
+        frow, brow = fresh[key], base[key]
+        label = "/".join(str(k) for k in key)
+        for field, bval in brow.items():
+            if not isinstance(bval, (int, float)) or isinstance(bval, bool):
+                continue
+            fval = frow.get(field)
+            if not isinstance(fval, (int, float)) or bval == 0:
+                continue
+            ratio = fval / bval
+            if field in TIME_FIELDS and ratio > 1 + tol:
+                regressions.append(
+                    f"{label} {field}: {fval:.4g}s vs baseline "
+                    f"{bval:.4g}s (+{(ratio - 1) * 100:.0f}%)")
+            elif field.endswith(RATE_SUFFIX) and ratio < 1 - tol:
+                regressions.append(
+                    f"{label} {field}: {fval:.4g} vs baseline "
+                    f"{bval:.4g} (-{(1 - ratio) * 100:.0f}%)")
+
+    print(f"compared {len(shared)} rows at ±{tol * 100:.0f}% tolerance")
+    for r in regressions:
+        annotate("warning", f"bench regression: {r}")
+    if not regressions:
+        print("no regressions beyond tolerance")
+    return 1 if (regressions and args.strict) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

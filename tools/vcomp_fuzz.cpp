@@ -1,0 +1,143 @@
+// vcomp_fuzz — randomized differential-test driver (the check harness).
+//
+// Runs N seeded random scenarios through every oracle: the four compiled
+// simulators against naive reference evaluators, and the stitched-cycle
+// tracker against a brute-force full-shift fault simulation of the same
+// schedule.  Failing cases are greedily shrunk and written as
+// self-contained reproducer files; --replay re-checks such a file.
+//
+// Usage:
+//   vcomp_fuzz [options]
+//     --cases <n>       scenarios to run (default 100; 0 = unbounded)
+//     --minutes <m>     wall-clock budget (fractional ok; 0 = no limit)
+//     --seed <n>        master seed (default 1); case i's seed is a pure
+//                       function of (seed, i), independent of threads/time
+//     --identity <k>    per case, require byte-identical tracker digests
+//                       at 1 thread and at k threads
+//     --threads <n>     worker threads for the run itself
+//     --repro-dir <d>   write reproducers for failing cases into <d>
+//     --replay <file>   replay one reproducer file instead of fuzzing
+//     --max-failures <n>  stop after n failures (default 1)
+//     --no-shrink       keep failing scenarios as found
+//     --quiet           suppress progress logging
+//
+// Exit code: 0 clean, 1 failures found, 2 usage error.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "vcomp/check/repro.hpp"
+#include "vcomp/check/runner.hpp"
+#include "vcomp/util/parallel.hpp"
+
+using namespace vcomp;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--cases n] [--minutes m] [--seed n]\n"
+               "       [--identity k] [--threads n] [--repro-dir d]\n"
+               "       [--replay file] [--max-failures n] [--no-shrink]\n"
+               "       [--quiet]\n",
+               argv0);
+  return 2;
+}
+
+int replay(const std::string& path) {
+  const check::Reproducer r = check::read_reproducer_file(path);
+  std::printf("replaying %s\n  %s\n", path.c_str(),
+              check::describe(r.scenario).c_str());
+  if (auto f = check::replay_reproducer(r)) {
+    std::printf("FAIL [%s] %s\n", f->oracle.c_str(), f->detail.c_str());
+    return 1;
+  }
+  std::printf("clean: every oracle agrees\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  check::FuzzOptions opts;
+  opts.log = &std::cerr;
+  std::string replay_path;
+  std::size_t threads = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (std::strcmp(a, "--cases") == 0) {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      opts.cases = std::stoull(v);
+    } else if (std::strcmp(a, "--minutes") == 0) {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      opts.minutes = std::stod(v);
+      if (opts.cases == 100) opts.cases = 0;  // default flips to unbounded
+    } else if (std::strcmp(a, "--seed") == 0) {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      opts.seed = std::stoull(v);
+    } else if (std::strcmp(a, "--identity") == 0) {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      opts.identity_threads = std::stoull(v);
+    } else if (std::strcmp(a, "--threads") == 0) {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      threads = std::stoull(v);
+    } else if (std::strcmp(a, "--repro-dir") == 0) {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      opts.repro_dir = v;
+    } else if (std::strcmp(a, "--replay") == 0) {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      replay_path = v;
+    } else if (std::strcmp(a, "--max-failures") == 0) {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      opts.max_failures = std::stoull(v);
+    } else if (std::strcmp(a, "--no-shrink") == 0) {
+      opts.shrink_failures = false;
+    } else if (std::strcmp(a, "--quiet") == 0) {
+      opts.log = nullptr;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", a);
+      return usage(argv[0]);
+    }
+  }
+
+  try {
+    std::optional<util::ScopedParallelism> scoped;
+    if (threads > 0) scoped.emplace(threads);
+
+    if (!replay_path.empty()) return replay(replay_path);
+
+    if (opts.cases == 0 && opts.minutes == 0) {
+      std::fprintf(stderr, "refusing to run unbounded: give --cases or "
+                           "--minutes\n");
+      return 2;
+    }
+
+    const check::FuzzStats stats = check::run_fuzz(opts);
+    std::printf("%zu cases, %zu failures\n", stats.cases_run, stats.failures);
+    if (stats.failures > 0) {
+      std::printf("first failure: %s\n", stats.first_failure.c_str());
+      for (const auto& p : stats.repro_paths)
+        std::printf("reproducer: %s\n", p.c_str());
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
