@@ -24,7 +24,7 @@ int main() {
 
   std::vector<netgen::CircuitProfile> profiles = {netgen::profile("s526"),
                                                   netgen::profile("s953")};
-  if (benchutil::quick_mode()) profiles.resize(1);
+  profiles = benchutil::select_circuits(std::move(profiles), 1);
 
   report::Table table({"circ", "variant", "TV", "ex", "m", "t"});
 

@@ -22,7 +22,7 @@ int main() {
   std::vector<netgen::CircuitProfile> profiles = {
       netgen::profile("s444"), netgen::profile("s526"),
       netgen::profile("s953"), netgen::profile("s1423")};
-  if (benchutil::quick_mode()) profiles.resize(2);
+  profiles = benchutil::select_circuits(std::move(profiles), 2);
 
   report::Table table({"circ", "scheme", "cheap", "serial", "m", "t", "hw"});
 

@@ -47,8 +47,7 @@ int main() {
               "columns quote DATE'03 Table 2)\n\n");
 
   auto profiles = netgen::table234_profiles();
-  if (benchutil::quick_mode()) profiles.resize(4);
-  profiles = benchutil::filter_circuits(std::move(profiles));
+  profiles = benchutil::select_circuits(std::move(profiles), 4);
 
   report::Table table({"circ", "aTV", "info", "shift", "TV", "ex", "m", "t",
                        "paper m", "paper t"});

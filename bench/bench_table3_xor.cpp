@@ -37,7 +37,7 @@ int main() {
               "HXOR) ===\n\n");
 
   auto profiles = netgen::table234_profiles();
-  if (benchutil::quick_mode()) profiles.resize(4);
+  profiles = benchutil::select_circuits(std::move(profiles), 4);
 
   report::Table table({"circ", "scheme", "TV", "ex", "m", "t", "paper m",
                        "paper t"});

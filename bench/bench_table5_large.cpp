@@ -33,7 +33,7 @@ int main() {
               "most-faults, no XOR hardware) ===\n\n");
 
   auto profiles = netgen::table5_profiles();
-  if (benchutil::quick_mode()) profiles.resize(2);
+  profiles = benchutil::select_circuits(std::move(profiles), 2);
 
   report::Table table({"circ", "I/O", "scan#", "aTV", "TV", "ex", "m", "t",
                        "paper m", "paper t"});

@@ -40,6 +40,7 @@ struct TrackerRow {
   double classify_faults_per_sec = 0;
   double advance_lanes_per_sec = 0;
   double shift_seconds = 0;
+  obs::CounterSet counters;  // exact work counters, thread-invariant
 };
 
 TrackerRow bench_circuit(const netgen::CircuitProfile& profile,
@@ -92,6 +93,7 @@ TrackerRow bench_circuit(const netgen::CircuitProfile& profile,
   if (p.advance_seconds > 0)
     row.advance_lanes_per_sec = double(p.hidden_advanced) / p.advance_seconds;
   row.shift_seconds = p.shift_seconds;
+  row.counters = p.counters_only();
   return row;
 }
 
@@ -113,8 +115,11 @@ std::string write_json(const std::vector<TrackerRow>& rows) {
         << ", \"cycles\": " << r.cycles << ", \"seconds\": " << r.seconds
         << ", \"classify_faults_per_sec\": " << r.classify_faults_per_sec
         << ", \"advance_lanes_per_sec\": " << r.advance_lanes_per_sec
-        << ", \"shift_seconds\": " << r.shift_seconds << "}"
-        << (i + 1 < rows.size() ? "," : "") << "\n";
+        << ", \"shift_seconds\": " << r.shift_seconds << ", \"counters\": {";
+    for (std::size_t c = 0; c < r.counters.values.size(); ++c)
+      out << (c > 0 ? ", " : "") << "\"" << r.counters.values[c].first
+          << "\": " << r.counters.values[c].second;
+    out << "}}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   return path;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "vcomp/core/experiment.hpp"
+#include "vcomp/obs/metrics.hpp"
 #include "vcomp/report/table.hpp"
 #include "vcomp/util/parallel.hpp"
 
@@ -49,6 +50,20 @@ inline std::vector<netgen::CircuitProfile> filter_circuits(
         break;
       }
   return out;
+}
+
+/// Circuit selection for a table bench: an explicit VCOMP_CIRCUITS list
+/// wins over quick-mode trimming (so CI can pin a specific circuit even
+/// under VCOMP_QUICK=1); otherwise quick mode keeps the first
+/// `quick_take` profiles.
+inline std::vector<netgen::CircuitProfile> select_circuits(
+    std::vector<netgen::CircuitProfile> profiles, std::size_t quick_take) {
+  const char* env = std::getenv("VCOMP_CIRCUITS");
+  if (env != nullptr && env[0] != '\0')
+    return filter_circuits(std::move(profiles));
+  if (quick_mode() && profiles.size() > quick_take)
+    profiles.resize(quick_take);
+  return profiles;
 }
 
 /// One paper reference pair (m, t); negative = not reported.
@@ -132,6 +147,9 @@ class BenchJson {
     r.t = tr.result.time_ratio;
     r.tv = tr.result.vectors_applied;
     r.ex = tr.result.extra_full_vectors;
+    // Run-local work counters (no wall-clock fields): byte-identical across
+    // thread counts, so tools/check_bench.py gates them exactly.
+    r.counters = tr.result.profile.counters_only();
     rows_.push_back(std::move(r));
   }
 
@@ -152,8 +170,11 @@ class BenchJson {
       out << "    {\"circuit\": \"" << r.circuit << "\", \"config\": \""
           << r.config << "\", \"seconds\": " << r.seconds
           << ", \"m\": " << r.m << ", \"t\": " << r.t << ", \"tv\": " << r.tv
-          << ", \"ex\": " << r.ex << "}"
-          << (i + 1 < rows_.size() ? "," : "") << "\n";
+          << ", \"ex\": " << r.ex << ", \"counters\": {";
+      for (std::size_t c = 0; c < r.counters.values.size(); ++c)
+        out << (c > 0 ? ", " : "") << "\"" << r.counters.values[c].first
+            << "\": " << r.counters.values[c].second;
+      out << "}}" << (i + 1 < rows_.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
     return path;
@@ -164,6 +185,7 @@ class BenchJson {
     std::string circuit, config;
     double seconds = 0, m = 0, t = 0;
     std::size_t tv = 0, ex = 0;
+    obs::CounterSet counters;
   };
   std::string bench_;
   Stopwatch total_;

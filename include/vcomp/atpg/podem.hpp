@@ -127,6 +127,10 @@ class Podem {
   std::vector<std::int8_t> xpath_val_;
   std::uint32_t xpath_epoch_ = 0;
 
+  // Implication events (trail pushes) in the current generate() call,
+  // reported to the obs registry at return.
+  std::uint64_t imply_events_ = 0;
+
   const PpiConstraints* constraints_ = nullptr;
 };
 

@@ -100,6 +100,24 @@ struct PhaseProfile {
   double total_seconds = 0;     ///< whole StitchEngine::run call
   std::size_t faults_classified = 0;  ///< DiffSim classification queries
   std::size_t hidden_advanced = 0;    ///< LaneSim lanes evaluated
+  std::size_t podem_calls = 0;        ///< constrained generate() attempts
+  std::size_t podem_backtracks = 0;   ///< backtracks across those calls
+  std::size_t cubes_found = 0;        ///< successful cubes collected
+  std::size_t candidates_scored = 0;  ///< MostFaults completions scored
+
+  /// Deterministic view for comparisons and bench JSON: the work counters
+  /// without the wall-clock fields (which vary run to run and machine to
+  /// machine).  Byte-identical across VCOMP_THREADS values.
+  obs::CounterSet counters_only() const {
+    obs::CounterSet cs;
+    cs.values.emplace_back("stitch.candidates_scored", candidates_scored);
+    cs.values.emplace_back("stitch.cubes_found", cubes_found);
+    cs.values.emplace_back("stitch.podem_backtracks", podem_backtracks);
+    cs.values.emplace_back("stitch.podem_calls", podem_calls);
+    cs.values.emplace_back("tracker.faults_classified", faults_classified);
+    cs.values.emplace_back("tracker.hidden_advanced", hidden_advanced);
+    return cs;
+  }
 };
 
 struct StitchResult {
@@ -180,6 +198,11 @@ class StitchEngine {
   // Accumulated engine-side phase timings (the tracker holds its own).
   double podem_seconds_ = 0;
   double scoring_seconds_ = 0;
+  // Engine-side work counters feeding PhaseProfile::counters_only().
+  std::size_t podem_calls_ = 0;
+  std::size_t podem_backtracks_ = 0;
+  std::size_t cubes_found_ = 0;
+  std::size_t candidates_scored_ = 0;
 
   std::vector<std::size_t> order_;       // target walk order
   std::vector<std::uint8_t> targetable_; // baseline-detected faults

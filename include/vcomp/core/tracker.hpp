@@ -37,6 +37,7 @@
 #include "vcomp/fault/fault_parallel_sim.hpp"
 #include "vcomp/fault/fault_sim.hpp"
 #include "vcomp/core/fault_sets.hpp"
+#include "vcomp/obs/metrics.hpp"
 #include "vcomp/scan/observe.hpp"
 
 namespace vcomp::core {
@@ -63,6 +64,15 @@ struct TrackerProfile {
   double terminal_seconds = 0;  ///< terminal/partial observation scans
   std::size_t faults_classified = 0;  ///< DiffSim classification queries
   std::size_t hidden_advanced = 0;    ///< LaneSim lanes evaluated
+
+  /// Deterministic view for comparisons: the work counters without the
+  /// wall-clock fields, so tests never depend on machine speed.
+  obs::CounterSet counters_only() const {
+    obs::CounterSet cs;
+    cs.values.emplace_back("tracker.faults_classified", faults_classified);
+    cs.values.emplace_back("tracker.hidden_advanced", hidden_advanced);
+    return cs;
+  }
 };
 
 class StitchTracker {

@@ -1,0 +1,5 @@
+#pragma once
+// Umbrella header for the observability layer: metrics registry + spans.
+
+#include "vcomp/obs/metrics.hpp"  // IWYU pragma: export
+#include "vcomp/obs/trace.hpp"    // IWYU pragma: export

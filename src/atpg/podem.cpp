@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "vcomp/obs/metrics.hpp"
 #include "vcomp/util/assert.hpp"
 
 namespace vcomp::atpg {
@@ -14,6 +15,29 @@ using sim::Trit;
 namespace {
 
 Trit stuck_trit(const Fault& f) { return f.stuck ? Trit::One : Trit::Zero; }
+
+// Per-call tallies are accumulated locally and added to the registry once
+// per generate() so the hot loops stay free of registry traffic.
+struct PodemMetrics {
+  obs::Counter calls = obs::counter("podem.calls");
+  obs::Counter success = obs::counter("podem.success");
+  obs::Counter untestable = obs::counter("podem.untestable");
+  obs::Counter aborted = obs::counter("podem.aborted");
+  obs::Counter decisions = obs::counter("podem.decisions");
+  obs::Counter backtracks = obs::counter("podem.backtracks");
+  obs::Counter implications = obs::counter("podem.implications");
+  // Untestable verdicts reached while scan bits were pinned: the price the
+  // stitching constraints extract from ATPG.
+  obs::Counter constrained_untestable =
+      obs::counter("podem.constrained_untestable");
+  obs::Histogram backtracks_per_call =
+      obs::histogram("podem.backtracks_per_call");
+};
+
+const PodemMetrics& podem_metrics() {
+  static const PodemMetrics m;
+  return m;
+}
 
 bool definite(Trit t) { return t != Trit::X; }
 
@@ -141,6 +165,7 @@ void Podem::full_imply(const Fault& f) {
 }
 
 void Podem::assign_source(GateId src, Trit v, const Fault& f) {
+  const std::size_t trail_before = trail_.size();
   trail_.push_back({src, good_[src], bad_[src]});
   good_[src] = v;
   const bool stem_here =
@@ -172,6 +197,7 @@ void Podem::assign_source(GateId src, Trit v, const Fault& f) {
     }
     bucket.clear();
   }
+  imply_events_ += trail_.size() - trail_before;
 }
 
 void Podem::undo_to(std::size_t mark) {
@@ -407,9 +433,34 @@ PodemResult Podem::generate(const Fault& f, const PpiConstraints* constraints,
   load_assignments();
   full_imply(f);
   trail_.clear();
+  imply_events_ = 0;
 
   PodemResult result;
   stack_.clear();
+  std::uint64_t decisions = 0;
+
+  auto finish = [&](PodemResult& r) -> PodemResult& {
+    const PodemMetrics& m = podem_metrics();
+    m.calls.inc();
+    switch (r.status) {
+      case PodemStatus::Success:
+        m.success.inc();
+        break;
+      case PodemStatus::Untestable:
+        m.untestable.inc();
+        if (constraints_ != nullptr && !constraints_->all_free())
+          m.constrained_untestable.inc();
+        break;
+      case PodemStatus::Aborted:
+        m.aborted.inc();
+        break;
+    }
+    m.decisions.add(decisions);
+    m.backtracks.add(r.backtracks);
+    m.implications.add(imply_events_);
+    m.backtracks_per_call.record(r.backtracks);
+    return r;
+  };
 
   auto make_cube = [&]() {
     Cube cube;
@@ -424,7 +475,7 @@ PodemResult Podem::generate(const Fault& f, const PpiConstraints* constraints,
     if (detected(f)) {
       result.status = PodemStatus::Success;
       result.cube = make_cube();
-      return result;
+      return finish(result);
     }
 
     bool fail = activation_impossible(f);
@@ -438,6 +489,7 @@ PodemResult Podem::generate(const Fault& f, const PpiConstraints* constraints,
         auto [src, v] = backtrace(obj->first, obj->second);
         VCOMP_ENSURE(assign_[src] == Trit::X, "backtrace hit assigned source");
         stack_.push_back({src, v, false, trail_.size()});
+        ++decisions;
         assign_[src] = v;
         assign_source(src, v, f);
         continue;
@@ -453,7 +505,7 @@ PodemResult Podem::generate(const Fault& f, const PpiConstraints* constraints,
     }
     if (stack_.empty()) {
       result.status = PodemStatus::Untestable;
-      return result;
+      return finish(result);
     }
     if (++result.backtracks > options.max_backtracks) {
       while (!stack_.empty()) {
@@ -462,7 +514,7 @@ PodemResult Podem::generate(const Fault& f, const PpiConstraints* constraints,
         stack_.pop_back();
       }
       result.status = PodemStatus::Aborted;
-      return result;
+      return finish(result);
     }
     auto& top = stack_.back();
     undo_to(top.trail_mark);

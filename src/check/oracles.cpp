@@ -170,6 +170,11 @@ struct RefTrackerResult {
   std::unordered_map<std::uint32_t, std::size_t> catch_cycle;
   std::unordered_map<std::uint32_t, std::vector<std::uint8_t>> hidden_chain;
   std::size_t terminal_caught = 0;
+  // Work tallies mirroring TrackerProfile: uncaught faults classified and
+  // hidden faults advanced, counted per cycle the same way the tracker
+  // counts its sharded/64-lane work.
+  std::size_t faults_classified = 0;
+  std::size_t hidden_advanced = 0;
 };
 
 /// Full-shift brute force: every tracked fault keeps a private chain and is
@@ -243,6 +248,10 @@ RefTrackerResult ref_track(const Case& c) {
     for (std::uint32_t i : tracked) {
       if (r.state[i] == core::FaultState::Caught) continue;
       const bool was_hidden = r.state[i] == core::FaultState::Hidden;
+      if (was_hidden)
+        ++r.hidden_advanced;
+      else
+        ++r.faults_classified;
       const std::vector<std::uint8_t>& chain_pre =
           was_hidden ? r.hidden_chain[i] : pre_capture;
       const Fault& f = c.faults[i];
@@ -315,6 +324,8 @@ struct TrackerRun {
   std::unordered_map<std::uint32_t, std::size_t> catch_cycle;
   std::unordered_map<std::uint32_t, std::vector<std::uint8_t>> hidden_chain;
   std::size_t terminal_caught = 0;
+  std::size_t faults_classified = 0;
+  std::size_t hidden_advanced = 0;
 };
 
 TrackerRun run_tracker(const Case& c) {
@@ -328,6 +339,11 @@ TrackerRun run_tracker(const Case& c) {
   if (c.schedule.terminal_observe > 0)
     out.terminal_caught = tracker.terminal_observe(c.schedule.terminal_observe);
   out.chain_ff = tracker.chain().bits();
+  // Read the work counters through the deterministic view (no wall-clock
+  // fields can leak into the comparison below).
+  const obs::CounterSet counters = tracker.profile().counters_only();
+  out.faults_classified = counters.get("tracker.faults_classified");
+  out.hidden_advanced = counters.get("tracker.hidden_advanced");
   for (std::uint32_t i : tracked_indices(c)) {
     out.state[i] = tracker.sets().state(i);
     if (out.state[i] == core::FaultState::Caught)
@@ -382,6 +398,16 @@ std::optional<Failure> check_tracker(const Case& c) {
                 "terminal observe caught " +
                     std::to_string(got.terminal_caught) + " vs ref " +
                     std::to_string(want.terminal_caught));
+  if (got.faults_classified != want.faults_classified)
+    return fail("tracker", "faults_classified counter " +
+                               std::to_string(got.faults_classified) +
+                               " vs ref tally " +
+                               std::to_string(want.faults_classified));
+  if (got.hidden_advanced != want.hidden_advanced)
+    return fail("tracker", "hidden_advanced counter " +
+                               std::to_string(got.hidden_advanced) +
+                               " vs ref tally " +
+                               std::to_string(want.hidden_advanced));
   for (const auto& [i, st] : want.state) {
     const auto it = got.state.find(i);
     if (it == got.state.end() || it->second != st)
@@ -413,7 +439,8 @@ std::string tracker_digest(const Case& c) {
        << st.hidden_after << ';';
   os << '|';
   for (std::uint8_t b : run.chain_ff) os << char('0' + b);
-  os << '|' << run.terminal_caught << '|';
+  os << '|' << run.terminal_caught << '|' << run.faults_classified << ','
+     << run.hidden_advanced << '|';
   // Deterministic fault order: tracked_indices is ascending.
   for (std::uint32_t i : tracked_indices(c)) {
     os << i << ':' << static_cast<int>(run.state.at(i));

@@ -7,6 +7,7 @@
 
 #include "vcomp/check/repro.hpp"
 #include "vcomp/check/shrink.hpp"
+#include "vcomp/obs/obs.hpp"
 #include "vcomp/util/parallel.hpp"
 
 namespace vcomp::check {
@@ -14,6 +15,17 @@ namespace vcomp::check {
 namespace {
 
 constexpr std::uint64_t kCaseSalt = 0xca5e5eedf022ea11ULL;
+
+struct CheckMetrics {
+  obs::Counter cases = obs::counter("check.cases");
+  obs::Counter failures = obs::counter("check.failures");
+  obs::Timer case_seconds = obs::timer("check.case_seconds");
+};
+
+const CheckMetrics& check_metrics() {
+  static const CheckMetrics m;
+  return m;
+}
 
 }  // namespace
 
@@ -63,6 +75,8 @@ FuzzStats run_fuzz(const FuzzOptions& opts) {
     const std::uint64_t seed = case_seed(opts.seed, index);
     Scenario sc = random_scenario(seed);
 
+    const obs::Span case_span("check.case", check_metrics().case_seconds);
+    check_metrics().cases.inc();
     std::optional<Failure> failure;
     try {
       const Case c = materialize(sc);
@@ -96,6 +110,7 @@ FuzzStats run_fuzz(const FuzzOptions& opts) {
     }
 
     ++stats.failures;
+    check_metrics().failures.inc();
     log("case " + std::to_string(index) + " (" + describe(sc) +
         ") FAILED [" + failure->oracle + "] " + failure->detail);
     if (stats.first_failure.empty())

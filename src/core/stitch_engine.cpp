@@ -5,6 +5,7 @@
 #include <chrono>
 
 #include "vcomp/atpg/fill.hpp"
+#include "vcomp/obs/obs.hpp"
 #include "vcomp/util/assert.hpp"
 #include "vcomp/util/parallel.hpp"
 
@@ -29,6 +30,23 @@ using Clock = std::chrono::steady_clock;
 
 double secs_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// Engine-side registry metrics; the run-local copies of the same tallies
+// live in PhaseProfile (so bench rows stay comparable row by row no matter
+// which circuits a given invocation sweeps).
+struct StitchMetrics {
+  obs::Counter runs = obs::counter("stitch.runs");
+  obs::Counter cubes_found = obs::counter("stitch.cubes_found");
+  obs::Counter candidates_scored = obs::counter("stitch.candidates_scored");
+  obs::Timer podem_seconds = obs::timer("stitch.podem_seconds");
+  obs::Timer scoring_seconds = obs::timer("stitch.scoring_seconds");
+  obs::Timer run_seconds = obs::timer("stitch.run_seconds");
+};
+
+const StitchMetrics& stitch_metrics() {
+  static const StitchMetrics m;
+  return m;
 }
 
 }  // namespace
@@ -112,6 +130,7 @@ std::optional<StitchEngine::Candidate> StitchEngine::generate(
   const std::size_t start = greedy ? cursor_ : 0;
   std::uint32_t attempts = 0;
   const auto t_podem = Clock::now();
+  const double ts_podem = obs::trace_now_us();
   for (std::size_t k = 0; k < n; ++k) {
     if (cubes.size() >= want) break;
     if (attempts >= opts_.max_targets_per_cycle) break;
@@ -121,6 +140,8 @@ std::optional<StitchEngine::Candidate> StitchEngine::generate(
     ++attempts;
     if (greedy) cursor_ = (start + k + 1) % n;
     auto res = podem_.generate((*faults_)[idx], &cons, opts_.podem);
+    ++podem_calls_;
+    podem_backtracks_ += res.backtracks;
     if (res.status == PodemStatus::Success)
       cubes.push_back({std::move(res.cube), idx});
     else
@@ -142,6 +163,8 @@ std::optional<StitchEngine::Candidate> StitchEngine::generate(
       if (tried_this_cycle_[idx] == cycle_stamp_) continue;
       ++scanned;
       auto res = podem_.generate((*faults_)[idx], &cons, opts_.podem);
+      ++podem_calls_;
+      podem_backtracks_ += res.backtracks;
       if (res.status == PodemStatus::Success) {
         cubes.push_back({std::move(res.cube), idx});
         if (greedy) cursor_ = (start + k + 1) % n;
@@ -151,7 +174,15 @@ std::optional<StitchEngine::Candidate> StitchEngine::generate(
       }
     }
   }
-  podem_seconds_ += secs_since(t_podem);
+  const double dt_podem = secs_since(t_podem);
+  podem_seconds_ += dt_podem;
+  cubes_found_ += cubes.size();
+  {
+    const StitchMetrics& m = stitch_metrics();
+    m.cubes_found.add(cubes.size());
+    m.podem_seconds.add_seconds(dt_podem);
+  }
+  obs::trace_complete("stitch.podem", ts_podem, dt_podem);
   if (cubes.empty()) return std::nullopt;
 
   if (!greedy) {
@@ -164,6 +195,7 @@ std::optional<StitchEngine::Candidate> StitchEngine::generate(
   // MostFaults: complete every cube several ways and score all completions
   // in one 64-way pattern-parallel fault-simulation pass.
   const auto t_score = Clock::now();
+  const double ts_score = obs::trace_now_us();
   std::vector<Candidate> cands;
   for (const auto& tc : cubes) {
     for (std::uint32_t f = 0; f < opts_.fills_per_cube && cands.size() < 64;
@@ -264,12 +296,21 @@ std::optional<StitchEngine::Candidate> StitchEngine::generate(
   std::size_t best = 0;
   for (std::size_t k = 1; k < cands.size(); ++k)
     if (score[k] > score[best]) best = k;
-  scoring_seconds_ += secs_since(t_score);
+  const double dt_score = secs_since(t_score);
+  scoring_seconds_ += dt_score;
+  candidates_scored_ += cands.size();
+  {
+    const StitchMetrics& m = stitch_metrics();
+    m.candidates_scored.add(cands.size());
+    m.scoring_seconds.add_seconds(dt_score);
+  }
+  obs::trace_complete("stitch.score", ts_score, dt_score);
   return std::move(cands[best]);
 }
 
 StitchResult StitchEngine::run() {
   const auto t_run = Clock::now();
+  const double ts_run = obs::trace_now_us();
   const std::size_t L = nl_->num_dffs();
   const std::size_t npi = nl_->num_inputs();
   const std::size_t npo = nl_->num_outputs();
@@ -483,7 +524,17 @@ StitchResult StitchEngine::run() {
   res.profile.terminal_seconds += tp.terminal_seconds;
   res.profile.faults_classified = tp.faults_classified;
   res.profile.hidden_advanced = tp.hidden_advanced;
+  res.profile.podem_calls = podem_calls_;
+  res.profile.podem_backtracks = podem_backtracks_;
+  res.profile.cubes_found = cubes_found_;
+  res.profile.candidates_scored = candidates_scored_;
   res.profile.total_seconds = secs_since(t_run);
+  {
+    const StitchMetrics& m = stitch_metrics();
+    m.runs.inc();
+    m.run_seconds.add_seconds(res.profile.total_seconds);
+  }
+  obs::trace_complete("stitch.run", ts_run, res.profile.total_seconds);
   return res;
 }
 

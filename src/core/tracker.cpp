@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "vcomp/obs/obs.hpp"
 #include "vcomp/util/assert.hpp"
 #include "vcomp/util/parallel.hpp"
 
@@ -18,6 +19,28 @@ using Clock = std::chrono::steady_clock;
 
 double secs_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// Registry mirrors of the per-instance TrackerProfile: process-wide totals
+// (exact, thread-count invariant) plus wall-clock timers (reported only).
+struct TrackerMetrics {
+  obs::Counter cycles = obs::counter("tracker.cycles");
+  obs::Counter faults_classified = obs::counter("tracker.faults_classified");
+  obs::Counter hidden_advanced = obs::counter("tracker.hidden_advanced");
+  obs::Counter caught_at_shift = obs::counter("tracker.caught_at_shift");
+  obs::Counter caught_at_po = obs::counter("tracker.caught_at_po");
+  obs::Counter new_hidden = obs::counter("tracker.new_hidden");
+  obs::Counter hidden_reverted = obs::counter("tracker.hidden_reverted");
+  obs::Counter terminal_caught = obs::counter("tracker.terminal_caught");
+  obs::Timer shift_seconds = obs::timer("tracker.shift_seconds");
+  obs::Timer classify_seconds = obs::timer("tracker.classify_seconds");
+  obs::Timer advance_seconds = obs::timer("tracker.advance_seconds");
+  obs::Timer terminal_seconds = obs::timer("tracker.terminal_seconds");
+};
+
+const TrackerMetrics& tracker_metrics() {
+  static const TrackerMetrics m;
+  return m;
 }
 
 }  // namespace
@@ -109,6 +132,7 @@ CycleStats StitchTracker::apply(const TestVector& v, std::size_t s,
     // caught right here.  The snapshot also feeds the advance phase below
     // (shift-caught faults are skipped there).
     const auto t0 = Clock::now();
+    const double ts0 = obs::trace_now_us();
     in_bits_.resize(s);
     for (std::size_t j = 0; j < s; ++j)
       in_bits_[j] = v.ppi[chain_map_.dff_at(s - 1 - j)];
@@ -121,7 +145,10 @@ CycleStats StitchTracker::apply(const TestVector& v, std::size_t s,
         ++st.caught_at_shift;
       }
     }
-    profile_.shift_seconds += secs_since(t0);
+    const double dt0 = secs_since(t0);
+    profile_.shift_seconds += dt0;
+    tracker_metrics().shift_seconds.add_seconds(dt0);
+    obs::trace_complete("tracker.shift", ts0, dt0);
   }
   ++cycle_;
 
@@ -140,6 +167,7 @@ CycleStats StitchTracker::apply(const TestVector& v, std::size_t s,
   // transitions serially in fault-index order, so the resulting CycleStats
   // and FaultSets are identical for every thread count.
   const auto t1 = Clock::now();
+  const double ts1 = obs::trace_now_us();
   classify_.clear();
   for (std::size_t i = 0; i < faults_->size(); ++i)
     if (track_[i] && sets_.state(i) == FaultState::Uncaught)
@@ -186,14 +214,19 @@ CycleStats StitchTracker::apply(const TestVector& v, std::size_t s,
     sets_.set_hidden(i, sf_chain_);
     ++st.new_hidden;
   }
-  profile_.classify_seconds += secs_since(t1);
+  const double dt1 = secs_since(t1);
+  profile_.classify_seconds += dt1;
   profile_.faults_classified += classify_.size();
+  tracker_metrics().classify_seconds.add_seconds(dt1);
+  obs::trace_complete("tracker.classify", ts1, dt1);
 
   // Advance surviving hidden faults through their mutated vectors T_f, in
   // 64-lane batches (each lane carries a private stimulus plus its fault).
   // The PI stimulus is identical across lanes, so it is broadcast once per
   // batch; only the per-lane chain states are transposed into words.
   const auto t2 = Clock::now();
+  const double ts2 = obs::trace_now_us();
+  std::size_t advanced = 0;
   for (std::size_t base = 0; base < hidden_before_.size(); base += 64) {
     const std::size_t count =
         std::min<std::size_t>(64, hidden_before_.size() - base);
@@ -249,8 +282,21 @@ CycleStats StitchTracker::apply(const TestVector& v, std::size_t s,
       }
     }
     profile_.hidden_advanced += batch_.size();
+    advanced += batch_.size();
   }
-  profile_.advance_seconds += secs_since(t2);
+  const double dt2 = secs_since(t2);
+  profile_.advance_seconds += dt2;
+
+  const TrackerMetrics& m = tracker_metrics();
+  m.advance_seconds.add_seconds(dt2);
+  obs::trace_complete("tracker.advance", ts2, dt2);
+  m.cycles.inc();
+  m.faults_classified.add(classify_.size());
+  m.hidden_advanced.add(advanced);
+  m.caught_at_shift.add(st.caught_at_shift);
+  m.caught_at_po.add(st.caught_at_po);
+  m.new_hidden.add(st.new_hidden);
+  m.hidden_reverted.add(st.hidden_reverted);
 
   st.hidden_after = sets_.num_hidden();
   return st;
@@ -270,13 +316,16 @@ bool StitchTracker::partial_observe_suffices(std::size_t s) const {
       break;
     }
   }
-  profile_.terminal_seconds += secs_since(t0);
+  const double dt = secs_since(t0);
+  profile_.terminal_seconds += dt;
+  tracker_metrics().terminal_seconds.add_seconds(dt);
   return ok;
 }
 
 std::size_t StitchTracker::terminal_observe(std::size_t s) {
   VCOMP_REQUIRE(s <= nl_->num_dffs(), "observe size out of range");
   const auto t0 = Clock::now();
+  const double ts0 = obs::trace_now_us();
   const std::size_t L = nl_->num_dffs();
   diff_.resize(L);
   std::size_t caught = 0;
@@ -289,7 +338,12 @@ std::size_t StitchTracker::terminal_observe(std::size_t s) {
       ++caught;
     }
   }
-  profile_.terminal_seconds += secs_since(t0);
+  const double dt = secs_since(t0);
+  profile_.terminal_seconds += dt;
+  const TrackerMetrics& m = tracker_metrics();
+  m.terminal_seconds.add_seconds(dt);
+  m.terminal_caught.add(caught);
+  obs::trace_complete("tracker.terminal_observe", ts0, dt);
   return caught;
 }
 

@@ -1,5 +1,6 @@
 #include "vcomp/fault/fault_parallel_sim.hpp"
 
+#include "vcomp/obs/metrics.hpp"
 #include "vcomp/util/assert.hpp"
 
 namespace vcomp::fault {
@@ -8,6 +9,23 @@ using netlist::GateId;
 using netlist::GateType;
 using sim::EvalGraph;
 using sim::Word;
+
+namespace {
+
+// lanes counts occupied lanes per eval, so lanes/evals/64 is the average
+// lane occupancy of the 64-wide datapath.
+struct LaneSimMetrics {
+  obs::Counter evals = obs::counter("lanesim.evals");
+  obs::Counter lanes = obs::counter("lanesim.lanes");
+  obs::Histogram lanes_per_eval = obs::histogram("lanesim.lanes_per_eval");
+};
+
+const LaneSimMetrics& lanesim_metrics() {
+  static const LaneSimMetrics m;
+  return m;
+}
+
+}  // namespace
 
 LaneSim::LaneSim(EvalGraph::Ref graph) : eg_(std::move(graph)) {
   VCOMP_REQUIRE(eg_ != nullptr, "LaneSim requires an evaluation graph");
@@ -77,6 +95,11 @@ void LaneSim::inject(int lane, const Fault& f) {
 }
 
 void LaneSim::eval() {
+  const LaneSimMetrics& metrics = lanesim_metrics();
+  metrics.evals.inc();
+  metrics.lanes.add(static_cast<std::uint64_t>(lanes_));
+  metrics.lanes_per_eval.record(static_cast<std::uint64_t>(lanes_));
+
   // Stem forces on sources (PI / PPI stem faults).
   for (const auto& [g, force] : stem_forces_) {
     const GateType t = eg_->type(g);

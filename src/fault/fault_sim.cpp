@@ -1,5 +1,6 @@
 #include "vcomp/fault/fault_sim.hpp"
 
+#include "vcomp/obs/metrics.hpp"
 #include "vcomp/util/assert.hpp"
 #include "vcomp/util/parallel.hpp"
 
@@ -9,6 +10,23 @@ using netlist::GateId;
 using netlist::GateType;
 using sim::EvalGraph;
 using sim::Word;
+
+namespace {
+
+// Added once per simulate() call (never batched across calls): per-thread
+// sinks make the immediate add cheap, and call-granular updates keep the
+// totals independent of how callers shard work across threads.
+struct DiffSimMetrics {
+  obs::Counter simulations = obs::counter("diffsim.simulations");
+  obs::Counter events = obs::counter("diffsim.events");
+};
+
+const DiffSimMetrics& diffsim_metrics() {
+  static const DiffSimMetrics m;
+  return m;
+}
+
+}  // namespace
 
 DiffSim::DiffSim(EvalGraph::Ref graph) : eg_(std::move(graph)), good_(eg_) {
   const std::size_t n = eg_->num_gates();
@@ -66,9 +84,12 @@ void DiffSim::set_origin(GateId g, Word d) {
 }
 
 DiffSim::Effect DiffSim::simulate(const Fault& f) {
+  const DiffSimMetrics& metrics = diffsim_metrics();
+  metrics.simulations.inc();
   reset_deltas();
   ppo_out_.clear();
   Effect effect;
+  std::uint64_t drained = 0;
 
   const EvalGraph& eg = *eg_;
   const Word* good_vals = good_.values().data();
@@ -113,6 +134,7 @@ DiffSim::Effect DiffSim::simulate(const Fault& f) {
       const GateId u = bucket[i];
       queued_[u] = 0;
       --pending_events_;
+      ++drained;
       const std::uint32_t b = off[u];
       const Word faulty = sim::word_eval_fused(
           eg.type(u), off[u + 1] - b, [&](std::size_t k) {
@@ -131,6 +153,7 @@ DiffSim::Effect DiffSim::simulate(const Fault& f) {
     bucket.clear();
   }
   VCOMP_DASSERT(pending_events_ == 0, "events left after propagation");
+  metrics.events.add(drained);
 
   // Harvest observation points from the touched set.
   for (GateId g : touched_list_) {

@@ -7,6 +7,7 @@
 #include "vcomp/sim/word_sim.hpp"
 #include "vcomp/util/assert.hpp"
 #include "vcomp/util/rng.hpp"
+#include "vcomp/obs/obs.hpp"
 
 namespace vcomp::netgen {
 
@@ -47,6 +48,10 @@ GateType pick_type(Rng& rng, double easiness) {
 }  // namespace
 
 Netlist generate(const CircuitProfile& p) {
+  static const obs::Counter circuits = obs::counter("netgen.circuits");
+  static const obs::Counter gates = obs::counter("netgen.gates");
+  static const obs::Timer gen_seconds = obs::timer("netgen.seconds");
+  const obs::Span span("netgen.generate", gen_seconds);
   VCOMP_REQUIRE(p.num_ff > 0, "profile needs at least one flip-flop");
   VCOMP_REQUIRE(p.num_gates >= p.num_po, "gate budget below PO count");
   Rng rng(p.seed);
@@ -219,6 +224,8 @@ Netlist generate(const CircuitProfile& p) {
   }
 
   nl.finalize();
+  circuits.inc();
+  gates.add(nl.num_gates());
   return nl;
 }
 

@@ -5,7 +5,14 @@ Compares a freshly produced bench JSON (bench_tracker / bench_table2_shift,
 written via VCOMP_BENCH_JSON) against the committed baseline and flags
 timing/throughput drift beyond a tolerance.  Rows are matched by their
 identity keys (circuit, and config where present), so a --quick run is
-compared only on the rows it actually produced.
+compared only on the rows it actually produced; rows whose "cycles"
+field differs from the baseline (a different workload) are skipped
+outright.
+
+Per-row "counters" objects (the obs work counters embedded by the bench
+binaries) are exempt from the tolerance: they are deterministic by
+contract, so any mismatch at all is flagged.  Timings and rates keep the
+±tolerance treatment.
 
 Intended as a *soft* gate: CI shared runners are noisy, so regressions are
 emitted as GitHub warning annotations and the exit code stays 0 unless
@@ -24,6 +31,8 @@ import sys
 # Per-row fields judged with the tolerance; direction says which way is bad.
 TIME_FIELDS = ("seconds", "shift_seconds", "total_seconds")
 RATE_SUFFIX = "_per_sec"
+# Timings below this are scheduler-noise-dominated; never gate them.
+MIN_GATED_SECONDS = 1e-3
 
 
 def load_rows(doc):
@@ -76,6 +85,14 @@ def main():
     for key in shared:
         frow, brow = fresh[key], base[key]
         label = "/".join(str(k) for k in key)
+        # A row is only comparable when it ran the same workload: a
+        # --quick tracker run walks fewer cycles than the committed
+        # baseline, which skews timings, rates and counters alike.
+        if "cycles" in brow and frow.get("cycles") != brow.get("cycles"):
+            print(f"note: {label} ran {frow.get('cycles')} cycles vs "
+                  f"baseline {brow.get('cycles')}; row skipped "
+                  f"(workload mismatch)")
+            continue
         for field, bval in brow.items():
             if not isinstance(bval, (int, float)) or isinstance(bval, bool):
                 continue
@@ -83,6 +100,8 @@ def main():
             if not isinstance(fval, (int, float)) or bval == 0:
                 continue
             ratio = fval / bval
+            if field in TIME_FIELDS and bval < MIN_GATED_SECONDS:
+                continue
             if field in TIME_FIELDS and ratio > 1 + tol:
                 regressions.append(
                     f"{label} {field}: {fval:.4g}s vs baseline "
@@ -91,6 +110,17 @@ def main():
                 regressions.append(
                     f"{label} {field}: {fval:.4g} vs baseline "
                     f"{bval:.4g} (-{(1 - ratio) * 100:.0f}%)")
+        # Work counters are exact: byte-identical across machines and
+        # thread counts, so any drift is a behavior change, not noise.
+        bcounters = brow.get("counters")
+        if isinstance(bcounters, dict):
+            fcounters = frow.get("counters") or {}
+            for name in sorted(set(bcounters) | set(fcounters)):
+                bval, fval = bcounters.get(name), fcounters.get(name)
+                if bval != fval:
+                    regressions.append(
+                        f"{label} counters.{name}: {fval} vs baseline "
+                        f"{bval} (exact match required)")
 
     print(f"compared {len(shared)} rows at ±{tol * 100:.0f}% tolerance")
     for r in regressions:

@@ -19,17 +19,21 @@
 //     --replay <file>   replay one reproducer file instead of fuzzing
 //     --max-failures <n>  stop after n failures (default 1)
 //     --no-shrink       keep failing scenarios as found
+//     --metrics <file>  write an obs metrics snapshot (JSON) on exit
+//     --trace <file>    record spans, write Chrome-trace JSON on exit
 //     --quiet           suppress progress logging
 //
 // Exit code: 0 clean, 1 failures found, 2 usage error.
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "vcomp/check/repro.hpp"
 #include "vcomp/check/runner.hpp"
+#include "vcomp/obs/obs.hpp"
 #include "vcomp/util/parallel.hpp"
 
 using namespace vcomp;
@@ -41,7 +45,7 @@ int usage(const char* argv0) {
                "usage: %s [--cases n] [--minutes m] [--seed n]\n"
                "       [--identity k] [--threads n] [--repro-dir d]\n"
                "       [--replay file] [--max-failures n] [--no-shrink]\n"
-               "       [--quiet]\n",
+               "       [--metrics file] [--trace file] [--quiet]\n",
                argv0);
   return 2;
 }
@@ -64,6 +68,7 @@ int main(int argc, char** argv) {
   check::FuzzOptions opts;
   opts.log = &std::cerr;
   std::string replay_path;
+  std::string metrics_path, trace_path;
   std::size_t threads = 0;
 
   for (int i = 1; i < argc; ++i) {
@@ -107,6 +112,14 @@ int main(int argc, char** argv) {
       opts.max_failures = std::stoull(v);
     } else if (std::strcmp(a, "--no-shrink") == 0) {
       opts.shrink_failures = false;
+    } else if (std::strcmp(a, "--metrics") == 0) {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      metrics_path = v;
+    } else if (std::strcmp(a, "--trace") == 0) {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      trace_path = v;
     } else if (std::strcmp(a, "--quiet") == 0) {
       opts.log = nullptr;
     } else {
@@ -115,11 +128,38 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Writes the metrics snapshot / Chrome trace (if requested) and passes
+  // the exit code through, so every successful exit path reports them.
+  auto finish = [&](int code) -> int {
+    if (!metrics_path.empty()) {
+      std::ofstream out(metrics_path);
+      obs::Registry::instance().snapshot().write_json(out);
+      out << '\n';
+      if (!out.good()) {
+        std::fprintf(stderr, "error: cannot write %s\n", metrics_path.c_str());
+        return 2;
+      }
+      std::printf("metrics snapshot: %s\n", metrics_path.c_str());
+    }
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path);
+      obs::write_chrome_trace(out);
+      if (!out.good()) {
+        std::fprintf(stderr, "error: cannot write %s\n", trace_path.c_str());
+        return 2;
+      }
+      std::printf("chrome trace: %s\n", trace_path.c_str());
+    }
+    return code;
+  };
+
+  if (!trace_path.empty()) obs::set_trace_enabled(true);
+
   try {
     std::optional<util::ScopedParallelism> scoped;
     if (threads > 0) scoped.emplace(threads);
 
-    if (!replay_path.empty()) return replay(replay_path);
+    if (!replay_path.empty()) return finish(replay(replay_path));
 
     if (opts.cases == 0 && opts.minutes == 0) {
       std::fprintf(stderr, "refusing to run unbounded: give --cases or "
@@ -133,9 +173,9 @@ int main(int argc, char** argv) {
       std::printf("first failure: %s\n", stats.first_failure.c_str());
       for (const auto& p : stats.repro_paths)
         std::printf("reproducer: %s\n", p.c_str());
-      return 1;
+      return finish(1);
     }
-    return 0;
+    return finish(0);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

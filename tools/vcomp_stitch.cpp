@@ -1,11 +1,12 @@
 // vcomp_stitch — command-line front end for the stitching flow.
 //
-// Reads an ISCAS89 .bench netlist, generates the full-shift baseline and a
-// stitched test program, reports the compression, and optionally writes
-// the test program in the schedule text format (see schedule_io.hpp).
+// Reads an ISCAS89 .bench netlist (or synthesizes a netgen profile via
+// gen:<name>), generates the full-shift baseline and a stitched test
+// program, reports the compression, and optionally writes the test
+// program in the schedule text format (see schedule_io.hpp).
 //
 // Usage:
-//   vcomp_stitch <netlist.bench> [options]
+//   vcomp_stitch <netlist.bench | gen:profile> [options]
 //     --out <file>        write the stitched test program
 //     --shift <n>         fixed shift size (default: variable policy)
 //     --info <r>          fixed shift at info point r in (0,1]
@@ -19,6 +20,10 @@
 //     --profile           print the per-phase wall-clock breakdown of the
 //                         stitched run (PODEM, scoring, shift, classify,
 //                         hidden advance, terminal) with throughput
+//     --metrics <file>    write the merged obs metrics snapshot (counters,
+//                         gauges, histograms, timings) as JSON
+//     --trace <file>      capture scoped spans and write Chrome-trace JSON
+//                         (load in chrome://tracing or Perfetto)
 //
 // Exit code 0 iff coverage is fully preserved.
 
@@ -29,8 +34,10 @@
 
 #include "vcomp/core/experiment.hpp"
 #include "vcomp/core/schedule_io.hpp"
+#include "vcomp/netgen/netgen.hpp"
 #include "vcomp/netlist/bench_io.hpp"
 #include "vcomp/netlist/verilog_io.hpp"
+#include "vcomp/obs/obs.hpp"
 #include "vcomp/util/parallel.hpp"
 
 using namespace vcomp;
@@ -39,10 +46,11 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <netlist.bench> [--out f] [--shift n | --info r]\n"
+               "usage: %s <netlist.bench|gen:profile> [--out f]\n"
+               "       [--shift n | --info r]\n"
                "       [--selection random|hardness|most-faults]\n"
                "       [--capture normal|vxor] [--hxor taps] [--seed n]\n"
-               "       [--threads n] [--profile]\n",
+               "       [--threads n] [--profile] [--metrics f] [--trace f]\n",
                argv0);
   return 2;
 }
@@ -75,7 +83,7 @@ void print_profile(const core::PhaseProfile& p) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage(argv[0]);
   const std::string path = argv[1];
-  std::string out_path;
+  std::string out_path, metrics_path, trace_path;
   core::StitchOptions opts;
   double info = 0.0;
   bool profile = false;
@@ -97,6 +105,8 @@ int main(int argc, char** argv) {
       util::ThreadPool::instance().configure(std::stoul(need("--threads")));
     else if (a == "--hxor") opts.hxor_taps = std::stoul(need("--hxor"));
     else if (a == "--profile") profile = true;
+    else if (a == "--metrics") metrics_path = need("--metrics");
+    else if (a == "--trace") trace_path = need("--trace");
     else if (a == "--capture") {
       const std::string c = need("--capture");
       if (c == "vxor") opts.capture = scan::CaptureMode::VXor;
@@ -114,14 +124,20 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!trace_path.empty()) obs::set_trace_enabled(true);
+
   try {
-    // Format by extension: .v / .sv structural Verilog, else .bench.
-    const bool verilog = path.size() > 2 &&
+    // gen:<profile> synthesizes the named netgen circuit (e.g. gen:s1423);
+    // otherwise format by extension: .v / .sv structural Verilog, else
+    // .bench.
+    const bool generated = path.rfind("gen:", 0) == 0;
+    const bool verilog = !generated && path.size() > 2 &&
                          (path.rfind(".v") == path.size() - 2 ||
                           (path.size() > 3 &&
                            path.rfind(".sv") == path.size() - 3));
-    auto nl = verilog ? netlist::read_verilog_file(path)
-                      : netlist::read_bench_file(path);
+    auto nl = generated ? netgen::generate(path.substr(4))
+              : verilog ? netlist::read_verilog_file(path)
+                        : netlist::read_bench_file(path);
     std::printf("netlist: %zu PIs, %zu POs, %zu scan cells, %zu gates  "
                 "(%zu threads)\n",
                 nl.num_inputs(), nl.num_outputs(), nl.num_dffs(),
@@ -154,6 +170,25 @@ int main(int argc, char** argv) {
       }
       core::write_schedule(out, r.schedule);
       std::printf("test program written to %s\n", out_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+      std::ofstream out(metrics_path);
+      if (!out.good()) {
+        std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+        return 2;
+      }
+      obs::Registry::instance().snapshot().write_json(out);
+      out << '\n';
+      std::printf("metrics written to %s\n", metrics_path.c_str());
+    }
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path);
+      if (!out.good()) {
+        std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+        return 2;
+      }
+      obs::write_chrome_trace(out);
+      std::printf("trace written to %s\n", trace_path.c_str());
     }
     return r.uncovered == 0 ? 0 : 1;
   } catch (const std::exception& e) {
