@@ -3,11 +3,19 @@
 /// \file oracles.hpp
 /// Differential oracles of the check harness.
 ///
-/// Two families:
+/// Three families:
 ///  * simulator oracles — WordSim, TernarySim, DiffSim and LaneSim are run
 ///    on identical stimuli and compared against the naive reference
 ///    evaluators of reference.hpp (and against each other where their
 ///    domains overlap);
+///  * compaction / dispatch oracles — the same scenario is evaluated on
+///    the compacted and uncompacted EvalGraph (WordSim values through the
+///    id remap, DiffSim::simulate vs simulate_mapped, BlockLaneSim with
+///    mapped faults) and through every available SIMD dispatch width
+///    (BlockSim scalar vs AVX2 vs AVX-512); on top, the full stitched
+///    tracker is driven twice — VCOMP_COMPACT on and off — and the two
+///    digests (CycleStats, fault states, work counters) must be
+///    byte-identical;
 ///  * the tracker oracle — a StitchTracker is driven through the case's
 ///    stitched schedule and its per-cycle CycleStats, final fault states,
 ///    catch cycles and surviving hidden-chain contents are compared against
@@ -28,14 +36,21 @@ namespace vcomp::check {
 
 struct Failure {
   std::string oracle;  ///< "word-sim", "ternary-sim", "diff-sim",
-                       ///< "lane-sim", "tracker", "thread-identity",
-                       ///< "exception"
+                       ///< "lane-sim", "compact", "simd-dispatch",
+                       ///< "tracker", "thread-identity", "exception"
   std::string detail;  ///< human-readable mismatch description
 };
 
 /// Simulator oracles on \p rounds random stimuli (seeded by
 /// \p stimulus_seed, independent of the schedule).
 std::optional<Failure> check_simulators(const Case& c,
+                                        std::uint64_t stimulus_seed,
+                                        std::size_t rounds);
+
+/// Compaction / dispatch oracles on \p rounds random stimuli: compacted
+/// vs uncompacted graph equivalence, scalar vs vector dispatch equality,
+/// and a compact-on/off A-B of the full stitched tracker digest.
+std::optional<Failure> check_compaction(const Case& c,
                                         std::uint64_t stimulus_seed,
                                         std::size_t rounds);
 

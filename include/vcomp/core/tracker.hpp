@@ -33,8 +33,9 @@
 #include <vector>
 
 #include "vcomp/atpg/fill.hpp"
+#include "vcomp/fault/block_lane_sim.hpp"
 #include "vcomp/fault/collapse.hpp"
-#include "vcomp/fault/fault_parallel_sim.hpp"
+#include "vcomp/fault/compact_model.hpp"
 #include "vcomp/fault/fault_sim.hpp"
 #include "vcomp/core/fault_sets.hpp"
 #include "vcomp/obs/metrics.hpp"
@@ -60,10 +61,10 @@ struct CycleStats {
 struct TrackerProfile {
   double shift_seconds = 0;     ///< scan-shift + hidden-chain compare
   double classify_seconds = 0;  ///< sharded uncaught-fault classification
-  double advance_seconds = 0;   ///< 64-lane hidden-fault advance
+  double advance_seconds = 0;   ///< block-lane hidden-fault advance
   double terminal_seconds = 0;  ///< terminal/partial observation scans
   std::size_t faults_classified = 0;  ///< DiffSim classification queries
-  std::size_t hidden_advanced = 0;    ///< LaneSim lanes evaluated
+  std::size_t hidden_advanced = 0;    ///< hidden-fault lanes evaluated
 
   /// Deterministic view for comparisons: the work counters without the
   /// wall-clock fields, so tests never depend on machine speed.
@@ -140,9 +141,15 @@ class StitchTracker {
 
   FaultSets sets_;
   scan::ChainState chain_;
+  /// Compacted simulation graph + per-fault site mappings.  Every internal
+  /// simulator below runs on model_.graph(); reported netlist()/chain
+  /// positions stay in original ids (the model preserves input / dff / po
+  /// order, so index-based readouts need no translation).  VCOMP_COMPACT=0
+  /// turns the model into the identity and restores the original graph.
+  fault::CompactModel model_;
   fault::DiffSimShards ssims_;  // per-shard classification engines
   fault::DiffSim* sim0_;        // shard 0: also the good-machine readout
-  fault::LaneSim lanes_;
+  fault::BlockLaneSim lanes_;
   std::size_t cycle_ = 0;
   mutable TrackerProfile profile_;
 
@@ -160,7 +167,7 @@ class StitchTracker {
   mutable std::vector<std::uint8_t> diff_;    // observe-scan scratch
   std::vector<std::size_t> hidden_before_, batch_, classify_;
   mutable std::vector<std::size_t> observe_list_;
-  std::vector<sim::Word> state_words_, next_words_;
+  std::vector<sim::Block> state_blocks_, next_blocks_;
   std::vector<Verdict> verdicts_;
   scan::ChainState sf_chain_;  // faulty-capture scratch chain
 };

@@ -87,11 +87,18 @@ class LaneSim {
     return (v & ~(m0 | m1)) | m1;
   }
 
+  static constexpr std::uint8_t kHasPinForce = 1;
+  static constexpr std::uint8_t kHasStemForce = 2;
+
   sim::EvalGraph::Ref eg_;
   int lanes_ = 0;
   std::vector<sim::Word> values_;
   std::unordered_map<netlist::GateId, StemForce> stem_forces_;
   std::unordered_map<netlist::GateId, std::vector<PinForce>> pin_forces_;
+  /// Per-gate force presence (kHasPinForce / kHasStemForce), maintained by
+  /// inject()/clear() so the hot sweep replaces two hash lookups per gate
+  /// with one byte load.
+  std::vector<std::uint8_t> force_flags_;
   std::vector<sim::Word> gather_;
 };
 

@@ -26,6 +26,7 @@
 #include <span>
 #include <vector>
 
+#include "vcomp/fault/compact_model.hpp"
 #include "vcomp/fault/fault.hpp"
 #include "vcomp/sim/word_sim.hpp"
 
@@ -70,10 +71,19 @@ class DiffSim {
   /// Simulates \p f against the committed good values.
   Effect simulate(const Fault& f);
 
+  /// Simulates a compacted-graph fault (possibly multi-site, see
+  /// compact_model.hpp) against the committed good values.  The graph this
+  /// engine runs on must be the one the MappedFault was built for.
+  Effect simulate_mapped(const MappedFault& mf);
+
  private:
   void reset_deltas();
   void schedule(netlist::GateId g);
   void set_origin(netlist::GateId g, sim::Word d);
+  /// Drains the event buckets (re-evaluating pin-forced gates through the
+  /// forced_pins_ overlay) and harvests the touched observation points.
+  void propagate_and_harvest(Effect& effect, sim::Word forced);
+  sim::Word eval_with_forced_pins(netlist::GateId g, sim::Word forced) const;
 
   sim::EvalGraph::Ref eg_;
   sim::WordSim good_;
@@ -87,6 +97,13 @@ class DiffSim {
   // loop means a previous simulate() was abandoned mid-flight (it threw),
   // and reset_deltas() must drain the queue before the next propagation.
   std::size_t pending_events_ = 0;
+
+  // Pin-force overlay for simulate_mapped: origins that carry a forced
+  // input pin must keep that force when an upstream origin's delta causes
+  // them to be re-evaluated during propagation.  Tiny (a folded signal's
+  // consumer pins), so a linear scan per re-evaluated gate is cheap, and
+  // empty for plain simulate().
+  std::vector<MappedSite> forced_pins_;
 
   std::vector<PpoDiff> ppo_out_;
 };

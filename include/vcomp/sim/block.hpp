@@ -1,0 +1,176 @@
+#pragma once
+
+/// \file block.hpp
+/// Fixed 512-lane bit-slice value type for the wide simulation kernels.
+///
+/// A Block always carries kBlockLanes (= 512) pattern bits as eight 64-bit
+/// words, regardless of which instruction set executes the sweep.  The
+/// SIMD dispatch layer (simd_dispatch.hpp) only chooses *how* the eight
+/// words are combined — one AVX-512 op, two AVX2 ops, or a scalar loop —
+/// never how many lanes there are.  That keeps every result bit-identical
+/// across VCOMP_SIMD settings: lane k of a Block means the same pattern on
+/// every machine, and tests can diff scalar against AVX-512 byte for byte.
+///
+/// The scalar operators below are the portable fallback implementation and
+/// the semantic reference for the vector sweeps.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "vcomp/netlist/netlist.hpp"
+
+namespace vcomp::sim {
+
+/// Words per Block.  512 lanes = 8 words; an AVX-512 register holds a
+/// whole Block, an AVX2 register half of one.
+inline constexpr std::size_t kBlockWords = 8;
+
+/// Parallel patterns per Block.
+inline constexpr std::size_t kBlockLanes = kBlockWords * 64;
+
+/// 512 parallel pattern bits.  Lane k lives in bit (k % 64) of word
+/// (k / 64), matching how a Word-based engine would tile eight batches.
+struct alignas(64) Block {
+  std::uint64_t w[kBlockWords];
+
+  static Block zero() {
+    Block b;
+    for (std::size_t i = 0; i < kBlockWords; ++i) b.w[i] = 0;
+    return b;
+  }
+  static Block ones() {
+    Block b;
+    for (std::size_t i = 0; i < kBlockWords; ++i) b.w[i] = ~std::uint64_t{0};
+    return b;
+  }
+  /// Broadcasts one bit to every lane.
+  static Block fill(bool v) { return v ? ones() : zero(); }
+
+  /// Mask with the low \p n lanes set (n <= kBlockLanes).
+  static Block lane_mask(std::size_t n) {
+    Block b = zero();
+    for (std::size_t i = 0; i < kBlockWords && n != 0; ++i, n -= 64) {
+      if (n >= 64) {
+        b.w[i] = ~std::uint64_t{0};
+      } else {
+        b.w[i] = (std::uint64_t{1} << n) - 1;
+        break;
+      }
+    }
+    return b;
+  }
+
+  bool lane(std::size_t k) const { return (w[k / 64] >> (k % 64)) & 1; }
+  void set_lane(std::size_t k, bool v) {
+    const std::uint64_t m = std::uint64_t{1} << (k % 64);
+    w[k / 64] = v ? (w[k / 64] | m) : (w[k / 64] & ~m);
+  }
+
+  bool any() const {
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < kBlockWords; ++i) acc |= w[i];
+    return acc != 0;
+  }
+
+  friend Block operator&(const Block& a, const Block& b) {
+    Block r;
+    for (std::size_t i = 0; i < kBlockWords; ++i) r.w[i] = a.w[i] & b.w[i];
+    return r;
+  }
+  friend Block operator|(const Block& a, const Block& b) {
+    Block r;
+    for (std::size_t i = 0; i < kBlockWords; ++i) r.w[i] = a.w[i] | b.w[i];
+    return r;
+  }
+  friend Block operator^(const Block& a, const Block& b) {
+    Block r;
+    for (std::size_t i = 0; i < kBlockWords; ++i) r.w[i] = a.w[i] ^ b.w[i];
+    return r;
+  }
+  friend Block operator~(const Block& a) {
+    Block r;
+    for (std::size_t i = 0; i < kBlockWords; ++i) r.w[i] = ~a.w[i];
+    return r;
+  }
+  Block& operator&=(const Block& o) {
+    for (std::size_t i = 0; i < kBlockWords; ++i) w[i] &= o.w[i];
+    return *this;
+  }
+  Block& operator|=(const Block& o) {
+    for (std::size_t i = 0; i < kBlockWords; ++i) w[i] |= o.w[i];
+    return *this;
+  }
+  Block& operator^=(const Block& o) {
+    for (std::size_t i = 0; i < kBlockWords; ++i) w[i] ^= o.w[i];
+    return *this;
+  }
+
+  friend bool operator==(const Block& a, const Block& b) {
+    for (std::size_t i = 0; i < kBlockWords; ++i)
+      if (a.w[i] != b.w[i]) return false;
+    return true;
+  }
+};
+
+/// Forced stuck-at overlay: lanes in \p m1 read 1, lanes in \p m0 read 0,
+/// everything else keeps \p v.  Same contract as the Word-level
+/// apply_force in LaneSim.
+inline Block block_apply_force(const Block& v, const Block& m0,
+                               const Block& m1) {
+  return (v & ~(m0 | m1)) | m1;
+}
+
+/// Width-generic fused gate kernel: evaluates one combinational gate over
+/// fanin values of any bitwise value type V (std::uint64_t for the 64-lane
+/// engines, Block for the scalar 512-lane path, a native vector type
+/// inside the per-ISA sweep translation units).  \p get(k) returns the
+/// k-th fanin pin's value, \p n is the pin count.  word_eval_fused is the
+/// V = Word instantiation of this kernel.
+template <typename V, typename Get>
+inline V bitslice_eval_fused(netlist::GateType type, std::size_t n,
+                             Get&& get) {
+  switch (type) {
+    case netlist::GateType::Buf:
+      return get(0);
+    case netlist::GateType::Not:
+      return ~get(0);
+    case netlist::GateType::And: {
+      V v = get(0);
+      for (std::size_t i = 1; i < n; ++i) v &= get(i);
+      return v;
+    }
+    case netlist::GateType::Nand: {
+      V v = get(0);
+      for (std::size_t i = 1; i < n; ++i) v &= get(i);
+      return ~v;
+    }
+    case netlist::GateType::Or: {
+      V v = get(0);
+      for (std::size_t i = 1; i < n; ++i) v |= get(i);
+      return v;
+    }
+    case netlist::GateType::Nor: {
+      V v = get(0);
+      for (std::size_t i = 1; i < n; ++i) v |= get(i);
+      return ~v;
+    }
+    case netlist::GateType::Xor: {
+      V v = get(0);
+      for (std::size_t i = 1; i < n; ++i) v ^= get(i);
+      return v;
+    }
+    case netlist::GateType::Xnor: {
+      V v = get(0);
+      for (std::size_t i = 1; i < n; ++i) v ^= get(i);
+      return ~v;
+    }
+    case netlist::GateType::Input:
+    case netlist::GateType::Dff:
+      break;
+  }
+  // Non-combinational gate: the Word-path raises the contract error in
+  // word_eval; vector callers never reach here (schedule excludes sources).
+  return get(0);
+}
+
+}  // namespace vcomp::sim

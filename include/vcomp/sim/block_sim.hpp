@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file block_sim.hpp
+/// Two-valued, 512-way pattern-parallel logic simulation.
+///
+/// The Block-width sibling of WordSim: each gate's value is a 512-lane
+/// Block, so one eval() pass simulates up to 512 stimuli — eight 64-bit
+/// words combined per gate by whichever SIMD sweep the dispatch layer
+/// selected (one AVX-512 op, two AVX2 ops, or a scalar loop).  Results
+/// are bit-identical across dispatch modes.
+///
+/// Word-granular setters (set_input_word / set_state_word) let callers
+/// that already marshal 64-lane words tile eight of them into a Block
+/// without bit-level transposes.
+
+#include <vector>
+
+#include "vcomp/sim/block.hpp"
+#include "vcomp/sim/simd_dispatch.hpp"
+
+namespace vcomp::sim {
+
+class BlockSim {
+ public:
+  /// Shares a pre-compiled evaluation graph.  \p mode selects the sweep
+  /// implementation (Auto = the process-wide active_simd()).
+  explicit BlockSim(EvalGraph::Ref graph, SimdMode mode = SimdMode::Auto);
+  /// Convenience: compiles a private graph for \p nl.
+  explicit BlockSim(const netlist::Netlist& nl,
+                    SimdMode mode = SimdMode::Auto);
+
+  const netlist::Netlist& netlist() const { return eg_->netlist(); }
+  const EvalGraph::Ref& graph() const { return eg_; }
+  /// The resolved (never Auto) sweep mode this instance runs.
+  SimdMode simd() const { return mode_; }
+
+  /// Sets the value of the i-th primary input (index into inputs()).
+  void set_input(std::size_t i, const Block& v);
+  /// Sets the value of the i-th state element (index into dffs()).
+  void set_state(std::size_t i, const Block& v);
+
+  /// Word-granular writes: word \p k (lanes 64k .. 64k+63) of a source.
+  void set_input_word(std::size_t i, std::size_t k, std::uint64_t w);
+  void set_state_word(std::size_t i, std::size_t k, std::uint64_t w);
+
+  /// Runs a full combinational evaluation pass.
+  void eval();
+
+  /// Value of any gate (valid after eval() for combinational gates).
+  const Block& value(netlist::GateId g) const { return values_[g]; }
+
+  /// Value of the i-th primary output.
+  const Block& output(std::size_t i) const;
+
+  /// Next-state value captured by the i-th flip-flop (its fanin's value).
+  const Block& next_state(std::size_t i) const;
+
+ private:
+  EvalGraph::Ref eg_;
+  SimdMode mode_;
+  BlockSweepFn sweep_;
+  std::vector<Block> values_;
+};
+
+}  // namespace vcomp::sim

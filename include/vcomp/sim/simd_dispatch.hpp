@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file simd_dispatch.hpp
+/// Runtime instruction-set dispatch for the 512-lane Block sweep.
+///
+/// The sweep kernel is compiled three times — portable scalar, AVX2 and
+/// AVX-512 — in separate translation units carrying per-TU arch flags
+/// (see src/CMakeLists.txt), and selected at runtime:
+///
+///   * VCOMP_SIMD=auto (default) picks the widest implementation both the
+///     build and the CPU support (cpuid via __builtin_cpu_supports);
+///   * VCOMP_SIMD=scalar|avx2|avx512 forces one implementation; forcing
+///     one the build or CPU cannot run is a contract error (CI forces
+///     scalar everywhere to keep the fallback green on non-AVX runners).
+///
+/// Dispatch only ever changes which instructions combine the eight words
+/// of a Block — lane count and results are identical across modes, so any
+/// mode mix is safe and deterministic (checked by the vcomp::check
+/// scalar-vs-SIMD oracle).
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "vcomp/sim/block.hpp"
+#include "vcomp/sim/eval_graph.hpp"
+
+namespace vcomp::sim {
+
+enum class SimdMode : std::uint8_t {
+  Auto,    ///< resolve to the widest available implementation
+  Scalar,  ///< portable word-loop sweep (always available)
+  Avx2,    ///< 2 x 256-bit ops per Block
+  Avx512,  ///< 1 x 512-bit op per Block
+};
+
+std::string_view to_string(SimdMode m);
+
+/// Parses "auto" / "scalar" / "avx2" / "avx512" (nullopt for junk).
+std::optional<SimdMode> simd_mode_from_string(std::string_view s);
+
+/// True when \p m was compiled in *and* the running CPU supports it
+/// (Scalar and Auto are always available).
+bool simd_available(SimdMode m);
+
+/// The process-wide mode: VCOMP_SIMD resolved once on first use, Auto by
+/// default.  Never returns Auto.  Throws vcomp::ContractError if the
+/// environment forces an unavailable mode.
+SimdMode active_simd();
+
+/// Callback invoked after the sweep stored gate \p g's plain value, for
+/// gates flagged in the patch array (forced-pin / forced-stem overlays).
+using BlockPatchFn = void (*)(void* user, netlist::GateId g);
+
+/// One full combinational sweep over \p eg's schedule: vals[g] receives
+/// gate g's Block for every scheduled gate.  When \p patch is non-null,
+/// gates with patch[g] != 0 additionally get \p patch_fn applied right
+/// after their store (before any consumer reads them).
+using BlockSweepFn = void (*)(const EvalGraph& eg, Block* vals,
+                              const std::uint8_t* patch,
+                              BlockPatchFn patch_fn, void* user);
+
+/// Sweep implementation for \p m (Auto resolves via active_simd()).
+/// Throws vcomp::ContractError when \p m is not available.
+BlockSweepFn block_sweep_fn(SimdMode m);
+
+namespace detail {
+// Per-TU sweep exports; the AVX getters return nullptr when their
+// translation unit was compiled without the matching arch flags.
+BlockSweepFn block_sweep_scalar();
+BlockSweepFn block_sweep_avx2();
+BlockSweepFn block_sweep_avx512();
+}  // namespace detail
+
+}  // namespace vcomp::sim

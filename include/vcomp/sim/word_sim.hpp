@@ -15,8 +15,10 @@
 
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
+#include "vcomp/sim/block.hpp"
 #include "vcomp/sim/eval_graph.hpp"
 
 namespace vcomp::sim {
@@ -30,50 +32,15 @@ Word word_eval(netlist::GateType type, std::span<const Word> fanin);
 /// Fused gate kernel over an arbitrary fanin accessor: \p get(k) returns
 /// the word of the k-th fanin pin, \p n is the pin count.  Lets every
 /// engine (plain values, good^delta, forced pins) evaluate without first
-/// copying fanin words into a gather buffer.
+/// copying fanin words into a gather buffer.  This is the Word (64-lane)
+/// instantiation of bitslice_eval_fused; the 512-lane Block engines share
+/// the same kernel at a different value width.
 template <typename Get>
 inline Word word_eval_fused(netlist::GateType type, std::size_t n,
                             Get&& get) {
-  switch (type) {
-    case netlist::GateType::Buf:
-      return get(0);
-    case netlist::GateType::Not:
-      return ~get(0);
-    case netlist::GateType::And: {
-      Word v = get(0);
-      for (std::size_t i = 1; i < n; ++i) v &= get(i);
-      return v;
-    }
-    case netlist::GateType::Nand: {
-      Word v = get(0);
-      for (std::size_t i = 1; i < n; ++i) v &= get(i);
-      return ~v;
-    }
-    case netlist::GateType::Or: {
-      Word v = get(0);
-      for (std::size_t i = 1; i < n; ++i) v |= get(i);
-      return v;
-    }
-    case netlist::GateType::Nor: {
-      Word v = get(0);
-      for (std::size_t i = 1; i < n; ++i) v |= get(i);
-      return ~v;
-    }
-    case netlist::GateType::Xor: {
-      Word v = get(0);
-      for (std::size_t i = 1; i < n; ++i) v ^= get(i);
-      return v;
-    }
-    case netlist::GateType::Xnor: {
-      Word v = get(0);
-      for (std::size_t i = 1; i < n; ++i) v ^= get(i);
-      return ~v;
-    }
-    case netlist::GateType::Input:
-    case netlist::GateType::Dff:
-      break;
-  }
-  return word_eval(type, {});  // unreachable: raises the contract error
+  if (type == netlist::GateType::Input || type == netlist::GateType::Dff)
+    return word_eval(type, {});  // raises the contract error
+  return bitslice_eval_fused<Word>(type, n, std::forward<Get>(get));
 }
 
 /// Pattern-parallel combinational simulator for a finalized netlist.

@@ -1,13 +1,18 @@
 #include "vcomp/check/oracles.hpp"
 
+#include <cstdlib>
 #include <map>
 #include <sstream>
 #include <unordered_map>
 
 #include "vcomp/check/reference.hpp"
 #include "vcomp/core/tracker.hpp"
+#include "vcomp/fault/block_lane_sim.hpp"
+#include "vcomp/fault/compact_model.hpp"
 #include "vcomp/fault/fault_parallel_sim.hpp"
 #include "vcomp/fault/fault_sim.hpp"
+#include "vcomp/sim/block_sim.hpp"
+#include "vcomp/sim/simd_dispatch.hpp"
 #include "vcomp/sim/ternary_sim.hpp"
 #include "vcomp/sim/word_sim.hpp"
 #include "vcomp/util/parallel.hpp"
@@ -156,6 +161,185 @@ std::optional<Failure> simulators_round(const Case& c,
           return fail("lane-sim",
                       "next-state mismatch for " + fault::fault_name(nl, f));
     }
+  }
+  return std::nullopt;
+}
+
+// ---- compaction / dispatch oracles ----------------------------------------
+
+constexpr std::uint64_t kCompactSalt = 0xc0a1e5cedc0de5ULL;
+
+/// Sets an environment variable for the current scope and restores the
+/// previous binding (including "unset") on exit.  tracker_digest() reads
+/// VCOMP_COMPACT at tracker construction, so this is how the A-B below
+/// flips the compaction pass per run.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_ = old != nullptr;
+    if (had_) saved_ = old;
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_)
+      ::setenv(name_, saved_.c_str(), 1);
+    else
+      ::unsetenv(name_);
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_ = false;
+};
+
+/// XOR-folds a fault effect's ppo diffs per dff index.  simulate_mapped may
+/// report one diff per mapped site; duplicates on the same dff fold as XOR
+/// exactly like the tracker applies them, so the folded map is the
+/// comparable form.
+std::map<std::uint32_t, Word> folded_ppo(const fault::DiffSim::Effect& eff) {
+  std::map<std::uint32_t, Word> m;
+  for (const auto& d : eff.ppo_diffs)
+    if (d.diff != 0) m[d.dff_index] ^= d.diff;
+  for (auto it = m.begin(); it != m.end();)
+    it = it->second == 0 ? m.erase(it) : std::next(it);
+  return m;
+}
+
+/// One stimulus round of the compacted-vs-original equivalence oracle:
+/// WordSim gate values through the id remap, DiffSim::simulate vs
+/// simulate_mapped, and LaneSim vs BlockLaneSim with mapped faults.
+std::optional<Failure> compaction_round(const Case& c,
+                                        const sim::EvalGraph::Ref& graph,
+                                        const fault::CompactModel& model,
+                                        Rng& rng) {
+  const Netlist& nl = c.netlist;
+  std::vector<Word> in(nl.num_inputs()), st(nl.num_dffs());
+  for (auto& w : in) w = rng.next();
+  for (auto& w : st) w = rng.next();
+
+  // WordSim: every original gate's value must be carried by its value_id
+  // image; dff/output order is preserved so next-states compare by index.
+  sim::WordSim orig(graph), comp(model.graph());
+  for (std::size_t i = 0; i < nl.num_inputs(); ++i) {
+    orig.set_input(i, in[i]);
+    comp.set_input(i, in[i]);
+  }
+  for (std::size_t i = 0; i < nl.num_dffs(); ++i) {
+    orig.set_state(i, st[i]);
+    comp.set_state(i, st[i]);
+  }
+  orig.eval();
+  comp.eval();
+  for (GateId g = 0; g < nl.num_gates(); ++g)
+    if (orig.value(g) != comp.value(model.value_id(g)))
+      return fail("compact", "gate " + nl.gate(g).name +
+                                 " value differs on compacted graph");
+  for (std::size_t i = 0; i < nl.num_dffs(); ++i)
+    if (orig.next_state(i) != comp.next_state(i))
+      return fail("compact", "dff " + std::to_string(i) +
+                                 " next-state differs on compacted graph");
+
+  // DiffSim: original faults on the original graph vs mapped faults on the
+  // compacted graph, same committed good machine.
+  const auto sample = sample_faults(c.faults.size(), rng, kSimFaultSample);
+  fault::DiffSim dorig(graph), dcomp(model.graph());
+  for (std::size_t i = 0; i < nl.num_inputs(); ++i) {
+    dorig.good().set_input(i, in[i]);
+    dcomp.good().set_input(i, in[i]);
+  }
+  for (std::size_t i = 0; i < nl.num_dffs(); ++i) {
+    dorig.good().set_state(i, st[i]);
+    dcomp.good().set_state(i, st[i]);
+  }
+  dorig.commit_good();
+  dcomp.commit_good();
+  for (std::uint32_t fi : sample) {
+    const auto ea = dorig.simulate(c.faults[fi]);
+    const auto eb = dcomp.simulate_mapped(model.mapped(fi));
+    if (ea.po_any != eb.po_any)
+      return fail("compact", "po_any differs for mapped " +
+                                 fault::fault_name(nl, c.faults[fi]));
+    if (folded_ppo(ea) != folded_ppo(eb))
+      return fail("compact", "ppo diffs differ for mapped " +
+                                 fault::fault_name(nl, c.faults[fi]));
+  }
+
+  // LaneSim (original faults, original graph) vs BlockLaneSim (mapped
+  // faults, compacted graph).  BlockLaneSim broadcasts PIs across lanes —
+  // that is the tracker's usage — so both engines get bit 0 of the PI
+  // words and per-lane states from bit k.
+  fault::LaneSim lsim(graph);
+  fault::BlockLaneSim bsim(model.graph());
+  const std::size_t count = std::min<std::size_t>(sample.size(), 64);
+  for (std::size_t k = 0; k < count; ++k) {
+    const int la = lsim.add_lane();
+    const int lb = bsim.add_lane();
+    for (std::size_t i = 0; i < nl.num_inputs(); ++i)
+      lsim.set_pi(la, i, (in[i] & 1) != 0);
+    for (std::size_t i = 0; i < nl.num_dffs(); ++i) {
+      lsim.set_state(la, i, ((st[i] >> k) & 1) != 0);
+      bsim.set_state(lb, i, ((st[i] >> k) & 1) != 0);
+    }
+    lsim.inject(la, c.faults[sample[k]]);
+    bsim.inject_mapped(lb, model.mapped(sample[k]));
+  }
+  for (std::size_t i = 0; i < nl.num_inputs(); ++i)
+    bsim.set_pi_all(i, (in[i] & 1) != 0);
+  lsim.eval();
+  bsim.eval();
+  for (std::size_t k = 0; k < count; ++k) {
+    const Fault& f = c.faults[sample[k]];
+    for (std::size_t o = 0; o < nl.num_outputs(); ++o)
+      if (bsim.output_block(o).lane(k) !=
+          lsim.output(static_cast<int>(k), o))
+        return fail("compact", "block-lane po differs for mapped " +
+                                   fault::fault_name(nl, f));
+    for (std::size_t i = 0; i < nl.num_dffs(); ++i)
+      if (bsim.next_state_block(i).lane(k) !=
+          lsim.next_state(static_cast<int>(k), i))
+        return fail("compact",
+                    "block-lane next-state differs for mapped " +
+                        fault::fault_name(nl, f));
+  }
+  return std::nullopt;
+}
+
+/// One stimulus round of the dispatch oracle: the same 512-lane stimulus
+/// through BlockSim under every available SIMD mode must produce the same
+/// Block at every gate (the chunked sweeps only reorder independent lane
+/// arithmetic).  active_simd() is cached per process, so the comparison
+/// uses explicit constructor modes, not the environment.
+std::optional<Failure> dispatch_round(const Case& c,
+                                      const sim::EvalGraph::Ref& graph,
+                                      Rng& rng) {
+  const Netlist& nl = c.netlist;
+  std::vector<sim::Block> in(nl.num_inputs(), sim::Block::zero());
+  std::vector<sim::Block> st(nl.num_dffs(), sim::Block::zero());
+  for (auto& b : in)
+    for (std::size_t k = 0; k < sim::kBlockWords; ++k) b.w[k] = rng.next();
+  for (auto& b : st)
+    for (std::size_t k = 0; k < sim::kBlockWords; ++k) b.w[k] = rng.next();
+
+  sim::BlockSim ref(graph, sim::SimdMode::Scalar);
+  for (std::size_t i = 0; i < nl.num_inputs(); ++i) ref.set_input(i, in[i]);
+  for (std::size_t i = 0; i < nl.num_dffs(); ++i) ref.set_state(i, st[i]);
+  ref.eval();
+
+  for (sim::SimdMode mode : {sim::SimdMode::Avx2, sim::SimdMode::Avx512}) {
+    if (!sim::simd_available(mode)) continue;
+    sim::BlockSim s(graph, mode);
+    for (std::size_t i = 0; i < nl.num_inputs(); ++i) s.set_input(i, in[i]);
+    for (std::size_t i = 0; i < nl.num_dffs(); ++i) s.set_state(i, st[i]);
+    s.eval();
+    for (GateId g = 0; g < nl.num_gates(); ++g)
+      if (!(s.value(g) == ref.value(g)))
+        return fail("simd-dispatch",
+                    std::string("gate ") + nl.gate(g).name + " differs " +
+                        std::string(sim::to_string(mode)) + " vs scalar");
   }
   return std::nullopt;
 }
@@ -381,6 +565,37 @@ std::optional<Failure> check_simulators(const Case& c,
   return std::nullopt;
 }
 
+std::optional<Failure> check_compaction(const Case& c,
+                                        std::uint64_t stimulus_seed,
+                                        std::size_t rounds) {
+  const auto graph = sim::EvalGraph::compile(c.netlist);
+  const fault::CompactModel model(graph, c.faults.faults(), /*enable=*/true);
+  Rng rng(stimulus_seed);
+  for (std::size_t round = 0; round < rounds; ++round) {
+    auto f = compaction_round(c, graph, model, rng);
+    if (!f) f = dispatch_round(c, graph, rng);
+    if (f) {
+      f->detail = "round " + std::to_string(round) + ": " + f->detail;
+      return f;
+    }
+  }
+  // Full-tracker A-B: the stitched run must be byte-identical with the
+  // compaction pass forced on and off.
+  std::string on, off;
+  {
+    ScopedEnv env("VCOMP_COMPACT", "1");
+    on = tracker_digest(c);
+  }
+  {
+    ScopedEnv env("VCOMP_COMPACT", "0");
+    off = tracker_digest(c);
+  }
+  if (on != off)
+    return fail("compact",
+                "tracker digest differs between VCOMP_COMPACT=1 and =0");
+  return std::nullopt;
+}
+
 std::optional<Failure> check_tracker(const Case& c) {
   const TrackerRun got = run_tracker(c);
   const RefTrackerResult want = ref_track(c);
@@ -460,6 +675,9 @@ std::optional<Failure> run_oracles(const Case& c, const Scenario& sc) {
   try {
     if (auto f = check_simulators(
             c, sc.seed ^ util::splitmix64(kStimulusSalt), sc.sim_rounds))
+      return f;
+    if (auto f = check_compaction(
+            c, sc.seed ^ util::splitmix64(kCompactSalt), sc.sim_rounds))
       return f;
     return check_tracker(c);
   } catch (const std::exception& e) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 
 #include "vcomp/obs/obs.hpp"
 #include "vcomp/util/assert.hpp"
@@ -11,9 +12,18 @@ namespace vcomp::core {
 
 using atpg::TestVector;
 using scan::ChainState;
+using sim::Block;
 using sim::Word;
 
 namespace {
+
+/// VCOMP_COMPACT=0 disables graph compaction (debug / A-B comparison);
+/// anything else — including unset — leaves it on.
+bool compact_enabled() {
+  const char* e = std::getenv("VCOMP_COMPACT");
+  if (e == nullptr || *e == '\0') return true;
+  return !(e[0] == '0' && e[1] == '\0');
+}
 
 using Clock = std::chrono::steady_clock;
 
@@ -58,9 +68,10 @@ StitchTracker::StitchTracker(sim::EvalGraph::Ref graph,
       track_(std::move(track)),
       sets_(faults.size()),
       chain_(nl_->num_dffs()),
-      ssims_(graph),
+      model_(graph, faults.faults(), compact_enabled()),
+      ssims_(model_.graph()),
       sim0_(&ssims_.at(0)),
-      lanes_(std::move(graph)),
+      lanes_(model_.graph()),
       sf_chain_(nl_->num_dffs()) {
   VCOMP_REQUIRE(nl_->num_dffs() > 0, "tracker requires a scan chain");
   if (track_.empty()) track_.assign(faults.size(), 1);
@@ -185,7 +196,7 @@ CycleStats StitchTracker::apply(const TestVector& v, std::size_t s,
           Verdict& vd = verdicts_[n];
           vd.kind = 0;
           vd.flips.clear();
-          const auto eff = sim.simulate((*faults_)[classify_[n]]);
+          const auto eff = sim.simulate_mapped(model_.mapped(classify_[n]));
           if (eff.po_any & 1) {
             vd.kind = 1;
             continue;
@@ -221,15 +232,19 @@ CycleStats StitchTracker::apply(const TestVector& v, std::size_t s,
   obs::trace_complete("tracker.classify", ts1, dt1);
 
   // Advance surviving hidden faults through their mutated vectors T_f, in
-  // 64-lane batches (each lane carries a private stimulus plus its fault).
-  // The PI stimulus is identical across lanes, so it is broadcast once per
-  // batch; only the per-lane chain states are transposed into words.
+  // 512-lane Block batches (each lane carries a private stimulus plus its
+  // mapped fault).  The PI stimulus is identical across lanes, so it is
+  // broadcast once per batch; only the per-lane chain states are
+  // transposed into Blocks.  Batch width changes throughput only: per-lane
+  // verdicts and the hidden_advanced counter are pure functions of the
+  // fault index, identical to the former 64-lane sweep.
   const auto t2 = Clock::now();
   const double ts2 = obs::trace_now_us();
   std::size_t advanced = 0;
-  for (std::size_t base = 0; base < hidden_before_.size(); base += 64) {
+  for (std::size_t base = 0; base < hidden_before_.size();
+       base += sim::kBlockLanes) {
     const std::size_t count =
-        std::min<std::size_t>(64, hidden_before_.size() - base);
+        std::min<std::size_t>(sim::kBlockLanes, hidden_before_.size() - base);
     batch_.clear();
     for (std::size_t k = 0; k < count; ++k) {
       const std::size_t i = hidden_before_[base + k];
@@ -237,41 +252,39 @@ CycleStats StitchTracker::apply(const TestVector& v, std::size_t s,
     }
     if (batch_.empty()) continue;  // whole batch shift-caught: skip the sim
     lanes_.clear();
-    state_words_.assign(L, 0);
+    state_blocks_.assign(L, Block::zero());
     for (std::size_t k = 0; k < batch_.size(); ++k) {
       lanes_.add_lane();
       const auto& bits = sets_.hidden_state(batch_[k]).bits();
       for (std::size_t p = 0; p < L; ++p)
-        state_words_[p] |= Word{bits[p]} << k;
-      lanes_.inject(static_cast<int>(k), (*faults_)[batch_[k]]);
+        state_blocks_[p].w[k / 64] |= Word{bits[p]} << (k % 64);
+      lanes_.inject_mapped(static_cast<int>(k), model_.mapped(batch_[k]));
     }
     for (std::size_t pi = 0; pi < npi; ++pi)
       lanes_.set_pi_all(pi, v.pi[pi] != 0);
     for (std::size_t p = 0; p < L; ++p)
-      lanes_.set_state_word(chain_map_.dff_at(p), state_words_[p]);
+      lanes_.set_state_block(chain_map_.dff_at(p), state_blocks_[p]);
     lanes_.eval();
 
-    const Word active = batch_.size() == 64
-                            ? ~Word{0}
-                            : (Word{1} << batch_.size()) - 1;
-    Word po_diff = 0;
+    const Block active = Block::lane_mask(batch_.size());
+    Block po_diff = Block::zero();
     for (std::size_t j = 0; j < npo; ++j)
-      po_diff |= lanes_.output_word(j) ^ (po_ff_[j] ? ~Word{0} : Word{0});
+      po_diff |= lanes_.output_block(j) ^ Block::fill(po_ff_[j] != 0);
     po_diff &= active;
-    next_words_.resize(L);
+    next_blocks_.resize(L);
     for (std::size_t p = 0; p < L; ++p)
-      next_words_[p] = lanes_.next_state_word(chain_map_.dff_at(p));
+      next_blocks_[p] = lanes_.next_state_block(chain_map_.dff_at(p));
 
     for (std::size_t k = 0; k < batch_.size(); ++k) {
       const std::size_t i = batch_[k];
-      if ((po_diff >> k) & 1) {
+      if (po_diff.lane(k)) {
         sets_.set_caught(i, cycle_);
         ++st.caught_at_po;
         continue;
       }
       faulty_next_.resize(L);
       for (std::size_t p = 0; p < L; ++p)
-        faulty_next_[p] = static_cast<std::uint8_t>((next_words_[p] >> k) & 1);
+        faulty_next_[p] = static_cast<std::uint8_t>(next_blocks_[p].lane(k));
       sf_chain_ = sets_.hidden_state(i);
       sf_chain_.capture(faulty_next_, capture_);
       if (sf_chain_ == chain_) {

@@ -30,6 +30,7 @@ const LaneSimMetrics& lanesim_metrics() {
 LaneSim::LaneSim(EvalGraph::Ref graph) : eg_(std::move(graph)) {
   VCOMP_REQUIRE(eg_ != nullptr, "LaneSim requires an evaluation graph");
   values_.assign(eg_->num_gates(), 0);
+  force_flags_.assign(eg_->num_gates(), 0);
   gather_.reserve(16);
 }
 
@@ -39,6 +40,7 @@ LaneSim::LaneSim(const netlist::Netlist& nl)
 void LaneSim::clear() {
   lanes_ = 0;
   std::fill(values_.begin(), values_.end(), 0);
+  std::fill(force_flags_.begin(), force_flags_.end(), std::uint8_t{0});
   stem_forces_.clear();
   pin_forces_.clear();
 }
@@ -79,9 +81,11 @@ void LaneSim::inject(int lane, const Fault& f) {
   const Word m = Word{1} << lane;
   if (f.is_stem()) {
     auto& force = stem_forces_[f.gate];
+    force_flags_[f.gate] |= kHasStemForce;
     (f.stuck ? force.mask1 : force.mask0) |= m;
   } else {
     auto& forces = pin_forces_[f.gate];
+    force_flags_[f.gate] |= kHasPinForce;
     const auto pin = static_cast<std::uint16_t>(f.pin);
     PinForce* slot = nullptr;
     for (auto& pf : forces)
@@ -111,20 +115,17 @@ void LaneSim::eval() {
   const std::uint32_t* off = eg.fanin_offsets();
   const GateId* ids = eg.fanin_ids();
   Word* vals = values_.data();
-  const bool any_pin_forces = !pin_forces_.empty();
-  const bool any_stem_forces = !stem_forces_.empty();
+  const std::uint8_t* flags = force_flags_.data();
   for (GateId id : eg.schedule()) {
     const std::uint32_t b = off[id];
     const std::uint32_t n = off[id + 1] - b;
     Word v;
-    const auto pin_it =
-        any_pin_forces ? pin_forces_.find(id) : pin_forces_.end();
-    if (pin_it != pin_forces_.end()) {
+    if ((flags[id] & kHasPinForce) != 0) {
       // Rare slow path: gather, patch the forced pins, evaluate.
       gather_.clear();
       for (std::uint32_t k = 0; k < n; ++k)
         gather_.push_back(vals[ids[b + k]]);
-      for (const auto& pf : pin_it->second)
+      for (const auto& pf : pin_forces_.find(id)->second)
         gather_[pf.pin] = apply_force(gather_[pf.pin], pf.mask0, pf.mask1);
       v = sim::word_eval(eg.type(id), gather_);
     } else {
@@ -132,9 +133,10 @@ void LaneSim::eval() {
         return vals[ids[b + k]];
       });
     }
-    if (any_stem_forces)
-      if (auto it = stem_forces_.find(id); it != stem_forces_.end())
-        v = apply_force(v, it->second.mask0, it->second.mask1);
+    if ((flags[id] & kHasStemForce) != 0) {
+      const StemForce& sf = stem_forces_.find(id)->second;
+      v = apply_force(v, sf.mask0, sf.mask1);
+    }
     vals[id] = v;
   }
 }

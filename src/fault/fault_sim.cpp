@@ -88,12 +88,11 @@ DiffSim::Effect DiffSim::simulate(const Fault& f) {
   metrics.simulations.inc();
   reset_deltas();
   ppo_out_.clear();
+  forced_pins_.clear();
   Effect effect;
-  std::uint64_t drained = 0;
 
   const EvalGraph& eg = *eg_;
   const Word* good_vals = good_.values().data();
-  Word* delta = delta_.data();
 
   if (f.is_stem()) {
     const Word forced = f.stuck ? ~Word{0} : Word{0};
@@ -124,6 +123,76 @@ DiffSim::Effect DiffSim::simulate(const Fault& f) {
     set_origin(f.gate, d);
   }
 
+  propagate_and_harvest(effect, 0);
+  return effect;
+}
+
+DiffSim::Effect DiffSim::simulate_mapped(const MappedFault& mf) {
+  const DiffSimMetrics& metrics = diffsim_metrics();
+  metrics.simulations.inc();
+  reset_deltas();
+  ppo_out_.clear();
+  forced_pins_.clear();
+  Effect effect;
+  if (mf.sites.empty()) return effect;  // unobservable by construction
+
+  const EvalGraph& eg = *eg_;
+  const Word* good_vals = good_.values().data();
+  const Word forced = mf.stuck ? ~Word{0} : Word{0};
+
+  // Seed every site.  Stem sites and Dff data-pin sites behave exactly as
+  // in simulate(); combinational pin sites are collected first so a gate
+  // carrying several forced pins (a signal read twice) seeds one origin
+  // with all of them applied — and keeps them applied if an upstream
+  // origin's delta re-evaluates it during propagation.
+  for (const MappedSite& s : mf.sites) {
+    if (s.pin < 0) {
+      const Word d = good_vals[s.gate] ^ forced;
+      if (d != 0) set_origin(s.gate, d);
+    } else if (eg.type(s.gate) == GateType::Dff) {
+      const Word d = good_vals[eg.fanin(s.gate)[0]] ^ forced;
+      if (d != 0) {
+        VCOMP_ENSURE(eg.dff_index_of(s.gate) != EvalGraph::kNotDff,
+                     "fault site not a dff");
+        ppo_out_.push_back({eg.dff_index_of(s.gate), d});
+      }
+    } else {
+      forced_pins_.push_back(s);
+    }
+  }
+  for (std::size_t i = 0; i < forced_pins_.size(); ++i) {
+    const GateId g = forced_pins_[i].gate;
+    bool seen = false;
+    for (std::size_t j = 0; j < i && !seen; ++j)
+      seen = forced_pins_[j].gate == g;
+    if (seen) continue;
+    const Word d = eval_with_forced_pins(g, forced) ^ good_vals[g];
+    if (d != 0) set_origin(g, d);
+  }
+
+  propagate_and_harvest(effect, forced);
+  return effect;
+}
+
+Word DiffSim::eval_with_forced_pins(GateId g, Word forced) const {
+  const EvalGraph& eg = *eg_;
+  const auto fanin = eg.fanin(g);
+  const Word* good_vals = good_.values().data();
+  const Word* delta = delta_.data();
+  return sim::word_eval_fused(eg.type(g), fanin.size(), [&](std::size_t p) {
+    for (const MappedSite& s : forced_pins_)
+      if (s.gate == g && s.pin == static_cast<std::int16_t>(p)) return forced;
+    const GateId fin = fanin[p];
+    return good_vals[fin] ^ delta[fin];
+  });
+}
+
+void DiffSim::propagate_and_harvest(Effect& effect, Word forced) {
+  const EvalGraph& eg = *eg_;
+  const Word* good_vals = good_.values().data();
+  Word* delta = delta_.data();
+  std::uint64_t drained = 0;
+
   // Levelized event propagation over the CSR arrays.  Deltas only flow to
   // strictly higher levels, so a single low-to-high sweep suffices.
   const std::uint32_t* off = eg.fanin_offsets();
@@ -135,12 +204,20 @@ DiffSim::Effect DiffSim::simulate(const Fault& f) {
       queued_[u] = 0;
       --pending_events_;
       ++drained;
+      bool pin_forced = false;
+      for (const MappedSite& s : forced_pins_)
+        if (s.gate == u) {
+          pin_forced = true;
+          break;
+        }
       const std::uint32_t b = off[u];
-      const Word faulty = sim::word_eval_fused(
-          eg.type(u), off[u + 1] - b, [&](std::size_t k) {
-            const GateId fin = ids[b + k];
-            return good_vals[fin] ^ delta[fin];
-          });
+      const Word faulty =
+          pin_forced ? eval_with_forced_pins(u, forced)
+                     : sim::word_eval_fused(
+                           eg.type(u), off[u + 1] - b, [&](std::size_t k) {
+                             const GateId fin = ids[b + k];
+                             return good_vals[fin] ^ delta[fin];
+                           });
       const Word d = faulty ^ good_vals[u];
       if (d == delta[u]) continue;
       delta[u] = d;
@@ -153,7 +230,7 @@ DiffSim::Effect DiffSim::simulate(const Fault& f) {
     bucket.clear();
   }
   VCOMP_DASSERT(pending_events_ == 0, "events left after propagation");
-  metrics.events.add(drained);
+  diffsim_metrics().events.add(drained);
 
   // Harvest observation points from the touched set.
   for (GateId g : touched_list_) {
@@ -163,7 +240,6 @@ DiffSim::Effect DiffSim::simulate(const Fault& f) {
     for (std::uint32_t dff : eg.feeds_dff(g)) ppo_out_.push_back({dff, d});
   }
   effect.ppo_diffs = ppo_out_;
-  return effect;
 }
 
 DiffSimShards::DiffSimShards(EvalGraph::Ref graph, std::size_t max_shards)

@@ -1,0 +1,54 @@
+#include "vcomp/sim/block_sim.hpp"
+
+#include "vcomp/util/assert.hpp"
+
+namespace vcomp::sim {
+
+BlockSim::BlockSim(EvalGraph::Ref graph, SimdMode mode)
+    : eg_(std::move(graph)),
+      mode_(mode == SimdMode::Auto ? active_simd() : mode),
+      sweep_(block_sweep_fn(mode_)) {
+  VCOMP_REQUIRE(eg_ != nullptr, "BlockSim requires an evaluation graph");
+  values_.assign(eg_->num_gates(), Block::zero());
+}
+
+BlockSim::BlockSim(const netlist::Netlist& nl, SimdMode mode)
+    : BlockSim(EvalGraph::compile(nl), mode) {}
+
+void BlockSim::set_input(std::size_t i, const Block& v) {
+  VCOMP_REQUIRE(i < eg_->num_inputs(), "input index out of range");
+  values_[eg_->inputs()[i]] = v;
+}
+
+void BlockSim::set_state(std::size_t i, const Block& v) {
+  VCOMP_REQUIRE(i < eg_->num_dffs(), "state index out of range");
+  values_[eg_->dffs()[i]] = v;
+}
+
+void BlockSim::set_input_word(std::size_t i, std::size_t k, std::uint64_t w) {
+  VCOMP_REQUIRE(i < eg_->num_inputs(), "input index out of range");
+  VCOMP_REQUIRE(k < kBlockWords, "word index out of range");
+  values_[eg_->inputs()[i]].w[k] = w;
+}
+
+void BlockSim::set_state_word(std::size_t i, std::size_t k, std::uint64_t w) {
+  VCOMP_REQUIRE(i < eg_->num_dffs(), "state index out of range");
+  VCOMP_REQUIRE(k < kBlockWords, "word index out of range");
+  values_[eg_->dffs()[i]].w[k] = w;
+}
+
+void BlockSim::eval() {
+  sweep_(*eg_, values_.data(), nullptr, nullptr, nullptr);
+}
+
+const Block& BlockSim::output(std::size_t i) const {
+  VCOMP_REQUIRE(i < eg_->num_outputs(), "output index out of range");
+  return values_[eg_->outputs()[i]];
+}
+
+const Block& BlockSim::next_state(std::size_t i) const {
+  VCOMP_REQUIRE(i < eg_->num_dffs(), "state index out of range");
+  return values_[eg_->dff_input(i)];
+}
+
+}  // namespace vcomp::sim

@@ -1,0 +1,25 @@
+// AVX2 instantiation of the 512-lane sweep.  This TU alone is compiled
+// with -mavx2 (see src/CMakeLists.txt); each Block is processed as two
+// 32-byte chunks, one YMM VPAND/VPOR/VPXOR per gate op per chunk.  The
+// getter returns nullptr when the toolchain cannot target AVX2, and the
+// dispatcher additionally checks cpuid before ever calling the sweep.
+
+#include "block_sweep_impl.hpp"
+
+namespace vcomp::sim::detail {
+
+#if defined(__AVX2__)
+
+namespace {
+typedef std::uint64_t YmmVec __attribute__((vector_size(32)));
+}  // namespace
+
+BlockSweepFn block_sweep_avx2() { return &block_sweep_chunked<YmmVec>; }
+
+#else
+
+BlockSweepFn block_sweep_avx2() { return nullptr; }
+
+#endif
+
+}  // namespace vcomp::sim::detail

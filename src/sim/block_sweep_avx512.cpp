@@ -1,0 +1,26 @@
+// AVX-512 instantiation of the 512-lane sweep.  This TU alone is compiled
+// with -mavx512f (see src/CMakeLists.txt); the 64-byte GNU vector type
+// then lowers each Block op to a single 512-bit VPANDQ/VPORQ/VPXORQ.  The
+// getter returns nullptr when the toolchain cannot target AVX-512, and
+// the dispatcher additionally checks cpuid before ever calling the sweep.
+
+#include "block_sweep_impl.hpp"
+
+namespace vcomp::sim::detail {
+
+#if defined(__AVX512F__)
+
+namespace {
+typedef std::uint64_t ZmmVec __attribute__((vector_size(sizeof(Block))));
+static_assert(sizeof(ZmmVec) == sizeof(Block));
+}  // namespace
+
+BlockSweepFn block_sweep_avx512() { return &block_sweep_chunked<ZmmVec>; }
+
+#else
+
+BlockSweepFn block_sweep_avx512() { return nullptr; }
+
+#endif
+
+}  // namespace vcomp::sim::detail

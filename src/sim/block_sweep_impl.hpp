@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file block_sweep_impl.hpp
+/// Shared implementation of the 512-lane combinational sweep, instantiated
+/// once per instruction set (block_sweep_{scalar,avx2,avx512}.cpp).
+///
+/// The template parameter V is the machine value a Block is processed as:
+/// Block itself for the portable scalar build, or a 64-byte GNU vector
+/// type whose operators lower to VPAND/VPOR/VPXOR over two YMM registers
+/// (-mavx2) or one ZMM register (-mavx512f).  All three instantiations
+/// execute the same lane arithmetic — only the register width differs —
+/// so the dispatch mode can never change a result bit.
+
+#include <cstring>
+
+#include "vcomp/sim/block.hpp"
+#include "vcomp/sim/simd_dispatch.hpp"
+
+namespace vcomp::sim::detail {
+
+/// Loads/stores between the canonical Block layout and the sweep value
+/// type.  memcpy keeps it strict-aliasing clean; the compiler folds it
+/// into a single (un)aligned vector move for vector V.
+template <typename V>
+struct BlockAccess {
+  static V load(const Block& b) {
+    V v;
+    std::memcpy(&v, b.w, sizeof(Block));
+    return v;
+  }
+  static void store(Block& b, const V& v) {
+    std::memcpy(b.w, &v, sizeof(Block));
+  }
+};
+
+template <>
+struct BlockAccess<Block> {
+  static const Block& load(const Block& b) { return b; }
+  static void store(Block& b, const Block& v) { b = v; }
+};
+
+template <typename V>
+void block_sweep(const EvalGraph& eg, Block* vals, const std::uint8_t* patch,
+                 BlockPatchFn patch_fn, void* user) {
+  using Access = BlockAccess<V>;
+  const std::uint32_t* off = eg.fanin_offsets();
+  const netlist::GateId* ids = eg.fanin_ids();
+  for (netlist::GateId id : eg.schedule()) {
+    const std::uint32_t b = off[id];
+    const V v = bitslice_eval_fused<V>(
+        eg.type(id), off[id + 1] - b,
+        [&](std::size_t k) { return Access::load(vals[ids[b + k]]); });
+    Access::store(vals[id], v);
+    if (patch != nullptr && patch[id] != 0) patch_fn(user, id);
+  }
+}
+
+/// Sweep over native-register-width vector chunks: V is sized to one
+/// machine register (32 bytes for AVX2, 64 for AVX-512) and each Block is
+/// processed as sizeof(Block)/sizeof(V) independent chunks.  Oversized GNU
+/// vector types round-trip the stack whenever GCC fails to fully split
+/// them, so matching V to the register width is what actually keeps the
+/// sweep in registers.  Chunk order only reorders independent lane
+/// arithmetic — results stay bit-identical to the scalar sweep.
+template <typename V>
+void block_sweep_chunked(const EvalGraph& eg, Block* vals,
+                         const std::uint8_t* patch, BlockPatchFn patch_fn,
+                         void* user) {
+  constexpr std::size_t kChunkBytes = sizeof(V);
+  constexpr std::size_t kChunks = sizeof(Block) / kChunkBytes;
+  static_assert(kChunks * kChunkBytes == sizeof(Block));
+  const std::uint32_t* off = eg.fanin_offsets();
+  const netlist::GateId* ids = eg.fanin_ids();
+  for (netlist::GateId id : eg.schedule()) {
+    const std::uint32_t b = off[id];
+    const std::uint32_t n = off[id + 1] - b;
+    const netlist::GateType t = eg.type(id);
+    unsigned char* dst = reinterpret_cast<unsigned char*>(vals[id].w);
+    for (std::size_t c = 0; c < kChunks; ++c) {
+      const V v = bitslice_eval_fused<V>(t, n, [&](std::size_t k) {
+        V chunk;
+        std::memcpy(&chunk,
+                    reinterpret_cast<const unsigned char*>(
+                        vals[ids[b + k]].w) +
+                        c * kChunkBytes,
+                    kChunkBytes);
+        return chunk;
+      });
+      std::memcpy(dst + c * kChunkBytes, &v, kChunkBytes);
+    }
+    if (patch != nullptr && patch[id] != 0) patch_fn(user, id);
+  }
+}
+
+}  // namespace vcomp::sim::detail

@@ -1,0 +1,11 @@
+// Portable 512-lane sweep: Block's word-loop operators, no arch flags.
+// This is the semantic reference the vector sweeps must match bit for bit,
+// and the fallback for builds/CPUs without AVX.
+
+#include "block_sweep_impl.hpp"
+
+namespace vcomp::sim::detail {
+
+BlockSweepFn block_sweep_scalar() { return &block_sweep<Block>; }
+
+}  // namespace vcomp::sim::detail

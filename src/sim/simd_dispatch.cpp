@@ -1,0 +1,97 @@
+#include "vcomp/sim/simd_dispatch.hpp"
+
+#include <cstdlib>
+
+#include "vcomp/util/assert.hpp"
+
+namespace vcomp::sim {
+
+namespace {
+
+bool cpu_has_avx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool cpu_has_avx512() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx512f") != 0;
+#else
+  return false;
+#endif
+}
+
+SimdMode best_available() {
+  if (simd_available(SimdMode::Avx512)) return SimdMode::Avx512;
+  if (simd_available(SimdMode::Avx2)) return SimdMode::Avx2;
+  return SimdMode::Scalar;
+}
+
+SimdMode resolve_env() {
+  const char* env = std::getenv("VCOMP_SIMD");
+  if (env == nullptr || *env == '\0') return best_available();
+  const auto m = simd_mode_from_string(env);
+  VCOMP_REQUIRE(m.has_value(),
+                std::string("VCOMP_SIMD: unknown mode '") + env +
+                    "' (want auto|scalar|avx2|avx512)");
+  if (*m == SimdMode::Auto) return best_available();
+  VCOMP_REQUIRE(simd_available(*m),
+                std::string("VCOMP_SIMD=") + env +
+                    " is not available on this build/CPU");
+  return *m;
+}
+
+}  // namespace
+
+std::string_view to_string(SimdMode m) {
+  switch (m) {
+    case SimdMode::Auto: return "auto";
+    case SimdMode::Scalar: return "scalar";
+    case SimdMode::Avx2: return "avx2";
+    case SimdMode::Avx512: return "avx512";
+  }
+  return "?";
+}
+
+std::optional<SimdMode> simd_mode_from_string(std::string_view s) {
+  if (s == "auto") return SimdMode::Auto;
+  if (s == "scalar") return SimdMode::Scalar;
+  if (s == "avx2") return SimdMode::Avx2;
+  if (s == "avx512") return SimdMode::Avx512;
+  return std::nullopt;
+}
+
+bool simd_available(SimdMode m) {
+  switch (m) {
+    case SimdMode::Auto:
+    case SimdMode::Scalar:
+      return true;
+    case SimdMode::Avx2:
+      return detail::block_sweep_avx2() != nullptr && cpu_has_avx2();
+    case SimdMode::Avx512:
+      return detail::block_sweep_avx512() != nullptr && cpu_has_avx512();
+  }
+  return false;
+}
+
+SimdMode active_simd() {
+  static const SimdMode mode = resolve_env();
+  return mode;
+}
+
+BlockSweepFn block_sweep_fn(SimdMode m) {
+  if (m == SimdMode::Auto) m = active_simd();
+  VCOMP_REQUIRE(simd_available(m), std::string("SIMD mode '") +
+                                       std::string(to_string(m)) +
+                                       "' is not available on this build/CPU");
+  switch (m) {
+    case SimdMode::Avx512: return detail::block_sweep_avx512();
+    case SimdMode::Avx2: return detail::block_sweep_avx2();
+    default: return detail::block_sweep_scalar();
+  }
+}
+
+}  // namespace vcomp::sim

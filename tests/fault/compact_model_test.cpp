@@ -1,0 +1,245 @@
+#include "vcomp/fault/compact_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "vcomp/fault/block_lane_sim.hpp"
+#include "vcomp/fault/collapse.hpp"
+#include "vcomp/fault/fault_parallel_sim.hpp"
+#include "vcomp/fault/fault_sim.hpp"
+#include "vcomp/netgen/example_circuit.hpp"
+#include "vcomp/netgen/netgen.hpp"
+#include "vcomp/util/rng.hpp"
+
+namespace vcomp::fault {
+namespace {
+
+using netlist::GateId;
+using sim::Block;
+using sim::EvalGraph;
+using sim::Word;
+
+/// Canonical detection summary of one fault under one committed stimulus:
+/// the PO detection word plus every flip-flop's capture-diff word (several
+/// sparse PpoDiff entries for the same dff XOR together, exactly as the
+/// tracker folds them).
+struct Verdict {
+  Word po_any = 0;
+  std::map<std::uint32_t, Word> ppo;
+
+  friend bool operator==(const Verdict&, const Verdict&) = default;
+};
+
+Verdict summarize(const DiffSim::Effect& eff) {
+  Verdict v;
+  v.po_any = eff.po_any;
+  for (const auto& d : eff.ppo_diffs) {
+    v.ppo[d.dff_index] ^= d.diff;
+    if (v.ppo[d.dff_index] == 0) v.ppo.erase(d.dff_index);
+  }
+  return v;
+}
+
+/// Drives both engines with one random stimulus (compaction preserves
+/// input/dff order, so the same indices address the same nets).
+void randomize_pair(sim::WordSim& a, sim::WordSim& b, Rng& rng) {
+  for (std::size_t i = 0; i < a.graph()->num_inputs(); ++i) {
+    const Word w = rng.next();
+    a.set_input(i, w);
+    b.set_input(i, w);
+  }
+  for (std::size_t i = 0; i < a.graph()->num_dffs(); ++i) {
+    const Word w = rng.next();
+    a.set_state(i, w);
+    b.set_state(i, w);
+  }
+}
+
+/// Every collapsed fault must produce identical verdicts when simulated on
+/// the original graph (DiffSim::simulate) and as a mapped fault on the
+/// compacted graph (DiffSim::simulate_mapped), under the same stimuli.
+void expect_mapped_equivalent(const std::string& profile) {
+  const auto nl = netgen::generate(profile);
+  const auto cf = collapsed_fault_list(nl);
+  auto graph = EvalGraph::compile(nl);
+  CompactModel model(graph, cf.faults(), /*enable=*/true);
+  ASSERT_TRUE(model.enabled());
+  EXPECT_LT(model.netlist().num_gates(), nl.num_gates())
+      << profile << ": compaction removed nothing";
+
+  DiffSim ref(graph);
+  DiffSim cut(model.graph());
+  Rng rng(0xc0357e57u ^ std::hash<std::string>{}(profile));
+  for (int round = 0; round < 4; ++round) {
+    randomize_pair(ref.good(), cut.good(), rng);
+    ref.commit_good();
+    cut.commit_good();
+
+    for (std::size_t i = 0; i < cf.faults().size(); ++i) {
+      const Verdict a = summarize(ref.simulate(cf.faults()[i]));
+      const Verdict b = summarize(cut.simulate_mapped(model.mapped(i)));
+      EXPECT_EQ(a, b) << profile << " round " << round << " fault "
+                      << fault_name(nl, cf.faults()[i]);
+    }
+  }
+}
+
+TEST(CompactModel, MappedVerdictsMatchOriginal_s444) {
+  expect_mapped_equivalent("s444");
+}
+
+TEST(CompactModel, MappedVerdictsMatchOriginal_s526) {
+  expect_mapped_equivalent("s526");
+}
+
+TEST(CompactModel, MappedVerdictsMatchOriginalExampleCircuit) {
+  const auto nl = netgen::example_circuit();
+  const auto cf = collapsed_fault_list(nl);
+  auto graph = EvalGraph::compile(nl);
+  CompactModel model(graph, cf.faults(), /*enable=*/true);
+  DiffSim ref(graph);
+  DiffSim cut(model.graph());
+  // Exhaustive over the 8 state patterns, one per word bit.
+  for (std::size_t i = 0; i < graph->num_dffs(); ++i) {
+    Word w = 0;
+    for (int p = 0; p < 8; ++p)
+      if ((p >> i) & 1) w |= Word{1} << p;
+    ref.good().set_state(i, w);
+    cut.good().set_state(i, w);
+  }
+  ref.commit_good();
+  cut.commit_good();
+  for (std::size_t i = 0; i < cf.faults().size(); ++i)
+    EXPECT_EQ(summarize(ref.simulate(cf.faults()[i])),
+              summarize(cut.simulate_mapped(model.mapped(i))))
+        << fault_name(nl, cf.faults()[i]);
+}
+
+TEST(CompactModel, IdentityModeSharesGraphAndMapsOneSite) {
+  const auto nl = netgen::generate("s444");
+  const auto cf = collapsed_fault_list(nl);
+  auto graph = EvalGraph::compile(nl);
+  CompactModel model(graph, cf.faults(), /*enable=*/false);
+  EXPECT_FALSE(model.enabled());
+  EXPECT_EQ(model.graph().get(), graph.get());
+  EXPECT_EQ(model.compaction(), nullptr);
+  for (std::size_t i = 0; i < cf.faults().size(); ++i) {
+    const auto& mf = model.mapped(i);
+    ASSERT_EQ(mf.sites.size(), 1u);
+    EXPECT_EQ(mf.sites[0].gate, cf.faults()[i].gate);
+    EXPECT_EQ(mf.sites[0].pin, cf.faults()[i].pin);
+    EXPECT_EQ(mf.stuck, cf.faults()[i].stuck);
+    EXPECT_EQ(model.value_id(cf.faults()[i].gate), cf.faults()[i].gate);
+  }
+}
+
+/// BlockLaneSim with per-lane mapped faults on the compacted graph must
+/// agree with LaneSim with the original faults on the original graph —
+/// the exact configuration the tracker's hidden-advance uses.
+TEST(BlockLaneSim, MappedLanesMatchLaneSimOnOriginal) {
+  const auto nl = netgen::generate("s526");
+  const auto cf = collapsed_fault_list(nl);
+  auto graph = EvalGraph::compile(nl);
+  CompactModel model(graph, cf.faults(), /*enable=*/true);
+
+  LaneSim ref(graph);
+  BlockLaneSim cut(model.graph());
+  Rng rng(0xb10cull);
+  const std::size_t batch =
+      std::min<std::size_t>(cf.faults().size(), sim::kBlockLanes);
+
+  // Shared test vector, per-lane state, per-lane fault.  LaneSim holds 64
+  // lanes, so compare the Block batch against tiled 64-lane batches.
+  std::vector<std::uint8_t> pis(graph->num_inputs());
+  for (auto& b : pis) b = rng.next() & 1;
+  std::vector<Block> states(graph->num_dffs(), Block::zero());
+  for (auto& s : states)
+    for (std::size_t k = 0; k < sim::kBlockWords; ++k) s.w[k] = rng.next();
+
+  cut.clear();
+  for (std::size_t l = 0; l < batch; ++l) {
+    const int lane = cut.add_lane();
+    cut.inject_mapped(lane, model.mapped(l));
+  }
+  for (std::size_t i = 0; i < pis.size(); ++i) cut.set_pi_all(i, pis[i] != 0);
+  for (std::size_t i = 0; i < states.size(); ++i)
+    cut.set_state_block(i, states[i]);
+  cut.eval();
+
+  for (std::size_t base = 0; base < batch; base += 64) {
+    const std::size_t k = base / 64;
+    const std::size_t n = std::min<std::size_t>(64, batch - base);
+    ref.clear();
+    for (std::size_t l = 0; l < n; ++l) {
+      const int lane = ref.add_lane();
+      ref.inject(lane, cf.faults()[base + l]);
+    }
+    for (std::size_t i = 0; i < pis.size(); ++i)
+      ref.set_pi_all(i, pis[i] != 0);
+    for (std::size_t i = 0; i < states.size(); ++i)
+      ref.set_state_word(i, states[i].w[k]);
+    ref.eval();
+
+    const Word mask =
+        n == 64 ? ~Word{0} : ((Word{1} << n) - 1);
+    for (std::size_t o = 0; o < graph->num_outputs(); ++o)
+      EXPECT_EQ(ref.output_word(o) & mask, cut.output_block(o).w[k] & mask)
+          << "po " << o << " word " << k;
+    for (std::size_t d = 0; d < graph->num_dffs(); ++d)
+      EXPECT_EQ(ref.next_state_word(d) & mask,
+                cut.next_state_block(d).w[k] & mask)
+          << "dff " << d << " word " << k;
+  }
+}
+
+/// BlockLaneSim and LaneSim agree lane-for-lane on the *same* graph with
+/// plain faults, across every available dispatch mode.
+TEST(BlockLaneSim, MatchesLaneSimPerDispatchMode) {
+  const auto nl = netgen::generate("s444");
+  const auto cf = collapsed_fault_list(nl);
+  auto graph = EvalGraph::compile(nl);
+  Rng rng(7u);
+
+  std::vector<std::uint8_t> pis(graph->num_inputs());
+  for (auto& b : pis) b = rng.next() & 1;
+  std::vector<Word> states(graph->num_dffs());
+  for (auto& s : states) s = rng.next();
+  const std::size_t n = std::min<std::size_t>(cf.faults().size(), 64);
+
+  LaneSim ref(graph);
+  ref.clear();
+  for (std::size_t l = 0; l < n; ++l) ref.inject(ref.add_lane(),
+                                                 cf.faults()[l]);
+  for (std::size_t i = 0; i < pis.size(); ++i) ref.set_pi_all(i, pis[i] != 0);
+  for (std::size_t i = 0; i < states.size(); ++i)
+    ref.set_state_word(i, states[i]);
+  ref.eval();
+
+  for (sim::SimdMode mode :
+       {sim::SimdMode::Scalar, sim::SimdMode::Avx2, sim::SimdMode::Avx512}) {
+    if (!sim::simd_available(mode)) continue;
+    BlockLaneSim cut(graph, mode);
+    for (std::size_t l = 0; l < n; ++l) cut.inject(cut.add_lane(),
+                                                   cf.faults()[l]);
+    for (std::size_t i = 0; i < pis.size(); ++i)
+      cut.set_pi_all(i, pis[i] != 0);
+    for (std::size_t i = 0; i < states.size(); ++i)
+      cut.set_state_word(i, 0, states[i]);
+    cut.eval();
+    const Word mask = n == 64 ? ~Word{0} : ((Word{1} << n) - 1);
+    for (std::size_t o = 0; o < graph->num_outputs(); ++o)
+      EXPECT_EQ(ref.output_word(o) & mask, cut.output_block(o).w[0] & mask)
+          << to_string(mode) << " po " << o;
+    for (std::size_t d = 0; d < graph->num_dffs(); ++d)
+      EXPECT_EQ(ref.next_state_word(d) & mask,
+                cut.next_state_block(d).w[0] & mask)
+          << to_string(mode) << " dff " << d;
+  }
+}
+
+}  // namespace
+}  // namespace vcomp::fault

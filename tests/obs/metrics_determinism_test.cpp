@@ -83,7 +83,7 @@ TEST(MetricsDeterminism, TrackerWalkSnapshotThreadCountInvariant) {
   EXPECT_GT(one.get("tracker.hidden_advanced"), 0u);
   EXPECT_GT(one.get("diffsim.simulations"), 0u);
   EXPECT_GT(one.get("diffsim.events"), 0u);
-  EXPECT_GT(one.get("lanesim.evals"), 0u);
+  EXPECT_GT(one.get("blocklanesim.evals"), 0u);
   EXPECT_GT(one.get("netgen.circuits"), 0u);
 }
 

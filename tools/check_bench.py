@@ -38,13 +38,15 @@ MIN_GATED_SECONDS = 1e-3
 def load_rows(doc):
     """Returns (row_dict, key_fields) for either bench JSON shape."""
     for array_key, keys in (("circuits", ("circuit",)),
-                            ("configs", ("circuit", "config"))):
+                            ("configs", ("circuit", "config")),
+                            ("kernels", ("circuit", "dispatch"))):
         if array_key in doc:
             rows = {}
             for row in doc[array_key]:
                 rows[tuple(row[k] for k in keys)] = row
             return rows, keys
-    raise SystemExit("unrecognized bench JSON: no 'circuits' or 'configs'")
+    raise SystemExit(
+        "unrecognized bench JSON: no 'circuits', 'configs' or 'kernels'")
 
 
 def annotate(kind, message):
