@@ -11,12 +11,19 @@
 // numbers differ while trends (5/8 best among fixed; variable best overall;
 // tiny shifts explode `ex`) should hold.
 //
+// On top of the paper's single-chain sweep, every info point is re-run on
+// multi-chain scan fabrics (VCOMP_CHAINS, default "1,2,4"; VCOMP_PARTITION
+// picks the DFF→chain policy).  Multi-chain rows carry an "@c<N>" config
+// suffix in the table and the JSON records; the 1-chain rows keep their
+// historical labels so baselines stay byte-comparable.
+//
 // Env: VCOMP_QUICK=1 restricts to the four smallest circuits.
 
 #include <cstdio>
 #include <map>
 
 #include "bench_util.hpp"
+#include "vcomp/scan/fabric.hpp"
 
 using namespace vcomp;
 using benchutil::PaperRef;
@@ -48,6 +55,8 @@ int main() {
 
   auto profiles = netgen::table234_profiles();
   profiles = benchutil::select_circuits(std::move(profiles), 4);
+  const auto chain_list = benchutil::chain_counts();
+  const scan::PartitionPolicy partition = scan::partition_from_env();
 
   report::Table table({"circ", "aTV", "info", "shift", "TV", "ex", "m", "t",
                        "paper m", "paper t"});
@@ -84,30 +93,49 @@ int main() {
         {"var", 0.0, paper.var, &avg_mv, &avg_tv},
     };
 
+    // One sweep entry per (chain count, attainable info point); 1-chain
+    // entries come first so their JSON rows keep the historical order.
+    struct Run {
+      Point* pt;
+      std::size_t chains;
+      std::size_t index;  // into `timed`
+    };
     std::vector<core::StitchOptions> sweep;
-    for (auto& pt : points) {
-      core::StitchOptions opts;
-      if (pt.ratio > 0) {
-        if (!core::apply_info_ratio(opts, lab.netlist(), pt.ratio)) continue;
-        pt.shift_desc = std::to_string(opts.fixed_shift) + "/" +
-                        std::to_string(lab.netlist().num_dffs());
-      } else {
-        pt.shift_desc = "variable";
+    std::vector<Run> runs;
+    for (std::size_t nc : chain_list) {
+      if (nc > lab.netlist().num_dffs()) continue;
+      for (auto& pt : points) {
+        core::StitchOptions opts;
+        opts.num_chains = nc;
+        opts.partition = partition;
+        if (pt.ratio > 0) {
+          if (!core::apply_info_ratio(opts, lab.netlist(), pt.ratio))
+            continue;
+          pt.shift_desc = std::to_string(opts.fixed_shift) + "/" +
+                          std::to_string(lab.netlist().num_dffs());
+        } else {
+          pt.shift_desc = "variable";
+        }
+        if (nc == 1) pt.attainable = true;
+        runs.push_back({&pt, nc, sweep.size()});
+        sweep.push_back(opts);
       }
-      pt.attainable = true;
-      sweep.push_back(opts);
     }
     const auto timed = benchutil::run_timed(lab, sweep);
 
-    std::size_t next = 0;
+    // 1-chain block first: paper-comparable rows in point order, '/' where
+    // the info point is unattainable — exactly the historical layout.
     for (const auto& pt : points) {
-      if (!pt.attainable) {
+      const Run* run = nullptr;
+      for (const auto& rr : runs)
+        if (rr.pt == &pt && rr.chains == 1) run = &rr;
+      if (run == nullptr) {
         table.add_row({lab.name(), report::Table::num(lab.atv()), pt.label,
                        "/", "/", "/", "/", "/", benchutil::ref_str(pt.ref.m),
                        benchutil::ref_str(pt.ref.t)});
         continue;
       }
-      const auto& tr = timed[next++];
+      const auto& tr = timed[run->index];
       const auto& r = tr.result;
       pt.am->add(r.memory_ratio);
       pt.at->add(r.time_ratio);
@@ -119,6 +147,21 @@ int main() {
                      report::Table::ratio(r.time_ratio),
                      benchutil::ref_str(pt.ref.m),
                      benchutil::ref_str(pt.ref.t)});
+    }
+    // Multi-chain rows ("@c<N>" config suffix; no paper counterpart).
+    for (const auto& rr : runs) {
+      if (rr.chains == 1) continue;
+      const auto& tr = timed[rr.index];
+      const auto& r = tr.result;
+      const std::string label =
+          std::string(rr.pt->label) + "@c" + std::to_string(rr.chains);
+      json.add(lab.name(), label, tr);
+      table.add_row({lab.name(), report::Table::num(lab.atv()), label,
+                     rr.pt->shift_desc,
+                     report::Table::num(r.vectors_applied),
+                     report::Table::num(r.extra_full_vectors),
+                     report::Table::ratio(r.memory_ratio),
+                     report::Table::ratio(r.time_ratio), "-", "-"});
     }
     std::fprintf(stderr, "[table2] %s done in %.1fs\n", lab.name().c_str(),
                  sw.seconds());

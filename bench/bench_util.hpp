@@ -66,6 +66,27 @@ inline std::vector<netgen::CircuitProfile> select_circuits(
   return profiles;
 }
 
+/// VCOMP_CHAINS=1,2,4 (the default) selects the scan-fabric chain counts a
+/// table bench sweeps.  The 1-chain rows keep their historical config
+/// labels, so their JSON records stay byte-comparable with pre-fabric
+/// baselines; c>1 rows are labelled with an "@c<N>" suffix.
+inline std::vector<std::size_t> chain_counts() {
+  const char* env = std::getenv("VCOMP_CHAINS");
+  const std::string spec = env != nullptr && env[0] != '\0' ? env : "1,2,4";
+  std::vector<std::size_t> out;
+  for (std::size_t p = 0; p < spec.size();) {
+    std::size_t e = spec.find(',', p);
+    if (e == std::string::npos) e = spec.size();
+    if (e > p) {
+      const std::size_t n = std::stoul(spec.substr(p, e - p));
+      if (n > 0) out.push_back(n);
+    }
+    p = e + 1;
+  }
+  if (out.empty()) out.push_back(1);
+  return out;
+}
+
 /// One paper reference pair (m, t); negative = not reported.
 struct PaperRef {
   double m = -1;

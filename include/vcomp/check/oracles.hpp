@@ -16,12 +16,20 @@
 ///    tracker is driven twice — VCOMP_COMPACT on and off — and the two
 ///    digests (CycleStats, fault states, work counters) must be
 ///    byte-identical;
+///  * the flush oracle — scan fabrics are linear networks over GF(2), so
+///    shifting a flush stream through a loaded fabric must obey
+///    superposition: obs(state, flush) == obs(state, 0) xor obs(0, flush),
+///    and likewise for the post-shift contents.  The compiled
+///    FabricState::shift path is held to that identity against the naive
+///    per-chain reference, and partially-shifted fabrics are checked to
+///    slide — never corrupt — each chain's retained region (the 2-D
+///    stitching invariant);
 ///  * the tracker oracle — a StitchTracker is driven through the case's
 ///    stitched schedule and its per-cycle CycleStats, final fault states,
-///    catch cycles and surviving hidden-chain contents are compared against
-///    a brute-force full-shift fault simulation of the same schedule that
-///    keeps one private chain per fault and evaluates every machine with
-///    the naive reference.
+///    catch cycles and surviving hidden-fabric contents are compared
+///    against a brute-force full-shift fault simulation of the same
+///    schedule that keeps one private fabric per fault and evaluates every
+///    machine with the naive reference.
 ///
 /// All entry points return std::nullopt on agreement and a Failure naming
 /// the first diverging oracle otherwise.
@@ -37,7 +45,8 @@ namespace vcomp::check {
 struct Failure {
   std::string oracle;  ///< "word-sim", "ternary-sim", "diff-sim",
                        ///< "lane-sim", "compact", "simd-dispatch",
-                       ///< "tracker", "thread-identity", "exception"
+                       ///< "flush", "tracker", "thread-identity",
+                       ///< "exception"
   std::string detail;  ///< human-readable mismatch description
 };
 
@@ -53,6 +62,13 @@ std::optional<Failure> check_simulators(const Case& c,
 std::optional<Failure> check_compaction(const Case& c,
                                         std::uint64_t stimulus_seed,
                                         std::size_t rounds);
+
+/// GF(2) flush oracle on \p rounds random states and flush streams: the
+/// compiled FabricState shift path vs the naive per-chain reference under
+/// the superposition identity, plus the retained-region slide check on a
+/// random partial plan.
+std::optional<Failure> check_flush(const Case& c, std::uint64_t flush_seed,
+                                   std::size_t rounds);
 
 /// Tracker oracle: stitched tracker vs brute-force reference over the
 /// case's schedule (including the terminal observation).

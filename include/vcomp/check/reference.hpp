@@ -20,6 +20,7 @@
 
 #include "vcomp/fault/fault.hpp"
 #include "vcomp/netlist/netlist.hpp"
+#include "vcomp/scan/fabric.hpp"
 #include "vcomp/scan/scan_chain.hpp"
 #include "vcomp/sim/trit.hpp"
 #include "vcomp/sim/word_sim.hpp"
@@ -73,6 +74,18 @@ void ref_shift(std::vector<std::uint8_t>& chain,
                const std::vector<std::uint8_t>& in_bits,
                const scan::ScanOutModel& out,
                std::vector<std::uint8_t>& observed);
+
+/// Independent multi-chain scan shift: ref_shift applied per chain of a
+/// flat chain-major fabric image.  \p in_bits carries plan[c] scan-in bits
+/// per chain, chain-major; observed bits are concatenated in the same
+/// order (exactly FabricState::shift's stream layout, computed without
+/// touching scan::FabricState).  With one chain this is ref_shift.
+void ref_fabric_shift(const scan::Fabric& fabric,
+                      std::vector<std::uint8_t>& flat,
+                      const scan::ShiftPlan& plan,
+                      const std::vector<std::uint8_t>& in_bits,
+                      const scan::FabricOut& out,
+                      std::vector<std::uint8_t>& observed);
 
 /// Independent capture: cell <- next_state (Normal) or cell ^= next_state
 /// (VXor).

@@ -19,6 +19,7 @@
 ///     shape pi <n> po <n> ff <n> gates <n> arity <n> depth <n> easiness <milli>
 ///     config capture <normal|vxor> hxor <taps> shift <fixed k|var>
 ///            cycles <n> observe <n> maxfaults <n> simrounds <n>
+///            [chains <n> <policy> <seed>]
 ///     faults all            (or: faults <i> <i> ...)
 ///     begin-netlist
 ///     <.bench text>

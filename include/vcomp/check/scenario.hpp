@@ -5,9 +5,10 @@
 ///
 /// A Scenario is a small plain-data record that *fully determines* one
 /// randomized test case: the synthetic netlist (netgen profile fields), the
-/// scan configuration (capture mode, scan-out model), the stitched shift
-/// schedule (fixed 3/8–7/8 or variable), the tracked fault subset and the
-/// stimulus rounds of the simulator oracles.  Everything is derived from a
+/// scan fabric (chain count, partition policy), the scan configuration
+/// (capture mode, scan-out model), the stitched shift schedule (fixed
+/// 3/8–7/8 or variable), the tracked fault subset and the stimulus rounds
+/// of the simulator oracles.  Everything is derived from a
 /// single uint64 seed through util/rng, so a case is reproducible from its
 /// seed alone and the shrinker can mutate individual fields while keeping
 /// the rest of the case byte-identical.
@@ -19,6 +20,7 @@
 #include "vcomp/core/stitch_engine.hpp"
 #include "vcomp/fault/collapse.hpp"
 #include "vcomp/netlist/netlist.hpp"
+#include "vcomp/scan/fabric.hpp"
 #include "vcomp/scan/scan_chain.hpp"
 
 namespace vcomp::check {
@@ -64,6 +66,12 @@ struct Scenario {
   /// Random-stimulus rounds of the simulator oracles.
   std::size_t sim_rounds = 2;
 
+  // Scan fabric shape (1 = the degenerate single chain).  materialize
+  // clamps num_chains into [1, num_ff].
+  std::size_t num_chains = 1;
+  scan::PartitionPolicy partition = scan::PartitionPolicy::RoundRobin;
+  std::uint64_t partition_seed = 0;
+
   friend bool operator==(const Scenario&, const Scenario&) = default;
 };
 
@@ -78,8 +86,15 @@ struct Case {
   std::vector<std::uint8_t> track;  ///< per-collapsed-fault oracle mask
   core::StitchedSchedule schedule;  ///< vectors[0] = full initial load
   scan::CaptureMode capture = scan::CaptureMode::Normal;
-  scan::ScanOutModel out_model{};
+  std::size_t hxor_taps = 0;  ///< 0 = direct scan-out on every chain
 };
+
+/// The scan fabric the case's schedule describes (chain count, partition
+/// policy and seed come from the schedule metadata; single-chain schedules
+/// yield the degenerate one-chain fabric).
+scan::Fabric case_fabric(const Case& c);
+/// Per-chain scan-out models of the case (hxor_taps == 0 = direct).
+scan::FabricOut case_out_model(const Case& c, const scan::Fabric& fabric);
 
 /// Builds the deterministic case for \p sc: generates the netlist, selects
 /// the fault subset and constructs a random schedule satisfying the

@@ -5,16 +5,16 @@
 /// f_u (uncaught).
 ///
 /// Every fault is in exactly one state.  Hidden faults carry a private
-/// scan-chain state — the faulty machine's chain content — because a hidden
-/// fault mutates the next test vector actually applied on a faulty chip and
-/// must be traced forward (Section 4 of the paper).  Faults may circulate
-/// between uncaught and hidden; caught is absorbing.
+/// scan-fabric state — the faulty machine's content of every chain — because
+/// a hidden fault mutates the next test vector actually applied on a faulty
+/// chip and must be traced forward (Section 4 of the paper).  Faults may
+/// circulate between uncaught and hidden; caught is absorbing.
 
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
 
-#include "vcomp/scan/scan_chain.hpp"
+#include "vcomp/scan/fabric.hpp"
 #include "vcomp/util/assert.hpp"
 
 namespace vcomp::core {
@@ -59,13 +59,13 @@ class FaultSets {
     ++num_caught_;
   }
 
-  /// Moves a fault to f_h with its private chain state.
-  void set_hidden(std::size_t i, scan::ChainState chain) {
+  /// Moves a fault to f_h with its private fabric state.
+  void set_hidden(std::size_t i, scan::FabricState fabric) {
     VCOMP_REQUIRE(state_[i] != FaultState::Caught,
                   "caught faults never become hidden");
     leave_uncaught(i);
     state_[i] = FaultState::Hidden;
-    hidden_states_.insert_or_assign(i, std::move(chain));
+    hidden_states_.insert_or_assign(i, std::move(fabric));
   }
 
   /// Hidden fault whose faulty machine re-converged: back to f_u.
@@ -77,10 +77,10 @@ class FaultSets {
     if (targetable(i)) ++num_uncaught_targetable_;
   }
 
-  const scan::ChainState& hidden_state(std::size_t i) const {
+  const scan::FabricState& hidden_state(std::size_t i) const {
     return hidden_states_.at(i);
   }
-  scan::ChainState& mutable_hidden_state(std::size_t i) {
+  scan::FabricState& mutable_hidden_state(std::size_t i) {
     return hidden_states_.at(i);
   }
 
@@ -118,7 +118,7 @@ class FaultSets {
 
   std::vector<FaultState> state_;
   std::vector<std::size_t> catch_cycle_;
-  std::unordered_map<std::size_t, scan::ChainState> hidden_states_;
+  std::unordered_map<std::size_t, scan::FabricState> hidden_states_;
   std::size_t num_caught_ = 0;
   std::vector<std::uint8_t> targetable_;
   std::size_t num_uncaught_targetable_ = 0;

@@ -6,13 +6,20 @@
 ///
 ///     # vcomp stitched test program
 ///     chain 21
+///     chains 4 round-robin 0                   (multi-chain fabrics only)
 ///     pis 3
 ///     vector <shift> <pi bits> <scan bits>     (one per applied vector)
 ///     observe <bits>                           (terminal observation)
 ///     extra <pi bits> <scan bits>              (appended full vectors)
 ///
-/// Scan bits are written head→tail (bit i = scan cell i); '-' stands for
-/// an empty PI field.
+/// Scan bits are written by DFF index ('-' stands for an empty field);
+/// `chain` is the total cell count across all chains.  Single-chain
+/// schedules omit the `chains` line and write a scalar <shift> — exactly
+/// the historical format, so committed single-chain files keep parsing
+/// (they read back as num_chains == 1).  Multi-chain schedules carry the
+/// fabric shape (count, partition policy, partition seed) on the `chains`
+/// line and write <shift> as the per-chain plan, comma separated
+/// (e.g. `vector 3,2,3,2 ...`); the master shift size is the sum.
 
 #include <iosfwd>
 #include <string>

@@ -6,8 +6,14 @@
 /// FixedShift always shifts the same number of bits; when constrained ATPG
 /// cannot catch any new fault the run terminates (remaining faults go to
 /// the extra-full-vector phase).  VariableShift starts at a small fraction
-/// of the chain and escalates on generation failure, trading per-cycle cost
-/// for controllability/observability exactly as the paper prescribes.
+/// of the fabric and escalates on generation failure, trading per-cycle
+/// cost for controllability/observability exactly as the paper prescribes.
+///
+/// Policies emit a *master* shift size over the whole fabric (1..total
+/// cells); on a multi-chain fabric the engine apportions it into per-chain
+/// shift budgets with scan::Fabric::plan_for, so both policies generalize
+/// to N chains without carrying fabric structure themselves.  With one
+/// chain the apportionment is the identity.
 
 #include <cstdint>
 #include <memory>

@@ -4,13 +4,16 @@
 /// The paper's test-vector stitching algorithm (Figure 2).
 ///
 /// Each stitched cycle:
-///  1. pick a shift size s (ShiftPolicy);
-///  2. run PODEM constrained by the retained chain bits (the previous
-///     response slid s positions toward the tail) to find vectors catching
-///     new faults from f_u; pick a candidate per the SelectionPolicy;
+///  1. pick a master shift size s (ShiftPolicy) and apportion it over the
+///     fabric's chains (Fabric::plan_for) into a per-chain shift plan;
+///  2. run PODEM constrained by the retained fabric bits — the 2-D retained
+///     region: on every chain c the previous response slid plan[c]
+///     positions toward the tail — to find vectors catching new faults
+///     from f_u; pick a candidate per the SelectionPolicy;
 ///  3. commit the vector through the StitchTracker (shift-phase catches,
 ///     capture, hidden-fault classification and advancement);
-///  4. account shift cycles and tester bits in the CostMeter.
+///  4. account shift cycles (max over chains — they shift in parallel) and
+///     tester bits (sum over chains) in the CostMeter.
 ///
 /// When no constrained vector can catch a new fault and the shift policy is
 /// out of escalations, the run ends: remaining f_u faults are covered by
@@ -27,6 +30,7 @@
 #include "vcomp/core/shift_policy.hpp"
 #include "vcomp/core/tracker.hpp"
 #include "vcomp/scan/cost_model.hpp"
+#include "vcomp/scan/fabric.hpp"
 #include "vcomp/sim/eval_graph.hpp"
 
 namespace vcomp::core {
@@ -41,8 +45,18 @@ struct StitchOptions {
   std::size_t variable_decay_after = 4;
 
   scan::CaptureMode capture = scan::CaptureMode::Normal;
-  /// 0 = direct scan-out; >0 = horizontal XOR with this many taps.
+  /// 0 = direct scan-out; >0 = horizontal XOR with this many taps (per
+  /// chain, clamped to each chain's length).
   std::size_t hxor_taps = 0;
+
+  /// Scan fabric shape: chains shift in parallel; 1 is the degenerate
+  /// single-chain fabric (byte-identical to the former single-chain flow).
+  std::size_t num_chains = 1;
+  /// DFF → chain partition policy (see scan::partition_from_env for the
+  /// VCOMP_PARTITION override used by the CLI and bench drivers).
+  scan::PartitionPolicy partition = scan::PartitionPolicy::RoundRobin;
+  /// Seed for PartitionPolicy::SeededRandom.
+  std::uint64_t partition_seed = 0;
 
   SelectionPolicy selection = SelectionPolicy::MostFaults;
   /// PODEM attempts per cycle once at least one cube has been found.
@@ -78,12 +92,23 @@ struct StitchOptions {
 struct StitchedSchedule {
   /// Applied vectors; vectors[0] is the full initial load.
   std::vector<atpg::TestVector> vectors;
-  /// Shift sizes; shifts[0] = L (full load), shifts[c] = s of vector c+1.
+  /// Master shift sizes (bits summed over all chains); shifts[0] = L (full
+  /// load), shifts[c] = s of vector c+1.
   std::vector<std::size_t> shifts;
-  /// Trailing observation of the last response (bits shifted out).
+  /// Per-chain shift budgets, one plan per vector — the apportionment of
+  /// shifts[c] over the chains.  Populated only when num_chains > 1; the
+  /// single-chain schedule is fully described by shifts.
+  std::vector<scan::ShiftPlan> plans;
+  /// Trailing observation of the last response (bits shifted out, summed
+  /// over all chains).
   std::size_t terminal_observe = 0;
   /// Traditional full-shift vectors appended after the stitched phase.
   std::vector<atpg::TestVector> extra;
+  /// Fabric shape the schedule was generated for (enough to rebuild the
+  /// exact DFF → (chain, position) partition on the same netlist).
+  std::size_t num_chains = 1;
+  scan::PartitionPolicy partition = scan::PartitionPolicy::RoundRobin;
+  std::uint64_t partition_seed = 0;
 };
 
 /// Per-phase wall-clock breakdown of one stitched run (monotonic clock).
@@ -165,12 +190,12 @@ class StitchEngine {
   };
 
   std::unique_ptr<ShiftPolicy> make_policy() const;
-  atpg::PpiConstraints constraints_for(const scan::ChainState& chain,
-                                       std::size_t s) const;
+  atpg::PpiConstraints constraints_for(const scan::FabricState& state,
+                                       const scan::ShiftPlan& plan) const;
   std::optional<Candidate> generate(const FaultSets& sets,
-                                    const scan::ChainState& chain,
-                                    std::size_t s, bool first_vector,
-                                    std::size_t cycle);
+                                    const scan::FabricState& state,
+                                    const scan::ShiftPlan& plan,
+                                    bool first_vector, std::size_t cycle);
   void load_scoring_sim(fault::DiffSim& sim, const atpg::TestVector& v);
 
   const netlist::Netlist* nl_;
@@ -178,8 +203,8 @@ class StitchEngine {
   const atpg::TestSetResult* baseline_;
   StitchOptions opts_;
 
-  scan::ScanChain chain_map_;
-  scan::ScanOutModel out_model_;
+  scan::Fabric fabric_;
+  scan::FabricOut out_model_;
   sim::EvalGraph::Ref eg_;     // one compiled graph under every engine below
   tmeas::Scoap scoap_;
   atpg::Podem podem_;
@@ -190,7 +215,7 @@ class StitchEngine {
   // Per-cycle scratch reused across generate() calls (hot path: one call
   // per stitched cycle; these would otherwise allocate every cycle).
   std::vector<sim::Word> pi_w_, ppi_w_;           // candidate stimulus words
-  std::vector<std::uint8_t> observed_pos_;        // chain-position visibility
+  std::vector<std::uint8_t> observed_pos_;        // flat-position visibility
   std::vector<std::size_t> scored_;               // sampled uncaught faults
   std::vector<std::vector<std::uint32_t>> shard_scores_;
   std::vector<std::uint8_t> drop_hit_;            // ex-phase verdict buffer

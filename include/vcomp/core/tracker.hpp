@@ -3,18 +3,24 @@
 /// \file tracker.hpp
 /// Cycle-accurate fault-set tracking for stitched test application.
 ///
-/// StitchTracker owns the fault-free scan chain and every hidden fault's
-/// private chain, and advances them through applied test vectors:
+/// StitchTracker owns the fault-free scan fabric (N parallel chains; one
+/// chain is the degenerate case) and every hidden fault's private fabric,
+/// and advances them through applied test vectors:
 ///
-///   apply_first(v)        — full load of vector 1, apply, classify;
-///   apply_stitched(v, s)  — shift s bits (hidden faults whose chains emit
-///                           different scan-out values are caught here),
-///                           apply, classify new hidden/caught faults, and
-///                           advance every surviving hidden fault through
-///                           its privately mutated vector T_f;
-///   terminal_observe(s)   — observe the tail s cells (or the whole chain)
-///                           once, catching hidden faults whose difference
-///                           is visible.
+///   apply_first(v)           — full load of vector 1, apply, classify;
+///   apply_stitched(v, plan)  — shift plan[c] bits into chain c (hidden
+///                              faults whose fabrics emit different scan-out
+///                              values on any chain are caught here), apply,
+///                              classify new hidden/caught faults, and
+///                              advance every surviving hidden fault through
+///                              its privately mutated vector T_f;
+///   terminal_observe(plan)   — observe the tail plan[c] cells of every
+///                              chain once, catching hidden faults whose
+///                              difference is visible.
+///
+/// Scalar overloads take a master shift size s and apportion it over the
+/// chains with Fabric::plan_for; with one chain they are exactly the
+/// single-chain API (byte-identical results — the degeneracy contract).
 ///
 /// The StitchEngine drives it with ATPG-generated vectors; tests and the
 /// quickstart example drive it with the paper's scripted vectors to
@@ -83,9 +89,21 @@ class StitchTracker {
   /// share the given pre-compiled evaluation graph.
   StitchTracker(sim::EvalGraph::Ref graph,
                 const fault::CollapsedFaults& faults,
-                scan::CaptureMode capture, scan::ScanOutModel out_model,
+                scan::CaptureMode capture, scan::Fabric fabric,
+                scan::FabricOut out_model,
                 std::vector<std::uint8_t> track = {});
   /// Convenience: compiles a private graph for \p nl.
+  StitchTracker(const netlist::Netlist& nl,
+                const fault::CollapsedFaults& faults,
+                scan::CaptureMode capture, scan::Fabric fabric,
+                scan::FabricOut out_model,
+                std::vector<std::uint8_t> track = {});
+  /// Single-chain compatibility: wraps \p out_model into the degenerate
+  /// one-chain fabric.
+  StitchTracker(sim::EvalGraph::Ref graph,
+                const fault::CollapsedFaults& faults,
+                scan::CaptureMode capture, scan::ScanOutModel out_model,
+                std::vector<std::uint8_t> track = {});
   StitchTracker(const netlist::Netlist& nl,
                 const fault::CollapsedFaults& faults,
                 scan::CaptureMode capture, scan::ScanOutModel out_model,
@@ -94,17 +112,25 @@ class StitchTracker {
   /// Applies the first vector (full chain load + capture).
   CycleStats apply_first(const atpg::TestVector& v);
 
-  /// Applies a stitched vector with shift size \p s.  The vector's scan
-  /// bits at retained positions must equal the current chain content (the
-  /// stitching invariant); violations throw.
+  /// Applies a stitched vector with per-chain shift counts \p plan.  The
+  /// vector's scan bits at retained positions (the 2-D retained region:
+  /// positions >= plan[c] on every chain c) must equal the current fabric
+  /// content (the stitching invariant); violations throw.
+  CycleStats apply_stitched(const atpg::TestVector& v,
+                            const scan::ShiftPlan& plan);
+  /// Scalar compatibility: apportions \p s with Fabric::plan_for.
   CycleStats apply_stitched(const atpg::TestVector& v, std::size_t s);
 
-  /// One terminal observation of the tail \p s cells (s = chain length ⇒
-  /// full flush).  Returns the number of hidden faults caught.
+  /// One terminal observation of the tail plan[c] cells of every chain
+  /// (plan = chain lengths ⇒ full flush).  Returns the number of hidden
+  /// faults caught.
+  std::size_t terminal_observe(const scan::ShiftPlan& plan);
+  /// Scalar compatibility: apportions \p s with Fabric::plan_for.
   std::size_t terminal_observe(std::size_t s);
 
-  /// True iff observing the tail \p s cells would catch every remaining
-  /// hidden fault (used to decide between final_observe and flush).
+  /// True iff observing the tail plan[c] cells of every chain would catch
+  /// every remaining hidden fault (decides final_observe vs flush).
+  bool partial_observe_suffices(const scan::ShiftPlan& plan) const;
   bool partial_observe_suffices(std::size_t s) const;
 
   /// Marks an uncaught fault as caught outside the stitched schedule (by an
@@ -114,7 +140,15 @@ class StitchTracker {
   const FaultSets& sets() const { return sets_; }
   /// Setup-time access (e.g. FaultSets::set_targetable before the run).
   FaultSets& mutable_sets() { return sets_; }
-  const scan::ChainState& chain() const { return chain_; }
+  const scan::Fabric& fabric() const { return fabric_; }
+  /// The fault-free machine's fabric content.
+  const scan::FabricState& state() const { return state_; }
+  /// Single-chain compatibility accessor (requires num_chains == 1).
+  const scan::ChainState& chain() const {
+    VCOMP_REQUIRE(fabric_.num_chains() == 1,
+                  "chain() is the single-chain accessor; use state()");
+    return state_.chain(0);
+  }
   std::size_t cycle() const { return cycle_; }
   const netlist::Netlist& netlist() const { return *nl_; }
 
@@ -127,20 +161,21 @@ class StitchTracker {
   }
 
  private:
-  CycleStats apply(const atpg::TestVector& v, std::size_t s, bool first);
+  CycleStats apply(const atpg::TestVector& v, const scan::ShiftPlan& plan,
+                   bool first);
   void load_stimulus(fault::DiffSim& sim, const atpg::TestVector& v) const;
   void read_po_bits();       // fills po_ff_
-  void read_capture_bits();  // fills ppo_ff_ (by chain position)
+  void read_capture_bits();  // fills ppo_ff_ (by flat chain position)
 
   const netlist::Netlist* nl_;
   const fault::CollapsedFaults* faults_;
   scan::CaptureMode capture_;
-  scan::ScanOutModel out_model_;
-  scan::ScanChain chain_map_;
+  scan::Fabric fabric_;
+  scan::FabricOut out_model_;
   std::vector<std::uint8_t> track_;
 
   FaultSets sets_;
-  scan::ChainState chain_;
+  scan::FabricState state_;
   /// Compacted simulation graph + per-fault site mappings.  Every internal
   /// simulator below runs on model_.graph(); reported netlist()/chain
   /// positions stay in original ids (the model preserves input / dff / po
@@ -157,7 +192,7 @@ class StitchTracker {
   /// shard and consumed by the serial fault-index-order merge.
   struct Verdict {
     std::uint8_t kind = 0;             ///< 0 none / 1 PO-caught / 2 differs
-    std::vector<std::uint32_t> flips;  ///< chain positions whose capture flips
+    std::vector<std::uint32_t> flips;  ///< flat positions whose capture flips
   };
 
   // Reused per-cycle scratch (one apply() per stitched cycle; none of
@@ -169,7 +204,7 @@ class StitchTracker {
   mutable std::vector<std::size_t> observe_list_;
   std::vector<sim::Block> state_blocks_, next_blocks_;
   std::vector<Verdict> verdicts_;
-  scan::ChainState sf_chain_;  // faulty-capture scratch chain
+  scan::FabricState sf_state_;  // faulty-capture scratch fabric
 };
 
 }  // namespace vcomp::core

@@ -38,6 +38,13 @@ struct CircuitProfile {
 /// Profile by benchmark name ("s444" ... "s38584"); throws on unknown names.
 CircuitProfile profile(const std::string& name);
 
+/// Like profile(), but with the gate-budget cap lifted: s38417 and s38584
+/// get their original combinational gate counts (22179 / 19253) instead of
+/// the ~6-gates-per-FF budget.  FF counts are identical either way, so the
+/// compression arithmetic is unchanged; only simulation cost grows.
+/// Exposed behind `vcomp_stitch --full-scale`.
+CircuitProfile full_scale_profile(const std::string& name);
+
 /// The eight circuits of Tables 2–4.
 std::vector<CircuitProfile> table234_profiles();
 

@@ -16,9 +16,14 @@
 ///    scan-out bits);
 ///  * full shifting of N vectors: time (N+1)·L, memory N·(PI+PO+2L);
 ///  * a stitched run is accumulated event by event (initial load, stitched
-///    cycles, terminal observation / flush / appended full vectors).
+///    cycles, terminal observation / flush / appended full vectors);
+///  * multi-chain fabrics shift their chains in parallel: a per-chain shift
+///    plan costs max(plan) cycles while moving sum(plan) tester bits, and a
+///    full load takes the longest chain's length in cycles.  With one chain
+///    (max == total) every figure degenerates to the single-chain model.
 
 #include <cstdint>
+#include <vector>
 
 namespace vcomp::scan {
 
@@ -34,21 +39,32 @@ struct Cost {
 /// Event-driven cost accumulator for a stitched schedule.
 class CostMeter {
  public:
+  /// Single chain of \p chain_len cells.
   CostMeter(std::size_t num_pi, std::size_t num_po, std::size_t chain_len);
+  /// N-chain fabric: \p total_len cells across all chains, \p max_chain_len
+  /// cells on the longest one (parallel shifting is paced by that chain).
+  CostMeter(std::size_t num_pi, std::size_t num_po, std::size_t total_len,
+            std::size_t max_chain_len);
 
-  /// Full L-bit load of the first vector, followed by its capture (POs are
-  /// observed at every capture).
+  /// Full load of the first vector (the longest chain's length in cycles,
+  /// one stimulus bit per cell), followed by its capture (POs are observed
+  /// at every capture).
   void initial_load();
 
   /// One stitched cycle: shift s bits (observing s bits of the previous
-  /// response), apply PIs, capture (observing POs).
+  /// response), apply PIs, capture (observing POs).  Single-chain form.
   void stitched_cycle(std::size_t s);
+  /// One stitched cycle under a per-chain shift \p plan: max(plan) cycles,
+  /// sum(plan) bits each direction.
+  void stitched_cycle(const std::vector<std::size_t>& plan);
 
   /// Terminal partial observation of the last response (s bits).
   void final_observe(std::size_t s);
+  /// Terminal partial observation under a per-chain \p plan.
+  void final_observe(const std::vector<std::size_t>& plan);
 
-  /// Terminal full-chain flush: observes every cell (catches all hidden
-  /// faults whose chain state still differs).
+  /// Terminal full-fabric flush: observes every cell (catches all hidden
+  /// faults whose fabric state still differs).
   void flush();
 
   /// Append \p ex traditional full-shift vectors after the stitched phase.
@@ -57,12 +73,17 @@ class CostMeter {
 
   const Cost& cost() const { return cost_; }
 
-  /// Cost of the traditional full-shift scheme for \p num_vectors.
+  /// Cost of the traditional full-shift scheme for \p num_vectors on a
+  /// single chain.
   static Cost full_scan(std::size_t num_pi, std::size_t num_po,
                         std::size_t chain_len, std::size_t num_vectors);
+  /// Same on an N-chain fabric: loads are paced by the longest chain.
+  static Cost full_scan(std::size_t num_pi, std::size_t num_po,
+                        std::size_t total_len, std::size_t max_chain_len,
+                        std::size_t num_vectors);
 
  private:
-  std::size_t pi_, po_, len_;
+  std::size_t pi_, po_, len_, max_len_;
   Cost cost_;
 };
 

@@ -88,6 +88,12 @@ class ChainState {
   void shift(std::span<const std::uint8_t> in_bits, const ScanOutModel& out,
              std::vector<std::uint8_t>& observed);
 
+  /// One shift cycle: returns the observed tap XOR, slides every cell one
+  /// step toward the tail, inserts \p in_bit at the head.  FabricState
+  /// interleaves the chains of a multi-chain fabric through this primitive
+  /// so all shift semantics live in one place.
+  std::uint8_t shift_one(std::uint8_t in_bit, const ScanOutModel& out);
+
   /// Capture \p next_state (one bit per chain position) per \p mode.
   void capture(std::span<const std::uint8_t> next_state, CaptureMode mode);
 

@@ -2,6 +2,7 @@
 
 #include "vcomp/atpg/podem.hpp"
 #include "vcomp/fault/fault_sim.hpp"
+#include "vcomp/scan/fabric.hpp"
 #include "vcomp/scan/lfsr.hpp"
 #include "vcomp/tmeas/scoap.hpp"
 #include "vcomp/util/assert.hpp"
@@ -34,14 +35,21 @@ VirtualScanResult run_virtual_scan(const netlist::Netlist& nl,
                                              baseline.vectors.size());
   res.needs_output_compactor = true;  // MISR on the outputs
 
-  // Partition p covers chain positions [p·lp, min((p+1)·lp, L)); partition
-  // 0 is tester-fed, the rest are LFSR-filled (cell j·lp + i receives LFSR
-  // output lp_j - 1 - i, matching shift order).
-  auto partition_span = [&](std::size_t j) {
+  // The k partitions are the chains of one scan fabric with explicit
+  // ceil-span orders: partition j covers chain positions
+  // [j·lp, min((j+1)·lp, L)).  Partition 0 is tester-fed, the rest are
+  // LFSR-filled (chain-j cell i receives LFSR output lp_j - 1 - i,
+  // matching shift order).
+  VCOMP_REQUIRE((k - 1) * lp < L,
+                "virtual scan partition count too large for the chain");
+  std::vector<std::vector<std::uint32_t>> spans(k);
+  for (std::size_t j = 0; j < k; ++j) {
     const std::size_t lo = j * lp;
     const std::size_t hi = std::min(L, lo + lp);
-    return std::pair<std::size_t, std::size_t>{lo, hi};
-  };
+    for (std::size_t p = lo; p < hi; ++p)
+      spans[j].push_back(static_cast<std::uint32_t>(p));
+  }
+  const scan::Fabric fabric(nl, std::move(spans));
 
   std::vector<std::uint8_t> remaining(faults.size(), 0);
   std::size_t remaining_count = 0;
@@ -68,11 +76,10 @@ VirtualScanResult run_virtual_scan(const netlist::Netlist& nl,
     bool encodable = true;
     std::vector<std::vector<std::uint8_t>> seeds(k);
     for (std::size_t j = 1; j < k && encodable; ++j) {
-      const auto [lo, hi] = partition_span(j);
-      const std::size_t plen = hi - lo;
+      const std::size_t plen = fabric.chain_length(j);
       Gf2Solver solver(lfsr_len);
       for (std::size_t i = 0; i < plen; ++i) {
-        const Trit t = gen.cube.ppi[lo + i];
+        const Trit t = gen.cube.ppi[fabric.dff_at(j, i)];
         if (t == Trit::X) continue;
         const auto row = proto.symbolic_output_row(plen - 1 - i);
         if (!solver.add_equation(row, t == Trit::One)) {
@@ -99,26 +106,23 @@ VirtualScanResult run_virtual_scan(const netlist::Netlist& nl,
       v.pi[i] = t == Trit::X ? rng.bit() : (t == Trit::One);
     }
     v.ppi.resize(L);
-    {
-      const auto [lo, hi] = partition_span(0);
-      for (std::size_t p = lo; p < hi; ++p) {
-        const Trit t = gen.cube.ppi[p];
-        v.ppi[p] = t == Trit::X ? rng.bit() : (t == Trit::One);
-      }
+    for (std::size_t i = 0; i < fabric.chain_length(0); ++i) {
+      const auto dff = fabric.dff_at(0, i);
+      const Trit t = gen.cube.ppi[dff];
+      v.ppi[dff] = t == Trit::X ? rng.bit() : (t == Trit::One);
     }
     for (std::size_t j = 1; j < k; ++j) {
-      const auto [lo, hi] = partition_span(j);
-      const std::size_t plen = hi - lo;
+      const std::size_t plen = fabric.chain_length(j);
       scan::Lfsr lfsr = proto;
       lfsr.seed(seeds[j]);
       const auto stream = lfsr.stream(plen);
       for (std::size_t i = 0; i < plen; ++i)
-        v.ppi[lo + i] = stream[plen - 1 - i];
+        v.ppi[fabric.dff_at(j, i)] = stream[plen - 1 - i];
       // Cross-check: the stream must honour the cube.
       for (std::size_t i = 0; i < plen; ++i) {
-        const Trit t = gen.cube.ppi[lo + i];
+        const Trit t = gen.cube.ppi[fabric.dff_at(j, i)];
         if (t != Trit::X)
-          VCOMP_ENSURE(v.ppi[lo + i] == (t == Trit::One),
+          VCOMP_ENSURE(v.ppi[fabric.dff_at(j, i)] == (t == Trit::One),
                        "LFSR seed failed to reproduce the cube");
       }
     }

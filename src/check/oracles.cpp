@@ -29,6 +29,7 @@ using sim::Word;
 namespace {
 
 constexpr std::uint64_t kStimulusSalt = 0x0bace5a17ed5eedULL;
+constexpr std::uint64_t kFlushSalt = 0xf1a5b5eedc0ffeeULL;
 
 /// Faults the simulator oracles sample per stimulus round.
 constexpr std::size_t kSimFaultSample = 48;
@@ -361,18 +362,28 @@ struct RefTrackerResult {
   std::size_t hidden_advanced = 0;
 };
 
-/// Full-shift brute force: every tracked fault keeps a private chain and is
-/// re-evaluated from scratch with the naive reference each cycle.  No
-/// DiffSim, no LaneSim, no sharding, no diff_observable.
+/// Full-shift brute force: every tracked fault keeps a private fabric
+/// image and is re-evaluated from scratch with the naive reference each
+/// cycle.  No DiffSim, no LaneSim, no sharding, no fabric_diff_observable
+/// — and no scan::FabricState: fabric images are flat chain-major byte
+/// vectors advanced with ref_fabric_shift.
 RefTrackerResult ref_track(const Case& c) {
   const Netlist& nl = c.netlist;
-  const scan::ScanChain map(nl);
+  const scan::Fabric fabric = case_fabric(c);
+  const scan::FabricOut out_model = case_out_model(c, fabric);
   const std::size_t L = nl.num_dffs();
   const std::size_t npi = nl.num_inputs();
 
   RefTrackerResult r;
   const auto tracked = tracked_indices(c);
   for (std::uint32_t i : tracked) r.state[i] = core::FaultState::Uncaught;
+
+  // Per-cycle plan: recorded per-chain plans when the schedule carries
+  // them, otherwise the master shift apportioned the way the tracker does.
+  auto plan_at = [&](std::size_t ci) -> scan::ShiftPlan {
+    return c.schedule.plans.empty() ? fabric.plan_for(c.schedule.shifts[ci])
+                                    : c.schedule.plans[ci];
+  };
 
   std::vector<std::uint8_t> chain_ff(L, 0);
   std::vector<Word> vals(nl.num_gates(), 0);
@@ -386,7 +397,8 @@ RefTrackerResult ref_track(const Case& c) {
     for (std::size_t i = 0; i < npi; ++i)
       vals[nl.inputs()[i]] = v.pi[i] ? ~Word{0} : Word{0};
     for (std::size_t pos = 0; pos < L; ++pos)
-      vals[nl.dffs()[map.dff_at(pos)]] = chain[pos] ? ~Word{0} : Word{0};
+      vals[nl.dffs()[fabric.dff_at_flat(pos)]] =
+          chain[pos] ? ~Word{0} : Word{0};
   };
 
   for (std::size_t ci = 0; ci < c.schedule.vectors.size(); ++ci) {
@@ -398,16 +410,24 @@ RefTrackerResult ref_track(const Case& c) {
 
     if (ci == 0) {
       for (std::size_t pos = 0; pos < L; ++pos)
-        chain_ff[pos] = v.ppi[map.dff_at(pos)];
+        chain_ff[pos] = v.ppi[fabric.dff_at_flat(pos)];
     } else {
+      const scan::ShiftPlan plan = plan_at(ci);
+      // Scan-in streams, chain-major: chain c's bit j enters its head on
+      // that chain's cycle j, so after plan[c] shifts head position p
+      // holds the vector's scan bit for in-chain position p.
       in_bits.resize(s);
-      for (std::size_t j = 0; j < s; ++j)
-        in_bits[j] = v.ppi[map.dff_at(s - 1 - j)];
-      ref_shift(chain_ff, in_bits, c.out_model, obs_ff);
+      std::size_t off_in = 0;
+      for (std::size_t ch = 0; ch < fabric.num_chains(); ++ch) {
+        for (std::size_t j = 0; j < plan[ch]; ++j)
+          in_bits[off_in + j] = v.ppi[fabric.dff_at(ch, plan[ch] - 1 - j)];
+        off_in += plan[ch];
+      }
+      ref_fabric_shift(fabric, chain_ff, plan, in_bits, out_model, obs_ff);
       for (std::uint32_t i : tracked) {
         if (r.state[i] != core::FaultState::Hidden) continue;
         auto& chain_f = r.hidden_chain[i];
-        ref_shift(chain_f, in_bits, c.out_model, obs_f);
+        ref_fabric_shift(fabric, chain_f, plan, in_bits, out_model, obs_f);
         if (obs_f != obs_ff) {
           r.state[i] = core::FaultState::Caught;
           r.catch_cycle[i] = cycle;
@@ -424,7 +444,7 @@ RefTrackerResult ref_track(const Case& c) {
       po_ff[o] = static_cast<std::uint8_t>(vals[nl.outputs()[o]] & 1);
     for (std::size_t pos = 0; pos < L; ++pos)
       ns_ff[pos] = static_cast<std::uint8_t>(
-          ref_next_state(nl, vals, nullptr, map.dff_at(pos)) & 1);
+          ref_next_state(nl, vals, nullptr, fabric.dff_at_flat(pos)) & 1);
     pre_capture = chain_ff;
     ref_capture(chain_ff, ns_ff, c.capture);
 
@@ -452,7 +472,7 @@ RefTrackerResult ref_track(const Case& c) {
       }
       for (std::size_t pos = 0; pos < L; ++pos)
         ns_f[pos] = static_cast<std::uint8_t>(
-            ref_next_state(nl, vals, &f, map.dff_at(pos)) & 1);
+            ref_next_state(nl, vals, &f, fabric.dff_at_flat(pos)) & 1);
       new_chain = chain_pre;
       ref_capture(new_chain, ns_f, c.capture);
       if (new_chain == chain_ff) {
@@ -473,18 +493,21 @@ RefTrackerResult ref_track(const Case& c) {
   }
 
   // Terminal observation: shift both machines and compare what the ATE
-  // actually reads (independent of scan::diff_observable).
+  // actually reads (independent of scan::fabric_diff_observable).  The
+  // master observation size apportions over the chains exactly as the
+  // tracker's scalar terminal_observe does.
   const std::size_t st_obs = c.schedule.terminal_observe;
   if (st_obs > 0) {
     const std::size_t final_cycle = c.schedule.vectors.size() + 1;
+    const scan::ShiftPlan tplan = fabric.plan_for(st_obs);
     in_bits.assign(st_obs, 0);
     std::vector<std::uint8_t> tmp_ff, tmp_f;
     std::vector<std::uint32_t> observed_caught;
     for (const auto& [i, chain_f] : r.hidden_chain) {
       tmp_ff = chain_ff;
       tmp_f = chain_f;
-      ref_shift(tmp_ff, in_bits, c.out_model, obs_ff);
-      ref_shift(tmp_f, in_bits, c.out_model, obs_f);
+      ref_fabric_shift(fabric, tmp_ff, tplan, in_bits, out_model, obs_ff);
+      ref_fabric_shift(fabric, tmp_f, tplan, in_bits, out_model, obs_f);
       if (obs_f != obs_ff) observed_caught.push_back(i);
     }
     for (std::uint32_t i : observed_caught) {
@@ -513,16 +536,24 @@ struct TrackerRun {
 };
 
 TrackerRun run_tracker(const Case& c) {
-  core::StitchTracker tracker(c.netlist, c.faults, c.capture, c.out_model,
-                              c.track);
+  const scan::Fabric fabric = case_fabric(c);
+  core::StitchTracker tracker(c.netlist, c.faults, c.capture, fabric,
+                              case_out_model(c, fabric), c.track);
   TrackerRun out;
   out.cycles.push_back(tracker.apply_first(c.schedule.vectors[0]));
-  for (std::size_t ci = 1; ci < c.schedule.vectors.size(); ++ci)
-    out.cycles.push_back(tracker.apply_stitched(c.schedule.vectors[ci],
-                                                c.schedule.shifts[ci]));
+  for (std::size_t ci = 1; ci < c.schedule.vectors.size(); ++ci) {
+    // Recorded per-chain plans are ground truth when present; otherwise
+    // the scalar overload apportions the master shift with plan_for.
+    if (!c.schedule.plans.empty())
+      out.cycles.push_back(tracker.apply_stitched(c.schedule.vectors[ci],
+                                                  c.schedule.plans[ci]));
+    else
+      out.cycles.push_back(tracker.apply_stitched(c.schedule.vectors[ci],
+                                                  c.schedule.shifts[ci]));
+  }
   if (c.schedule.terminal_observe > 0)
     out.terminal_caught = tracker.terminal_observe(c.schedule.terminal_observe);
-  out.chain_ff = tracker.chain().bits();
+  tracker.state().flat_bits(out.chain_ff);
   // Read the work counters through the deterministic view (no wall-clock
   // fields can leak into the comparison below).
   const obs::CounterSet counters = tracker.profile().counters_only();
@@ -533,7 +564,7 @@ TrackerRun run_tracker(const Case& c) {
     if (out.state[i] == core::FaultState::Caught)
       out.catch_cycle[i] = tracker.sets().catch_cycle(i);
     else if (out.state[i] == core::FaultState::Hidden)
-      out.hidden_chain[i] = tracker.sets().hidden_state(i).bits();
+      tracker.sets().hidden_state(i).flat_bits(out.hidden_chain[i]);
   }
   return out;
 }
@@ -593,6 +624,93 @@ std::optional<Failure> check_compaction(const Case& c,
   if (on != off)
     return fail("compact",
                 "tracker digest differs between VCOMP_COMPACT=1 and =0");
+  return std::nullopt;
+}
+
+std::optional<Failure> check_flush(const Case& c, std::uint64_t flush_seed,
+                                   std::size_t rounds) {
+  const scan::Fabric fabric = case_fabric(c);
+  const scan::FabricOut out = case_out_model(c, fabric);
+  const std::size_t L = fabric.total_length();
+  const scan::ShiftPlan full = fabric.plan_for(L);
+  Rng rng(flush_seed);
+  std::vector<std::uint8_t> state(L), flush(L), zeros(L, 0);
+  std::vector<std::uint8_t> img, end_s0, end_0f, obs_fab, obs_s0, obs_0f,
+      obs_ref;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    const std::string tag = "round " + std::to_string(round) + ": ";
+    for (auto& b : state) b = rng.bit();
+    for (auto& b : flush) b = rng.bit();
+
+    // Reference decomposition of a full flush: state alone, stream alone.
+    img = state;
+    ref_fabric_shift(fabric, img, full, zeros, out, obs_s0);
+    end_s0 = img;
+    img.assign(L, 0);
+    ref_fabric_shift(fabric, img, full, flush, out, obs_0f);
+    end_0f = img;
+
+    // Compiled path on the combined stimulus; superposition must hold bit
+    // for bit on the observed stream and the post-flush contents.
+    scan::FabricState fs(fabric);
+    fs.load(state);
+    fs.shift(full, flush, out, obs_fab);
+    for (std::size_t k = 0; k < L; ++k)
+      if (obs_fab[k] != (obs_s0[k] ^ obs_0f[k]))
+        return fail("flush", tag + "full-flush observation violates GF(2) "
+                                   "superposition at stream bit " +
+                                 std::to_string(k));
+    fs.flat_bits(img);
+    for (std::size_t k = 0; k < L; ++k)
+      if (img[k] != (end_s0[k] ^ end_0f[k]))
+        return fail("flush", tag + "post-flush contents violate GF(2) "
+                                   "superposition at flat cell " +
+                                 std::to_string(k));
+    // A full flush replaces every chain's contents with its own reversed
+    // scan-in stream — no bit may leak across a chain boundary.
+    for (std::size_t ch = 0; ch < fabric.num_chains(); ++ch) {
+      const std::size_t off = fabric.chain_offset(ch);
+      const std::size_t len = fabric.chain_length(ch);
+      for (std::size_t p = 0; p < len; ++p)
+        if (img[off + p] != flush[off + len - 1 - p])
+          return fail("flush", tag + "full flush corrupted chain " +
+                                   std::to_string(ch) + " position " +
+                                   std::to_string(p));
+    }
+
+    // Partial plan: the compiled shift must match the naive reference and
+    // slide — never corrupt — each chain's retained region.
+    const std::size_t s = 1 + rng.below(L);
+    const scan::ShiftPlan plan = fabric.plan_for(s);
+    std::vector<std::uint8_t> in(flush.begin(),
+                                 flush.begin() + static_cast<std::ptrdiff_t>(s));
+    scan::FabricState ps(fabric);
+    ps.load(state);
+    ps.shift(plan, in, out, obs_fab);
+    img = state;
+    ref_fabric_shift(fabric, img, plan, in, out, obs_ref);
+    if (obs_fab != obs_ref)
+      return fail("flush",
+                  tag + "partial-shift observations diverge from the naive "
+                        "reference (master shift " +
+                      std::to_string(s) + ")");
+    ps.flat_bits(end_s0);  // reuse as the compiled post-shift image
+    if (end_s0 != img)
+      return fail("flush",
+                  tag + "partial-shift contents diverge from the naive "
+                        "reference (master shift " +
+                      std::to_string(s) + ")");
+    for (std::size_t ch = 0; ch < fabric.num_chains(); ++ch) {
+      const std::size_t off = fabric.chain_offset(ch);
+      const std::size_t len = fabric.chain_length(ch);
+      for (std::size_t p = plan[ch]; p < len; ++p)
+        if (end_s0[off + p] != state[off + p - plan[ch]])
+          return fail("flush", tag + "retained region of chain " +
+                                   std::to_string(ch) +
+                                   " corrupted at position " +
+                                   std::to_string(p));
+    }
+  }
   return std::nullopt;
 }
 
@@ -678,6 +796,9 @@ std::optional<Failure> run_oracles(const Case& c, const Scenario& sc) {
       return f;
     if (auto f = check_compaction(
             c, sc.seed ^ util::splitmix64(kCompactSalt), sc.sim_rounds))
+      return f;
+    if (auto f = check_flush(c, sc.seed ^ util::splitmix64(kFlushSalt),
+                             sc.sim_rounds))
       return f;
     return check_tracker(c);
   } catch (const std::exception& e) {

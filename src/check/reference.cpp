@@ -1,5 +1,6 @@
 #include "vcomp/check/reference.hpp"
 
+#include <algorithm>
 #include <atomic>
 
 #include "vcomp/util/assert.hpp"
@@ -102,6 +103,29 @@ void ref_shift(std::vector<std::uint8_t>& chain,
     observed.push_back(o);
     for (std::size_t p = L; p-- > 1;) chain[p] = chain[p - 1];
     chain[0] = in;
+  }
+}
+
+void ref_fabric_shift(const scan::Fabric& fabric,
+                      std::vector<std::uint8_t>& flat,
+                      const scan::ShiftPlan& plan,
+                      const std::vector<std::uint8_t>& in_bits,
+                      const scan::FabricOut& out,
+                      std::vector<std::uint8_t>& observed) {
+  observed.clear();
+  std::vector<std::uint8_t> chain, in_c, obs_c;
+  std::size_t off_in = 0;
+  for (std::size_t c = 0; c < fabric.num_chains(); ++c) {
+    const auto off = static_cast<std::ptrdiff_t>(fabric.chain_offset(c));
+    const auto len = static_cast<std::ptrdiff_t>(fabric.chain_length(c));
+    chain.assign(flat.begin() + off, flat.begin() + off + len);
+    in_c.assign(in_bits.begin() + static_cast<std::ptrdiff_t>(off_in),
+                in_bits.begin() +
+                    static_cast<std::ptrdiff_t>(off_in + plan[c]));
+    ref_shift(chain, in_c, out.chains[c], obs_c);
+    std::copy(chain.begin(), chain.end(), flat.begin() + off);
+    observed.insert(observed.end(), obs_c.begin(), obs_c.end());
+    off_in += plan[c];
   }
 }
 

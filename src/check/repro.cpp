@@ -73,7 +73,13 @@ void write_reproducer(std::ostream& out, const Scenario& sc, const Case& c,
     out << "var";
   out << " cycles " << sc.cycles << " observe " << sc.terminal_observe
       << " maxfaults " << sc.max_track_faults << " simrounds "
-      << sc.sim_rounds << '\n';
+      << sc.sim_rounds;
+  // Multi-chain fabrics append their shape; single-chain config lines stay
+  // byte-identical to the historical format.
+  if (sc.num_chains > 1)
+    out << " chains " << sc.num_chains << ' '
+        << scan::to_string(sc.partition) << ' ' << sc.partition_seed;
+  out << '\n';
 
   // The *effective* tracked subset, so replay never depends on the
   // subset-sampling stream.
@@ -139,6 +145,17 @@ Reproducer read_reproducer(std::istream& in) {
     is >> key >> sc.cycles >> key >> sc.terminal_observe >> key >>
         sc.max_track_faults >> key >> sc.sim_rounds;
     VCOMP_REQUIRE(static_cast<bool>(is), "reproducer: malformed config line");
+    // Optional trailing fabric shape (absent in single-chain files,
+    // including the whole pre-fabric corpus).
+    if (is >> key) {
+      VCOMP_REQUIRE(key == "chains",
+                    "reproducer: unknown config key '" + key + "'");
+      is >> sc.num_chains >> value >> sc.partition_seed;
+      VCOMP_REQUIRE(static_cast<bool>(is),
+                    "reproducer: malformed chains config");
+      VCOMP_REQUIRE(scan::partition_from_string(value, sc.partition),
+                    "reproducer: unknown partition policy '" + value + "'");
+    }
   }
 
   const std::string faults_line = next_content_line(in, "faults");
@@ -164,10 +181,10 @@ Reproducer read_reproducer(std::istream& in) {
   c.faults = fault::collapsed_fault_list(c.netlist);
   c.schedule = core::read_schedule_string(sched);
   c.capture = sc.capture;
-  const std::size_t L = c.netlist.num_dffs();
-  c.out_model = sc.hxor_taps > 0
-                    ? scan::ScanOutModel::hxor(L, std::min(sc.hxor_taps, L))
-                    : scan::ScanOutModel::direct(L);
+  // The fabric shape travels with the embedded schedule (its `chains`
+  // line); the scenario's copy only matters for re-materialization during
+  // shrinking.
+  c.hxor_taps = sc.hxor_taps;
   if (track_all) {
     c.track.assign(c.faults.size(), 1);
   } else {

@@ -55,7 +55,29 @@ Scenario random_scenario(std::uint64_t seed) {
                                    : sc.num_ff;
   sc.max_track_faults = 16 + rng.below(81);  // 16..96
   sc.sim_rounds = 1 + rng.below(2);
+
+  // Fabric shape: half the cases stay on the degenerate single chain so
+  // the N=1 byte-identity paths keep getting fuzzed alongside multi-chain
+  // ones.  num_chains may exceed tiny circuits; materialize clamps.
+  if (rng.chance(1, 2)) {
+    sc.num_chains = 2 + rng.below(3);  // 2..4
+    const auto pol = rng.below(3);
+    sc.partition = pol == 0   ? scan::PartitionPolicy::RoundRobin
+                   : pol == 1 ? scan::PartitionPolicy::Contiguous
+                              : scan::PartitionPolicy::SeededRandom;
+    sc.partition_seed = rng.next();
+  }
   return sc;
+}
+
+scan::Fabric case_fabric(const Case& c) {
+  return scan::Fabric(c.netlist, c.schedule.num_chains, c.schedule.partition,
+                      c.schedule.partition_seed);
+}
+
+scan::FabricOut case_out_model(const Case& c, const scan::Fabric& fabric) {
+  return c.hxor_taps > 0 ? scan::FabricOut::hxor(fabric, c.hxor_taps)
+                         : scan::FabricOut::direct(fabric);
 }
 
 Case materialize(const Scenario& sc) {
@@ -92,16 +114,27 @@ Case materialize(const Scenario& sc) {
 
   const std::size_t L = c.netlist.num_dffs();
   c.capture = sc.capture;
-  c.out_model = sc.hxor_taps > 0
-                    ? scan::ScanOutModel::hxor(L, std::min(sc.hxor_taps, L))
-                    : scan::ScanOutModel::direct(L);
+  c.hxor_taps = sc.hxor_taps;
 
-  // Schedule construction: random vectors whose retained scan bits equal
-  // the fault-free chain content, advanced with a single-pattern WordSim
-  // (bit 0) — the same invariant StitchTracker::apply_stitched asserts.
+  // Fabric: clamp the requested chain count into [1, L] (tiny circuits may
+  // not fit the drawn count) and record the shape on the schedule so the
+  // case round-trips through schedule_io and the reproducer format.
+  const std::size_t nchains =
+      std::min(std::max<std::size_t>(1, sc.num_chains), L);
+  const scan::Fabric fabric(c.netlist, nchains, sc.partition,
+                            sc.partition_seed);
+  c.schedule.num_chains = fabric.num_chains();
+  c.schedule.partition = fabric.policy();
+  c.schedule.partition_seed = fabric.seed();
+  const bool multi = fabric.num_chains() > 1;
+
+  // Schedule construction: random vectors whose retained scan bits (per
+  // chain, positions >= plan[c]) equal the fault-free fabric content,
+  // advanced with a single-pattern WordSim (bit 0) — the same invariant
+  // StitchTracker::apply_stitched asserts.  chain/next are flat
+  // chain-major fabric images.
   Rng rng(sc.seed ^ util::splitmix64(kScheduleSalt));
   sim::WordSim sim(c.netlist);
-  const scan::ScanChain map(c.netlist);
   std::vector<std::uint8_t> chain(L, 0), next(L, 0);
 
   auto apply_and_capture = [&](const TestVector& v) {
@@ -111,24 +144,26 @@ Case materialize(const Scenario& sc) {
       sim.set_state(i, v.ppi[i] ? ~Word{0} : Word{0});
     sim.eval();
     for (std::size_t pos = 0; pos < L; ++pos)
-      next[pos] =
-          static_cast<std::uint8_t>(sim.next_state(map.dff_at(pos)) & 1);
+      next[pos] = static_cast<std::uint8_t>(
+          sim.next_state(fabric.dff_at_flat(pos)) & 1);
     for (std::size_t pos = 0; pos < L; ++pos)
       chain[pos] = sc.capture == scan::CaptureMode::VXor
                        ? static_cast<std::uint8_t>(chain[pos] ^ next[pos])
                        : next[pos];
   };
 
-  auto random_vector = [&](std::size_t s) {
+  auto random_vector = [&](const scan::ShiftPlan& plan) {
     TestVector v;
     v.pi.resize(c.netlist.num_inputs());
     for (auto& b : v.pi) b = rng.bit();
     v.ppi.resize(L);
-    for (std::size_t pos = 0; pos < L; ++pos) {
-      const auto dff = map.dff_at(pos);
-      v.ppi[dff] = (s < L && pos >= s)
-                       ? chain[pos - s]
-                       : static_cast<std::uint8_t>(rng.bit());
+    for (std::size_t ch = 0; ch < fabric.num_chains(); ++ch) {
+      const std::size_t s = plan[ch];
+      const std::size_t off = fabric.chain_offset(ch);
+      for (std::size_t p = 0; p < fabric.chain_length(ch); ++p)
+        v.ppi[fabric.dff_at(ch, p)] =
+            p >= s ? chain[off + p - s]
+                   : static_cast<std::uint8_t>(rng.bit());
     }
     return v;
   };
@@ -136,22 +171,26 @@ Case materialize(const Scenario& sc) {
   const std::size_t fixed_s = std::max<std::size_t>(
       1, std::min(L, L * std::min<std::size_t>(sc.fixed_numerator, 8) / 8));
 
-  TestVector first = random_vector(L);
+  const scan::ShiftPlan full_plan = fabric.plan_for(L);
+  TestVector first = random_vector(full_plan);
   for (std::size_t pos = 0; pos < L; ++pos)
-    chain[pos] = first.ppi[map.dff_at(pos)];
+    chain[pos] = first.ppi[fabric.dff_at_flat(pos)];
   c.schedule.vectors.push_back(first);
   c.schedule.shifts.push_back(L);
+  if (multi) c.schedule.plans.push_back(full_plan);
   apply_and_capture(first);
 
   for (std::size_t cy = 0; cy < sc.cycles; ++cy) {
     const std::size_t s =
         sc.shift_kind == ShiftKind::Fixed ? fixed_s : 1 + rng.below(L);
-    TestVector v = random_vector(s);
-    // Post-shift chain content is the vector's scan field by definition.
+    const scan::ShiftPlan plan = fabric.plan_for(s);
+    TestVector v = random_vector(plan);
+    // Post-shift fabric content is the vector's scan field by definition.
     for (std::size_t pos = 0; pos < L; ++pos)
-      chain[pos] = v.ppi[map.dff_at(pos)];
+      chain[pos] = v.ppi[fabric.dff_at_flat(pos)];
     c.schedule.vectors.push_back(v);
     c.schedule.shifts.push_back(s);
+    if (multi) c.schedule.plans.push_back(plan);
     apply_and_capture(v);
   }
   c.schedule.terminal_observe = std::min(sc.terminal_observe, L);
@@ -170,19 +209,19 @@ std::string describe(const Scenario& sc) {
       sc.shift_kind == ShiftKind::Fixed
           ? "fixed" + std::to_string(sc.fixed_numerator) + "/8"
           : "var";
-  char buf[256];
+  char buf[320];
   std::snprintf(
       buf, sizeof(buf),
       "seed=%llu pi=%zu po=%zu ff=%zu gates=%zu arity=%zu depth=%zu "
       "ease=%u capture=%s hxor=%zu shift=%s cycles=%zu observe=%zu "
-      "faults=%zu rounds=%zu",
+      "faults=%zu rounds=%zu chains=%zu part=%s",
       static_cast<unsigned long long>(sc.seed), sc.num_pi, sc.num_po,
       sc.num_ff, sc.num_gates, sc.max_arity, sc.depth_limit,
       sc.easiness_milli,
       sc.capture == scan::CaptureMode::VXor ? "vxor" : "normal", sc.hxor_taps,
       shift.c_str(), sc.cycles, sc.terminal_observe,
       sc.fault_subset.empty() ? sc.max_track_faults : sc.fault_subset.size(),
-      sc.sim_rounds);
+      sc.sim_rounds, sc.num_chains, scan::to_string(sc.partition));
   return buf;
 }
 

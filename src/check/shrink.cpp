@@ -90,6 +90,20 @@ ShrinkResult shrink(const Scenario& sc, const Failure& failure,
       try_adopt(std::move(cand));
     }
 
+    // Degenerate fabric: one chain first, then the default partition.
+    if (r.scenario.num_chains > 1) {
+      Scenario cand = r.scenario;
+      cand.num_chains = 1;
+      try_adopt(std::move(cand));
+    }
+    if (r.scenario.partition != scan::PartitionPolicy::RoundRobin ||
+        r.scenario.partition_seed != 0) {
+      Scenario cand = r.scenario;
+      cand.partition = scan::PartitionPolicy::RoundRobin;
+      cand.partition_seed = 0;
+      try_adopt(std::move(cand));
+    }
+
     // Simpler modes.
     if (r.scenario.capture == scan::CaptureMode::VXor) {
       Scenario cand = r.scenario;

@@ -29,22 +29,70 @@ std::vector<std::uint8_t> parse_bits(const std::string& s) {
   return bits;
 }
 
+/// Parses the <shift> field of a vector line: a scalar shift count, or a
+/// comma-separated per-chain plan whose sum is the master shift size.
+void parse_shift_field(const std::string& tok, std::size_t& shift,
+                       scan::ShiftPlan& plan) {
+  plan.clear();
+  std::size_t value = 0;
+  bool have_digit = false;
+  bool comma_list = false;
+  for (char ch : tok) {
+    if (ch == ',') {
+      VCOMP_REQUIRE(have_digit, "malformed shift plan in schedule");
+      plan.push_back(value);
+      value = 0;
+      have_digit = false;
+      comma_list = true;
+      continue;
+    }
+    VCOMP_REQUIRE(ch >= '0' && ch <= '9', "bad shift character in schedule");
+    value = value * 10 + static_cast<std::size_t>(ch - '0');
+    have_digit = true;
+  }
+  VCOMP_REQUIRE(have_digit, "malformed shift field in schedule");
+  if (comma_list) {
+    plan.push_back(value);
+    shift = 0;
+    for (std::size_t v : plan) shift += v;
+  } else {
+    shift = value;
+  }
+}
+
 }  // namespace
 
 void write_schedule(std::ostream& out, const StitchedSchedule& schedule) {
   VCOMP_REQUIRE(schedule.vectors.size() == schedule.shifts.size(),
                 "schedule shape mismatch");
+  const bool multi = schedule.num_chains > 1;
+  if (multi)
+    VCOMP_REQUIRE(schedule.plans.size() == schedule.vectors.size(),
+                  "multi-chain schedule is missing per-chain plans");
   out << "# vcomp stitched test program\n";
   const std::size_t chain =
       schedule.vectors.empty() ? 0 : schedule.vectors[0].ppi.size();
   const std::size_t pis =
       schedule.vectors.empty() ? 0 : schedule.vectors[0].pi.size();
   out << "chain " << chain << "\n";
+  if (multi)
+    out << "chains " << schedule.num_chains << " "
+        << scan::to_string(schedule.partition) << " "
+        << schedule.partition_seed << "\n";
   out << "pis " << pis << "\n";
   for (std::size_t c = 0; c < schedule.vectors.size(); ++c) {
     const auto& v = schedule.vectors[c];
-    out << "vector " << schedule.shifts[c] << " " << bits_str(v.pi) << " "
-        << bits_str(v.ppi) << "\n";
+    out << "vector ";
+    if (multi) {
+      const scan::ShiftPlan& plan = schedule.plans[c];
+      VCOMP_REQUIRE(plan.size() == schedule.num_chains,
+                    "plan width does not match the chain count");
+      for (std::size_t k = 0; k < plan.size(); ++k)
+        out << (k == 0 ? "" : ",") << plan[k];
+    } else {
+      out << schedule.shifts[c];
+    }
+    out << " " << bits_str(v.pi) << " " << bits_str(v.ppi) << "\n";
   }
   out << "observe " << schedule.terminal_observe << "\n";
   for (const auto& v : schedule.extra)
@@ -70,13 +118,22 @@ StitchedSchedule read_schedule(std::istream& in) {
     if (kw == "chain") {
       ls >> chain;
       have_chain = true;
+    } else if (kw == "chains") {
+      std::string policy;
+      ls >> sched.num_chains >> policy >> sched.partition_seed;
+      VCOMP_REQUIRE(!ls.fail(), "malformed chains line");
+      VCOMP_REQUIRE(sched.num_chains >= 1, "chain count must be positive");
+      VCOMP_REQUIRE(scan::partition_from_string(policy, sched.partition),
+                    "unknown partition policy: " + policy);
     } else if (kw == "pis") {
       ls >> pis;
     } else if (kw == "vector") {
-      std::size_t shift;
-      std::string pi, ppi;
-      ls >> shift >> pi >> ppi;
+      std::string shift_tok, pi, ppi;
+      ls >> shift_tok >> pi >> ppi;
       VCOMP_REQUIRE(!ls.fail(), "malformed vector line");
+      std::size_t shift = 0;
+      scan::ShiftPlan plan;
+      parse_shift_field(shift_tok, shift, plan);
       atpg::TestVector v;
       v.pi = parse_bits(pi);
       v.ppi = parse_bits(ppi);
@@ -85,6 +142,7 @@ StitchedSchedule read_schedule(std::istream& in) {
       VCOMP_REQUIRE(v.pi.size() == pis, "PI width mismatch in schedule");
       sched.vectors.push_back(std::move(v));
       sched.shifts.push_back(shift);
+      if (!plan.empty()) sched.plans.push_back(std::move(plan));
     } else if (kw == "observe") {
       ls >> sched.terminal_observe;
     } else if (kw == "extra") {
@@ -98,6 +156,16 @@ StitchedSchedule read_schedule(std::istream& in) {
     } else {
       VCOMP_REQUIRE(false, "unknown schedule keyword: " + kw);
     }
+  }
+  if (sched.num_chains > 1) {
+    VCOMP_REQUIRE(sched.plans.size() == sched.vectors.size(),
+                  "multi-chain schedule is missing per-chain plans");
+    for (const scan::ShiftPlan& plan : sched.plans)
+      VCOMP_REQUIRE(plan.size() == sched.num_chains,
+                    "plan width does not match the chain count");
+  } else {
+    VCOMP_REQUIRE(sched.plans.empty(),
+                  "single-chain schedule carries per-chain plans");
   }
   return sched;
 }

@@ -15,7 +15,8 @@ using atpg::Cube;
 using atpg::PodemStatus;
 using atpg::PpiConstraints;
 using atpg::TestVector;
-using scan::ChainState;
+using scan::FabricState;
+using scan::ShiftPlan;
 using sim::Trit;
 using sim::Word;
 
@@ -59,17 +60,17 @@ StitchEngine::StitchEngine(const netlist::Netlist& nl,
       faults_(&faults),
       baseline_(&baseline),
       opts_(options),
-      chain_map_(nl),
+      fabric_(nl, options.num_chains, options.partition,
+              options.partition_seed),
       out_model_(options.hxor_taps > 0
-                     ? scan::ScanOutModel::hxor(nl.num_dffs(),
-                                                options.hxor_taps)
-                     : scan::ScanOutModel::direct(nl.num_dffs())),
+                     ? scan::FabricOut::hxor(fabric_, options.hxor_taps)
+                     : scan::FabricOut::direct(fabric_)),
       eg_(sim::EvalGraph::compile(nl)),
       scoap_(*eg_),
       podem_(eg_, scoap_),
       ssims_(eg_),
       rng_(options.seed) {
-  VCOMP_REQUIRE(nl.num_dffs() > 0, "stitching requires a scan chain");
+  VCOMP_REQUIRE(nl.num_dffs() > 0, "stitching requires a scan fabric");
   VCOMP_REQUIRE(baseline.classes.size() == faults.size(),
                 "baseline classification does not match fault list");
   order_ = target_order(opts_.selection, eg_, faults.faults(), opts_.hardness,
@@ -89,16 +90,19 @@ std::unique_ptr<ShiftPolicy> StitchEngine::make_policy() const {
                                          opts_.variable_decay_after);
 }
 
-PpiConstraints StitchEngine::constraints_for(const ChainState& chain,
-                                             std::size_t s) const {
-  const std::size_t L = chain.length();
+PpiConstraints StitchEngine::constraints_for(const FabricState& state,
+                                             const ShiftPlan& plan) const {
   PpiConstraints cons;
-  cons.fixed.assign(L, Trit::X);
-  // After shifting s bits, the cell at position p >= s holds the value that
-  // is currently at position p - s; those are the stitched (fixed) bits.
-  for (std::size_t p = s; p < L; ++p) {
-    const auto dff = chain_map_.dff_at(p);
-    cons.fixed[dff] = chain.at(p - s) ? Trit::One : Trit::Zero;
+  cons.fixed.assign(fabric_.total_length(), Trit::X);
+  // The 2-D retained region: after shifting plan[c] bits into chain c, its
+  // cell at position p >= plan[c] holds the value currently at p - plan[c];
+  // those are the stitched (fixed) bits on every chain.
+  for (std::size_t c = 0; c < fabric_.num_chains(); ++c) {
+    const std::size_t s = plan[c];
+    for (std::size_t p = s; p < fabric_.chain_length(c); ++p) {
+      const auto dff = fabric_.dff_at(c, p);
+      cons.fixed[dff] = state.chain(c).at(p - s) ? Trit::One : Trit::Zero;
+    }
   }
   return cons;
 }
@@ -111,10 +115,10 @@ void StitchEngine::load_scoring_sim(fault::DiffSim& sim, const TestVector& v) {
 }
 
 std::optional<StitchEngine::Candidate> StitchEngine::generate(
-    const FaultSets& sets, const ChainState& chain, std::size_t s,
+    const FaultSets& sets, const FabricState& state, const ShiftPlan& plan,
     bool first_vector, std::size_t cycle) {
   PpiConstraints cons;
-  if (!first_vector) cons = constraints_for(chain, s);
+  if (!first_vector) cons = constraints_for(state, plan);
   if (tried_this_cycle_.empty())
     tried_this_cycle_.assign(faults_->size(), 0);
   ++cycle_stamp_;
@@ -222,15 +226,19 @@ std::optional<StitchEngine::Candidate> StitchEngine::generate(
     ppi_w_[i] = w;
   }
 
-  // Approximate per-position observability for the scoring pass: a single
-  // difference at position p is visible within s shift cycles iff some tap
-  // t >= p lies within s steps.  (The commit path uses the exact,
-  // cancellation-aware check.)
+  // Approximate per-flat-position observability for the scoring pass: a
+  // single difference at position p of chain c is visible within that
+  // chain's plan[c] shift cycles iff some tap t >= p lies within plan[c]
+  // steps.  (The commit path uses the exact, cancellation-aware check.)
   const std::size_t L = nl_->num_dffs();
   observed_pos_.assign(L, 0);
-  for (std::uint32_t t : out_model_.taps)
-    for (std::size_t p = (t + 1 >= s ? t + 1 - s : 0); p <= t; ++p)
-      observed_pos_[p] = 1;
+  for (std::size_t c = 0; c < fabric_.num_chains(); ++c) {
+    const std::size_t s = plan[c];
+    const std::size_t off = fabric_.chain_offset(c);
+    for (std::uint32_t t : out_model_.chains[c].taps)
+      for (std::size_t p = (t + 1 >= s ? t + 1 - s : 0); p <= t; ++p)
+        observed_pos_[off + p] = 1;
+  }
 
   // On very large uncaught sets, score against a deterministic stride
   // sample — the argmax is statistics, not bookkeeping, so sampling is
@@ -278,7 +286,7 @@ std::optional<StitchEngine::Candidate> StitchEngine::generate(
           Word obs = eff.po_any;
           Word hid = 0;
           for (const auto& d : eff.ppo_diffs) {
-            const std::size_t p = chain_map_.pos_of(d.dff_index);
+            const std::size_t p = fabric_.flat_of(d.dff_index);
             (observed_pos_[p] ? obs : hid) |= d.diff;
           }
           Word any = (obs | hid) & active;
@@ -316,24 +324,30 @@ StitchResult StitchEngine::run() {
   const std::size_t npo = nl_->num_outputs();
   const std::size_t atv = baseline_->vectors.size();
 
+  const std::size_t max_len = fabric_.max_chain_length();
+  const bool multi = fabric_.num_chains() > 1;
+
   StitchResult res;
   res.baseline_vectors = atv;
-  res.baseline_cost = scan::CostMeter::full_scan(npi, npo, L, atv);
+  res.baseline_cost = scan::CostMeter::full_scan(npi, npo, L, max_len, atv);
   for (std::uint8_t t : targetable_) res.targets += t;
+  res.schedule.num_chains = fabric_.num_chains();
+  res.schedule.partition = fabric_.policy();
+  res.schedule.partition_seed = fabric_.seed();
 
   // Track everything except proven redundancies (which no vector can ever
   // differentiate).
   std::vector<std::uint8_t> track(faults_->size(), 1);
   for (std::size_t i = 0; i < faults_->size(); ++i)
     if (baseline_->classes[i] == atpg::FaultClass::Redundant) track[i] = 0;
-  StitchTracker tracker(eg_, *faults_, opts_.capture, out_model_,
+  StitchTracker tracker(eg_, *faults_, opts_.capture, fabric_, out_model_,
                         std::move(track));
   // O(1) loop-termination predicate: the sets maintain the count of
   // targetable faults still in f_u across state transitions.
   tracker.mutable_sets().set_targetable(targetable_);
 
   auto policy = make_policy();
-  scan::CostMeter meter(npi, npo, L);
+  scan::CostMeter meter(npi, npo, L, max_len);
   const std::size_t max_cycles =
       opts_.max_cycles > 0 ? opts_.max_cycles : 6 * atv + 64;
   std::size_t last_shift = L;
@@ -368,13 +382,14 @@ StitchResult StitchEngine::run() {
   while (uncaught_targets_remain() && tracker.cycle() < max_cycles &&
          !below_break_even()) {
     const bool first = tracker.cycle() == 0;
-    auto cand = generate(tracker.sets(), tracker.chain(), policy->current(),
-                         first, tracker.cycle());
+    const scan::ShiftPlan plan = fabric_.plan_for(policy->current());
+    auto cand = generate(tracker.sets(), tracker.state(), plan, first,
+                         tracker.cycle());
     if (!cand) {
       if (first) break;  // nothing generable at all — straight to ex phase
       if (policy->on_failure()) continue;
       // Out of escalations: churn the retained state with a bridge cycle
-      // and retry; the constraint set is a function of the chain content.
+      // and retry; the constraint set is a function of the fabric content.
       if (bridges_used >= opts_.max_bridge_cycles) break;
       ++bridges_used;
       const std::size_t s = policy->current();
@@ -382,16 +397,20 @@ StitchResult StitchEngine::run() {
       bridge.pi.resize(npi);
       for (auto& b : bridge.pi) b = rng_.bit();
       bridge.ppi.resize(L);
-      for (std::size_t p = 0; p < L; ++p) {
-        const auto dff = chain_map_.dff_at(p);
-        bridge.ppi[dff] = p >= s ? tracker.chain().at(p - s)
-                                 : static_cast<std::uint8_t>(rng_.bit());
+      for (std::size_t c = 0; c < fabric_.num_chains(); ++c) {
+        for (std::size_t p = 0; p < fabric_.chain_length(c); ++p) {
+          const auto dff = fabric_.dff_at(c, p);
+          bridge.ppi[dff] = p >= plan[c]
+                                ? tracker.state().chain(c).at(p - plan[c])
+                                : static_cast<std::uint8_t>(rng_.bit());
+        }
       }
-      const auto st = tracker.apply_stitched(bridge, s);
-      meter.stitched_cycle(s);
+      const auto st = tracker.apply_stitched(bridge, plan);
+      meter.stitched_cycle(plan);
       last_shift = s;
       res.schedule.vectors.push_back(std::move(bridge));
       res.schedule.shifts.push_back(s);
+      if (multi) res.schedule.plans.push_back(plan);
       note_cycle(st);
       res.hidden_peak = std::max(res.hidden_peak, st.hidden_after);
       res.cycles.push_back(st);
@@ -404,13 +423,15 @@ StitchResult StitchEngine::run() {
       meter.initial_load();
       res.schedule.vectors.push_back(std::move(cand->vector));
       res.schedule.shifts.push_back(L);
+      if (multi) res.schedule.plans.push_back(fabric_.plan_for(L));
     } else {
       const std::size_t s = policy->current();
-      st = tracker.apply_stitched(cand->vector, s);
-      meter.stitched_cycle(s);
+      st = tracker.apply_stitched(cand->vector, plan);
+      meter.stitched_cycle(plan);
       last_shift = s;
       res.schedule.vectors.push_back(std::move(cand->vector));
       res.schedule.shifts.push_back(s);
+      if (multi) res.schedule.plans.push_back(plan);
     }
     bridges_used = 0;
     policy->on_success();
@@ -492,7 +513,7 @@ StitchResult StitchEngine::run() {
       if (targetable_[i]) ++res.caught_flush;
     if (tracker.partial_observe_suffices(last_shift)) {
       tracker.terminal_observe(last_shift);
-      meter.final_observe(last_shift);
+      meter.final_observe(fabric_.plan_for(last_shift));
       res.schedule.terminal_observe = last_shift;
     } else {
       tracker.terminal_observe(L);
@@ -500,7 +521,7 @@ StitchResult StitchEngine::run() {
       res.schedule.terminal_observe = L;
     }
   } else if (tracker.cycle() > 0) {
-    meter.final_observe(last_shift);
+    meter.final_observe(fabric_.plan_for(last_shift));
     res.schedule.terminal_observe = last_shift;
   }
 

@@ -57,26 +57,52 @@ const TrackerMetrics& tracker_metrics() {
 
 StitchTracker::StitchTracker(sim::EvalGraph::Ref graph,
                              const fault::CollapsedFaults& faults,
-                             scan::CaptureMode capture,
-                             scan::ScanOutModel out_model,
+                             scan::CaptureMode capture, scan::Fabric fabric,
+                             scan::FabricOut out_model,
                              std::vector<std::uint8_t> track)
     : nl_(&graph->netlist()),
       faults_(&faults),
       capture_(capture),
+      fabric_(std::move(fabric)),
       out_model_(std::move(out_model)),
-      chain_map_(*nl_),
       track_(std::move(track)),
       sets_(faults.size()),
-      chain_(nl_->num_dffs()),
+      state_(fabric_),
       model_(graph, faults.faults(), compact_enabled()),
       ssims_(model_.graph()),
       sim0_(&ssims_.at(0)),
       lanes_(model_.graph()),
-      sf_chain_(nl_->num_dffs()) {
-  VCOMP_REQUIRE(nl_->num_dffs() > 0, "tracker requires a scan chain");
+      sf_state_(fabric_) {
+  VCOMP_REQUIRE(nl_->num_dffs() > 0, "tracker requires a scan fabric");
+  VCOMP_REQUIRE(&fabric_.netlist() == nl_,
+                "fabric must partition the tracked netlist");
+  VCOMP_REQUIRE(out_model_.chains.size() == fabric_.num_chains(),
+                "scan-out model must cover every chain");
+  for (std::size_t c = 0; c < fabric_.num_chains(); ++c)
+    for (std::uint32_t t : out_model_.chains[c].taps)
+      VCOMP_REQUIRE(t < fabric_.chain_length(c),
+                    "scan-out tap beyond chain length");
   if (track_.empty()) track_.assign(faults.size(), 1);
   VCOMP_REQUIRE(track_.size() == faults.size(), "track mask size mismatch");
 }
+
+StitchTracker::StitchTracker(const netlist::Netlist& nl,
+                             const fault::CollapsedFaults& faults,
+                             scan::CaptureMode capture, scan::Fabric fabric,
+                             scan::FabricOut out_model,
+                             std::vector<std::uint8_t> track)
+    : StitchTracker(sim::EvalGraph::compile(nl), faults, capture,
+                    std::move(fabric), std::move(out_model),
+                    std::move(track)) {}
+
+StitchTracker::StitchTracker(sim::EvalGraph::Ref graph,
+                             const fault::CollapsedFaults& faults,
+                             scan::CaptureMode capture,
+                             scan::ScanOutModel out_model,
+                             std::vector<std::uint8_t> track)
+    : StitchTracker(graph, faults, capture, scan::Fabric(graph->netlist()),
+                    scan::FabricOut{{std::move(out_model)}},
+                    std::move(track)) {}
 
 StitchTracker::StitchTracker(const netlist::Netlist& nl,
                              const fault::CollapsedFaults& faults,
@@ -99,7 +125,7 @@ void StitchTracker::read_capture_bits() {
   ppo_ff_.resize(L);
   for (std::size_t p = 0; p < L; ++p)
     ppo_ff_[p] = static_cast<std::uint8_t>(
-        sim0_->good_sim().next_state(chain_map_.dff_at(p)) & 1);
+        sim0_->good_sim().next_state(fabric_.dff_at_flat(p)) & 1);
 }
 
 void StitchTracker::read_po_bits() {
@@ -110,24 +136,39 @@ void StitchTracker::read_po_bits() {
 
 CycleStats StitchTracker::apply_first(const TestVector& v) {
   VCOMP_REQUIRE(cycle_ == 0, "apply_first must be the first application");
-  return apply(v, nl_->num_dffs(), /*first=*/true);
+  return apply(v, fabric_.plan_for(nl_->num_dffs()), /*first=*/true);
+}
+
+CycleStats StitchTracker::apply_stitched(const TestVector& v,
+                                         const scan::ShiftPlan& plan) {
+  VCOMP_REQUIRE(cycle_ > 0, "apply_first must precede stitched vectors");
+  VCOMP_REQUIRE(plan.size() == fabric_.num_chains(), "plan size mismatch");
+  const std::size_t total = scan::Fabric::plan_total(plan);
+  VCOMP_REQUIRE(total >= 1 && total <= nl_->num_dffs(),
+                "shift size out of range");
+  // Stitching invariant over the 2-D retained region: on every chain the
+  // retained vector bits equal the fabric content.
+  for (std::size_t c = 0; c < fabric_.num_chains(); ++c) {
+    VCOMP_REQUIRE(plan[c] <= fabric_.chain_length(c),
+                  "per-chain shift exceeds chain length");
+    for (std::size_t p = plan[c]; p < fabric_.chain_length(c); ++p)
+      VCOMP_REQUIRE(v.ppi[fabric_.dff_at(c, p)] ==
+                        state_.chain(c).at(p - plan[c]),
+                    "vector violates the stitched (retained) scan bits");
+  }
+  return apply(v, plan, /*first=*/false);
 }
 
 CycleStats StitchTracker::apply_stitched(const TestVector& v, std::size_t s) {
-  VCOMP_REQUIRE(cycle_ > 0, "apply_first must precede stitched vectors");
-  VCOMP_REQUIRE(s >= 1 && s <= nl_->num_dffs(), "shift size out of range");
-  // Stitching invariant: retained vector bits equal the chain content.
-  for (std::size_t p = s; p < nl_->num_dffs(); ++p)
-    VCOMP_REQUIRE(v.ppi[chain_map_.dff_at(p)] == chain_.at(p - s),
-                  "vector violates the stitched (retained) scan bits");
-  return apply(v, s, /*first=*/false);
+  return apply_stitched(v, fabric_.plan_for(std::min(s, nl_->num_dffs())));
 }
 
-CycleStats StitchTracker::apply(const TestVector& v, std::size_t s,
-                                bool first) {
+CycleStats StitchTracker::apply(const TestVector& v,
+                                const scan::ShiftPlan& plan, bool first) {
   const std::size_t L = nl_->num_dffs();
   const std::size_t npi = nl_->num_inputs();
   const std::size_t npo = nl_->num_outputs();
+  const std::size_t s = scan::Fabric::plan_total(plan);
   CycleStats st;
   st.shift = s;
 
@@ -135,22 +176,27 @@ CycleStats StitchTracker::apply(const TestVector& v, std::size_t s,
     hidden_before_.clear();  // nothing can be hidden before vector 1
     by_pos_.resize(L);
     for (std::size_t p = 0; p < L; ++p)
-      by_pos_[p] = v.ppi[chain_map_.dff_at(p)];
-    chain_.load(by_pos_);
+      by_pos_[p] = v.ppi[fabric_.dff_at_flat(p)];
+    state_.load(by_pos_);
   } else {
-    // Shift phase: the ATE compares s scan-out observations against the
-    // fault-free values; a hidden fault emitting any different value is
-    // caught right here.  The snapshot also feeds the advance phase below
-    // (shift-caught faults are skipped there).
+    // Shift phase: the ATE compares the scan-out observations of every
+    // chain against the fault-free values; a hidden fault emitting any
+    // different value on any chain is caught right here.  The snapshot
+    // also feeds the advance phase below (shift-caught faults are skipped
+    // there).
     const auto t0 = Clock::now();
     const double ts0 = obs::trace_now_us();
     in_bits_.resize(s);
-    for (std::size_t j = 0; j < s; ++j)
-      in_bits_[j] = v.ppi[chain_map_.dff_at(s - 1 - j)];
-    chain_.shift(in_bits_, out_model_, obs_ff_);
+    std::size_t off = 0;
+    for (std::size_t c = 0; c < fabric_.num_chains(); ++c) {
+      for (std::size_t j = 0; j < plan[c]; ++j)
+        in_bits_[off + j] = v.ppi[fabric_.dff_at(c, plan[c] - 1 - j)];
+      off += plan[c];
+    }
+    state_.shift(plan, in_bits_, out_model_, obs_ff_);
     sets_.hidden_list(hidden_before_);
     for (std::size_t i : hidden_before_) {
-      sets_.mutable_hidden_state(i).shift(in_bits_, out_model_, obs_f_);
+      sets_.mutable_hidden_state(i).shift(plan, in_bits_, out_model_, obs_f_);
       if (obs_f_ != obs_ff_) {
         sets_.set_caught(i, cycle_ + 1);
         ++st.caught_at_shift;
@@ -164,12 +210,12 @@ CycleStats StitchTracker::apply(const TestVector& v, std::size_t s,
   ++cycle_;
 
   // Apply & capture the fault-free machine.
-  pre_capture_ = chain_.bits();
+  state_.flat_bits(pre_capture_);
   load_stimulus(*sim0_, v);
   sim0_->commit_good();
   read_po_bits();
   read_capture_bits();
-  chain_.capture(ppo_ff_, capture_);
+  state_.capture(ppo_ff_, capture_);
 
   // Classify freshly differentiated uncaught faults.  Their machines held
   // the same chain content as the fault-free one, so they saw exactly v.
@@ -204,7 +250,7 @@ CycleStats StitchTracker::apply(const TestVector& v, std::size_t s,
           for (const auto& d : eff.ppo_diffs)
             if (d.diff & 1)
               vd.flips.push_back(
-                  static_cast<std::uint32_t>(chain_map_.pos_of(d.dff_index)));
+                  static_cast<std::uint32_t>(fabric_.flat_of(d.dff_index)));
           if (!vd.flips.empty()) vd.kind = 2;
         }
       });
@@ -219,10 +265,10 @@ CycleStats StitchTracker::apply(const TestVector& v, std::size_t s,
     }
     faulty_next_ = ppo_ff_;
     for (std::uint32_t p : vd.flips) faulty_next_[p] ^= 1;
-    sf_chain_.load(pre_capture_);
-    sf_chain_.capture(faulty_next_, capture_);
-    if (sf_chain_ == chain_) continue;  // VXor can cancel the difference
-    sets_.set_hidden(i, sf_chain_);
+    sf_state_.load(pre_capture_);
+    sf_state_.capture(faulty_next_, capture_);
+    if (sf_state_ == state_) continue;  // VXor can cancel the difference
+    sets_.set_hidden(i, sf_state_);
     ++st.new_hidden;
   }
   const double dt1 = secs_since(t1);
@@ -255,15 +301,19 @@ CycleStats StitchTracker::apply(const TestVector& v, std::size_t s,
     state_blocks_.assign(L, Block::zero());
     for (std::size_t k = 0; k < batch_.size(); ++k) {
       lanes_.add_lane();
-      const auto& bits = sets_.hidden_state(batch_[k]).bits();
-      for (std::size_t p = 0; p < L; ++p)
-        state_blocks_[p].w[k / 64] |= Word{bits[p]} << (k % 64);
+      const scan::FabricState& hs = sets_.hidden_state(batch_[k]);
+      for (std::size_t c = 0; c < fabric_.num_chains(); ++c) {
+        const auto& bits = hs.chain(c).bits();
+        const std::size_t base_p = fabric_.chain_offset(c);
+        for (std::size_t p = 0; p < bits.size(); ++p)
+          state_blocks_[base_p + p].w[k / 64] |= Word{bits[p]} << (k % 64);
+      }
       lanes_.inject_mapped(static_cast<int>(k), model_.mapped(batch_[k]));
     }
     for (std::size_t pi = 0; pi < npi; ++pi)
       lanes_.set_pi_all(pi, v.pi[pi] != 0);
     for (std::size_t p = 0; p < L; ++p)
-      lanes_.set_state_block(chain_map_.dff_at(p), state_blocks_[p]);
+      lanes_.set_state_block(fabric_.dff_at_flat(p), state_blocks_[p]);
     lanes_.eval();
 
     const Block active = Block::lane_mask(batch_.size());
@@ -273,7 +323,7 @@ CycleStats StitchTracker::apply(const TestVector& v, std::size_t s,
     po_diff &= active;
     next_blocks_.resize(L);
     for (std::size_t p = 0; p < L; ++p)
-      next_blocks_[p] = lanes_.next_state_block(chain_map_.dff_at(p));
+      next_blocks_[p] = lanes_.next_state_block(fabric_.dff_at_flat(p));
 
     for (std::size_t k = 0; k < batch_.size(); ++k) {
       const std::size_t i = batch_[k];
@@ -285,13 +335,13 @@ CycleStats StitchTracker::apply(const TestVector& v, std::size_t s,
       faulty_next_.resize(L);
       for (std::size_t p = 0; p < L; ++p)
         faulty_next_[p] = static_cast<std::uint8_t>(next_blocks_[p].lane(k));
-      sf_chain_ = sets_.hidden_state(i);
-      sf_chain_.capture(faulty_next_, capture_);
-      if (sf_chain_ == chain_) {
+      sf_state_ = sets_.hidden_state(i);
+      sf_state_.capture(faulty_next_, capture_);
+      if (sf_state_ == state_) {
         sets_.set_uncaught(i);
         ++st.hidden_reverted;
       } else {
-        sets_.mutable_hidden_state(i) = sf_chain_;
+        sets_.mutable_hidden_state(i) = sf_state_;
       }
     }
     profile_.hidden_advanced += batch_.size();
@@ -315,16 +365,32 @@ CycleStats StitchTracker::apply(const TestVector& v, std::size_t s,
   return st;
 }
 
-bool StitchTracker::partial_observe_suffices(std::size_t s) const {
+namespace {
+
+/// Flat chain-major difference between a hidden fault's fabric and the
+/// fault-free fabric, written into \p diff (resized to the total length).
+void fabric_diff(const scan::Fabric& fabric, const scan::FabricState& a,
+                 const scan::FabricState& b, std::vector<std::uint8_t>& diff) {
+  diff.resize(fabric.total_length());
+  for (std::size_t c = 0; c < fabric.num_chains(); ++c) {
+    const auto& ab = a.chain(c).bits();
+    const auto& bb = b.chain(c).bits();
+    const std::size_t base = fabric.chain_offset(c);
+    for (std::size_t p = 0; p < ab.size(); ++p)
+      diff[base + p] = static_cast<std::uint8_t>(ab[p] ^ bb[p]);
+  }
+}
+
+}  // namespace
+
+bool StitchTracker::partial_observe_suffices(
+    const scan::ShiftPlan& plan) const {
   const auto t0 = Clock::now();
-  const std::size_t L = nl_->num_dffs();
-  diff_.resize(L);
   bool ok = true;
   sets_.hidden_list(observe_list_);
   for (std::size_t i : observe_list_) {
-    const auto& bits = sets_.hidden_state(i).bits();
-    for (std::size_t p = 0; p < L; ++p) diff_[p] = bits[p] ^ chain_.at(p);
-    if (!scan::diff_observable(diff_, s, out_model_)) {
+    fabric_diff(fabric_, sets_.hidden_state(i), state_, diff_);
+    if (!scan::fabric_diff_observable(fabric_, diff_, plan, out_model_)) {
       ok = false;
       break;
     }
@@ -335,18 +401,21 @@ bool StitchTracker::partial_observe_suffices(std::size_t s) const {
   return ok;
 }
 
-std::size_t StitchTracker::terminal_observe(std::size_t s) {
-  VCOMP_REQUIRE(s <= nl_->num_dffs(), "observe size out of range");
+bool StitchTracker::partial_observe_suffices(std::size_t s) const {
+  return partial_observe_suffices(fabric_.plan_for(s));
+}
+
+std::size_t StitchTracker::terminal_observe(const scan::ShiftPlan& plan) {
+  VCOMP_REQUIRE(plan.size() == fabric_.num_chains(), "plan size mismatch");
+  VCOMP_REQUIRE(scan::Fabric::plan_total(plan) <= nl_->num_dffs(),
+                "observe size out of range");
   const auto t0 = Clock::now();
   const double ts0 = obs::trace_now_us();
-  const std::size_t L = nl_->num_dffs();
-  diff_.resize(L);
   std::size_t caught = 0;
   sets_.hidden_list(observe_list_);
   for (std::size_t i : observe_list_) {
-    const auto& bits = sets_.hidden_state(i).bits();
-    for (std::size_t p = 0; p < L; ++p) diff_[p] = bits[p] ^ chain_.at(p);
-    if (scan::diff_observable(diff_, s, out_model_)) {
+    fabric_diff(fabric_, sets_.hidden_state(i), state_, diff_);
+    if (scan::fabric_diff_observable(fabric_, diff_, plan, out_model_)) {
       sets_.set_caught(i, cycle_ + 1);
       ++caught;
     }
@@ -358,6 +427,10 @@ std::size_t StitchTracker::terminal_observe(std::size_t s) {
   m.terminal_caught.add(caught);
   obs::trace_complete("tracker.terminal_observe", ts0, dt);
   return caught;
+}
+
+std::size_t StitchTracker::terminal_observe(std::size_t s) {
+  return terminal_observe(fabric_.plan_for(s));
 }
 
 }  // namespace vcomp::core

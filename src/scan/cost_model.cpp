@@ -1,36 +1,68 @@
 #include "vcomp/scan/cost_model.hpp"
 
+#include <algorithm>
+
 #include "vcomp/util/assert.hpp"
 
 namespace vcomp::scan {
 
 CostMeter::CostMeter(std::size_t num_pi, std::size_t num_po,
                      std::size_t chain_len)
-    : pi_(num_pi), po_(num_po), len_(chain_len) {
-  VCOMP_REQUIRE(chain_len > 0, "cost model needs a non-empty scan chain");
+    : CostMeter(num_pi, num_po, chain_len, chain_len) {}
+
+CostMeter::CostMeter(std::size_t num_pi, std::size_t num_po,
+                     std::size_t total_len, std::size_t max_chain_len)
+    : pi_(num_pi), po_(num_po), len_(total_len), max_len_(max_chain_len) {
+  VCOMP_REQUIRE(total_len > 0, "cost model needs a non-empty scan fabric");
+  VCOMP_REQUIRE(max_chain_len >= 1 && max_chain_len <= total_len,
+                "longest chain length out of range");
 }
 
 void CostMeter::initial_load() {
-  cost_.shift_cycles += len_;
+  cost_.shift_cycles += max_len_;
   cost_.stim_bits += pi_ + len_;
   cost_.resp_bits += po_;
 }
 
 void CostMeter::stitched_cycle(std::size_t s) {
   VCOMP_REQUIRE(s >= 1 && s <= len_, "shift size out of range");
-  cost_.shift_cycles += s;
+  cost_.shift_cycles += std::min(s, max_len_);
   cost_.stim_bits += pi_ + s;
   cost_.resp_bits += po_ + s;
 }
 
+void CostMeter::stitched_cycle(const std::vector<std::size_t>& plan) {
+  std::size_t mx = 0, total = 0;
+  for (std::size_t v : plan) {
+    mx = std::max(mx, v);
+    total += v;
+  }
+  VCOMP_REQUIRE(total >= 1 && total <= len_ && mx <= max_len_,
+                "shift plan out of range");
+  cost_.shift_cycles += mx;
+  cost_.stim_bits += pi_ + total;
+  cost_.resp_bits += po_ + total;
+}
+
 void CostMeter::final_observe(std::size_t s) {
   VCOMP_REQUIRE(s <= len_, "observe size out of range");
-  cost_.shift_cycles += s;
+  cost_.shift_cycles += std::min(s, max_len_);
   cost_.resp_bits += s;
 }
 
+void CostMeter::final_observe(const std::vector<std::size_t>& plan) {
+  std::size_t mx = 0, total = 0;
+  for (std::size_t v : plan) {
+    mx = std::max(mx, v);
+    total += v;
+  }
+  VCOMP_REQUIRE(total <= len_ && mx <= max_len_, "observe plan out of range");
+  cost_.shift_cycles += mx;
+  cost_.resp_bits += total;
+}
+
 void CostMeter::flush() {
-  cost_.shift_cycles += len_;
+  cost_.shift_cycles += max_len_;
   cost_.resp_bits += len_;
 }
 
@@ -38,17 +70,23 @@ void CostMeter::extra_full_vectors(std::size_t ex) {
   if (ex == 0) return;
   // ex loads (the first of which flushes the stitched state) plus the final
   // response shift-out.
-  cost_.shift_cycles += (ex + 1) * len_;
+  cost_.shift_cycles += (ex + 1) * max_len_;
   cost_.stim_bits += ex * (pi_ + len_);
   cost_.resp_bits += len_ + ex * (po_ + len_);
 }
 
 Cost CostMeter::full_scan(std::size_t num_pi, std::size_t num_po,
                           std::size_t chain_len, std::size_t num_vectors) {
+  return full_scan(num_pi, num_po, chain_len, chain_len, num_vectors);
+}
+
+Cost CostMeter::full_scan(std::size_t num_pi, std::size_t num_po,
+                          std::size_t total_len, std::size_t max_chain_len,
+                          std::size_t num_vectors) {
   Cost c;
-  c.shift_cycles = (num_vectors + 1) * chain_len;
-  c.stim_bits = num_vectors * (num_pi + chain_len);
-  c.resp_bits = num_vectors * (num_po + chain_len);
+  c.shift_cycles = (num_vectors + 1) * max_chain_len;
+  c.stim_bits = num_vectors * (num_pi + total_len);
+  c.resp_bits = num_vectors * (num_po + total_len);
   return c;
 }
 

@@ -72,13 +72,18 @@ void ChainState::shift(std::span<const std::uint8_t> in_bits,
   observed.clear();
   observed.reserve(in_bits.size());
   for (std::size_t j = 0; j < in_bits.size(); ++j) {
-    std::uint8_t obs = 0;
-    for (std::uint32_t t : out.taps) obs ^= bits_[t];
-    observed.push_back(obs);
-    // One shift cycle: everything moves one step toward the tail.
-    for (std::size_t i = bits_.size(); i-- > 1;) bits_[i] = bits_[i - 1];
-    bits_[0] = in_bits[j] & 1;
+    observed.push_back(shift_one(in_bits[j], out));
   }
+}
+
+std::uint8_t ChainState::shift_one(std::uint8_t in_bit,
+                                   const ScanOutModel& out) {
+  std::uint8_t obs = 0;
+  for (std::uint32_t t : out.taps) obs ^= bits_[t];
+  // One shift cycle: everything moves one step toward the tail.
+  for (std::size_t i = bits_.size(); i-- > 1;) bits_[i] = bits_[i - 1];
+  bits_[0] = in_bit & 1;
+  return obs;
 }
 
 void ChainState::capture(std::span<const std::uint8_t> next_state,

@@ -6,6 +6,16 @@ namespace vcomp::core {
 namespace {
 
 using scan::ChainState;
+using scan::FabricState;
+
+/// Single-chain hidden state (the degenerate fabric).
+FabricState one_chain(std::vector<std::uint8_t> bits) {
+  return FabricState{std::vector<ChainState>{ChainState{std::move(bits)}}};
+}
+
+FabricState one_chain(std::size_t length) {
+  return FabricState{std::vector<ChainState>{ChainState{length}}};
+}
 
 TEST(FaultSets, InitialStateAllUncaught) {
   FaultSets fs(5);
@@ -16,13 +26,24 @@ TEST(FaultSets, InitialStateAllUncaught) {
   EXPECT_EQ(fs.num_hidden(), 0u);
 }
 
-TEST(FaultSets, HiddenCarriesChainState) {
+TEST(FaultSets, HiddenCarriesFabricState) {
   FaultSets fs(3);
-  fs.set_hidden(1, ChainState{std::vector<std::uint8_t>{1, 0, 1}});
+  fs.set_hidden(1, one_chain({1, 0, 1}));
   EXPECT_EQ(fs.state(1), FaultState::Hidden);
-  EXPECT_EQ(fs.hidden_state(1).bits(),
+  EXPECT_EQ(fs.hidden_state(1).chain(0).bits(),
             (std::vector<std::uint8_t>{1, 0, 1}));
   EXPECT_EQ(fs.num_hidden(), 1u);
+}
+
+TEST(FaultSets, HiddenCarriesMultiChainFabric) {
+  FaultSets fs(2);
+  fs.set_hidden(0, FabricState{std::vector<ChainState>{
+                       ChainState{std::vector<std::uint8_t>{1, 0}},
+                       ChainState{std::vector<std::uint8_t>{0, 1, 1}}}});
+  EXPECT_EQ(fs.hidden_state(0).num_chains(), 2u);
+  EXPECT_EQ(fs.hidden_state(0).total_length(), 5u);
+  EXPECT_EQ(fs.hidden_state(0).chain(1).bits(),
+            (std::vector<std::uint8_t>{0, 1, 1}));
 }
 
 TEST(FaultSets, CaughtIsAbsorbing) {
@@ -31,12 +52,12 @@ TEST(FaultSets, CaughtIsAbsorbing) {
   EXPECT_EQ(fs.state(0), FaultState::Caught);
   EXPECT_EQ(fs.catch_cycle(0), 7u);
   EXPECT_THROW(fs.set_caught(0, 8), vcomp::ContractError);
-  EXPECT_THROW(fs.set_hidden(0, ChainState(3)), vcomp::ContractError);
+  EXPECT_THROW(fs.set_hidden(0, one_chain(3)), vcomp::ContractError);
 }
 
 TEST(FaultSets, HiddenToCaughtReleasesState) {
   FaultSets fs(2);
-  fs.set_hidden(0, ChainState(4));
+  fs.set_hidden(0, one_chain(4));
   fs.set_caught(0, 2);
   EXPECT_EQ(fs.num_hidden(), 0u);
   EXPECT_EQ(fs.num_caught(), 1u);
@@ -45,7 +66,7 @@ TEST(FaultSets, HiddenToCaughtReleasesState) {
 TEST(FaultSets, HiddenFallsBackToUncaught) {
   // The paper's f_h -> f_u transition (faulty machine re-converged).
   FaultSets fs(2);
-  fs.set_hidden(1, ChainState(4));
+  fs.set_hidden(1, one_chain(4));
   fs.set_uncaught(1);
   EXPECT_EQ(fs.state(1), FaultState::Uncaught);
   EXPECT_EQ(fs.num_hidden(), 0u);
@@ -55,8 +76,8 @@ TEST(FaultSets, HiddenFallsBackToUncaught) {
 
 TEST(FaultSets, HiddenListSnapshots) {
   FaultSets fs(5);
-  fs.set_hidden(1, ChainState(2));
-  fs.set_hidden(3, ChainState(2));
+  fs.set_hidden(1, one_chain(2));
+  fs.set_hidden(3, one_chain(2));
   auto list = fs.hidden_list();
   std::sort(list.begin(), list.end());
   EXPECT_EQ(list, (std::vector<std::size_t>{1, 3}));
@@ -64,10 +85,10 @@ TEST(FaultSets, HiddenListSnapshots) {
 
 TEST(FaultSets, HiddenStateUpdatable) {
   FaultSets fs(1);
-  fs.set_hidden(0, ChainState{std::vector<std::uint8_t>{0, 0}});
-  fs.mutable_hidden_state(0) =
-      ChainState{std::vector<std::uint8_t>{1, 1}};
-  EXPECT_EQ(fs.hidden_state(0).bits(), (std::vector<std::uint8_t>{1, 1}));
+  fs.set_hidden(0, one_chain({0, 0}));
+  fs.mutable_hidden_state(0) = one_chain({1, 1});
+  EXPECT_EQ(fs.hidden_state(0).chain(0).bits(),
+            (std::vector<std::uint8_t>{1, 1}));
 }
 
 TEST(FaultSets, CatchCycleRequiresCaught) {

@@ -55,6 +55,101 @@ TEST(ScheduleIo, EmptyPiFieldUsesDash) {
   EXPECT_TRUE(parsed.vectors[0].pi.empty());
 }
 
+StitchedSchedule multi_sample() {
+  StitchedSchedule s = sample();
+  s.num_chains = 2;
+  s.partition = scan::PartitionPolicy::Contiguous;
+  s.partition_seed = 7;
+  s.plans = {{2, 1}, {1, 1}};  // per-chain apportionment of shifts {3, 2}
+  return s;
+}
+
+TEST(ScheduleIo, MultiChainRoundTrip) {
+  const auto s = multi_sample();
+  const auto text = write_schedule_string(s);
+  EXPECT_NE(text.find("chains 2 contiguous 7"), std::string::npos);
+  const auto parsed = read_schedule_string(text);
+  EXPECT_EQ(parsed.num_chains, 2u);
+  EXPECT_EQ(parsed.partition, scan::PartitionPolicy::Contiguous);
+  EXPECT_EQ(parsed.partition_seed, 7u);
+  EXPECT_EQ(parsed.plans, s.plans);
+  // Master shifts are re-derived as the plan sums.
+  EXPECT_EQ(parsed.shifts, s.shifts);
+  EXPECT_EQ(parsed.terminal_observe, s.terminal_observe);
+  // Second round trip textually stable.
+  EXPECT_EQ(write_schedule_string(parsed), text);
+}
+
+// Single-chain schedules must keep the exact historical text format: no
+// chains header, scalar shift fields.  The literal below is the committed
+// pre-fabric format; it must both parse and be reproduced byte-for-byte.
+TEST(ScheduleIo, SingleChainBackwardCompatible) {
+  const std::string legacy =
+      "# vcomp stitched test program\n"
+      "chain 3\n"
+      "pis 2\n"
+      "vector 3 10 110\n"
+      "vector 2 00 001\n"
+      "observe 2\n"
+      "extra 11 010\n";
+  const auto parsed = read_schedule_string(legacy);
+  EXPECT_EQ(parsed.num_chains, 1u);
+  EXPECT_TRUE(parsed.plans.empty());
+  EXPECT_EQ(parsed.shifts, (std::vector<std::size_t>{3, 2}));
+  EXPECT_EQ(write_schedule_string(parsed), legacy);
+  // And writing a fresh single-chain schedule never emits a chains line.
+  EXPECT_EQ(write_schedule_string(sample()).find("chains"),
+            std::string::npos);
+}
+
+TEST(ScheduleIo, MultiChainRejectsMalformedPlans) {
+  // chains header but scalar shift fields: plans are missing.
+  EXPECT_THROW(read_schedule_string("chain 3\n"
+                                    "chains 2 round-robin 0\n"
+                                    "pis 0\n"
+                                    "vector 2 - 110\n"),
+               vcomp::ContractError);
+  // Plan width disagrees with the chain count.
+  EXPECT_THROW(read_schedule_string("chain 3\n"
+                                    "chains 2 round-robin 0\n"
+                                    "pis 0\n"
+                                    "vector 1,1,1 - 110\n"),
+               vcomp::ContractError);
+  // Unknown partition policy.
+  EXPECT_THROW(read_schedule_string("chain 3\n"
+                                    "chains 2 zigzag 0\n"
+                                    "pis 0\n"
+                                    "vector 1,1 - 110\n"),
+               vcomp::ContractError);
+  // Single-chain schedules must not carry plans.
+  EXPECT_THROW(read_schedule_string("chain 3\n"
+                                    "pis 0\n"
+                                    "vector 1,1 - 110\n"),
+               vcomp::ContractError);
+}
+
+TEST(ScheduleIo, MultiChainEngineScheduleRoundTrips) {
+  CircuitLab lab("fig1", netgen::example_circuit());
+  StitchOptions opts;
+  opts.fixed_shift = 2;
+  opts.num_chains = 2;
+  opts.partition = scan::PartitionPolicy::SeededRandom;
+  opts.partition_seed = 11;
+  const auto run = lab.run(opts);
+  ASSERT_EQ(run.schedule.num_chains, 2u);
+  ASSERT_EQ(run.schedule.plans.size(), run.schedule.vectors.size());
+  const auto parsed =
+      read_schedule_string(write_schedule_string(run.schedule));
+  EXPECT_EQ(parsed.num_chains, run.schedule.num_chains);
+  EXPECT_EQ(parsed.partition, run.schedule.partition);
+  EXPECT_EQ(parsed.partition_seed, run.schedule.partition_seed);
+  EXPECT_EQ(parsed.plans, run.schedule.plans);
+  EXPECT_EQ(parsed.shifts, run.schedule.shifts);
+  EXPECT_EQ(parsed.terminal_observe, run.schedule.terminal_observe);
+  for (std::size_t i = 0; i < parsed.vectors.size(); ++i)
+    EXPECT_EQ(parsed.vectors[i], run.schedule.vectors[i]);
+}
+
 TEST(ScheduleIo, RejectsGarbage) {
   EXPECT_THROW(read_schedule_string("frobnicate 3\n"), vcomp::ContractError);
   EXPECT_THROW(read_schedule_string("chain 3\npis 0\nvector 2 - 1x1\n"),

@@ -88,11 +88,11 @@ TEST_P(TrackerWalk, InvariantsHoldEveryCycle) {
     ASSERT_GE(tracker.sets().num_caught(), prev_caught);
     prev_caught = tracker.sets().num_caught();
 
-    // Every hidden fault's private chain genuinely differs from the
-    // fault-free chain — otherwise it should have reverted to f_u.
+    // Every hidden fault's private fabric genuinely differs from the
+    // fault-free fabric — otherwise it should have reverted to f_u.
     for (std::size_t i : tracker.sets().hidden_list()) {
       ASSERT_EQ(tracker.sets().state(i), FaultState::Hidden);
-      ASSERT_NE(tracker.sets().hidden_state(i), tracker.chain())
+      ASSERT_NE(tracker.sets().hidden_state(i), tracker.state())
           << fault_name(nl, cf[i]);
     }
     ASSERT_EQ(tracker.sets().num_hidden(),

@@ -1,0 +1,304 @@
+#include "vcomp/scan/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "vcomp/netgen/example_circuit.hpp"
+#include "vcomp/netgen/netgen.hpp"
+#include "vcomp/util/assert.hpp"
+#include "vcomp/util/rng.hpp"
+
+namespace vcomp::scan {
+namespace {
+
+using Bits = std::vector<std::uint8_t>;
+
+Bits random_bits(Rng& rng, std::size_t n) {
+  Bits b(n);
+  for (auto& v : b) v = rng.bit();
+  return b;
+}
+
+TEST(PartitionPolicy, StringRoundTrip) {
+  for (auto p : {PartitionPolicy::RoundRobin, PartitionPolicy::Contiguous,
+                 PartitionPolicy::SeededRandom}) {
+    PartitionPolicy back{};
+    ASSERT_TRUE(partition_from_string(to_string(p), back));
+    EXPECT_EQ(back, p);
+  }
+  PartitionPolicy out{};
+  EXPECT_FALSE(partition_from_string("snake", out));
+}
+
+TEST(Fabric, SingleChainIsIdentityForEveryPolicy) {
+  auto nl = netgen::generate("s444");
+  ScanChain chain(nl);
+  for (auto p : {PartitionPolicy::RoundRobin, PartitionPolicy::Contiguous,
+                 PartitionPolicy::SeededRandom}) {
+    Fabric f(nl, 1, p, 42);
+    ASSERT_EQ(f.num_chains(), 1u);
+    ASSERT_EQ(f.total_length(), chain.length());
+    EXPECT_EQ(f.max_chain_length(), chain.length());
+    for (std::size_t pos = 0; pos < chain.length(); ++pos) {
+      EXPECT_EQ(f.dff_at(0, pos), chain.dff_at(pos));
+      EXPECT_EQ(f.dff_at_flat(pos), chain.dff_at(pos));
+    }
+    for (std::uint32_t d = 0; d < nl.num_dffs(); ++d) {
+      EXPECT_EQ(f.chain_of(d), 0u);
+      EXPECT_EQ(f.pos_of(d), chain.pos_of(d));
+      EXPECT_EQ(f.flat_of(d), chain.pos_of(d));
+    }
+  }
+}
+
+TEST(Fabric, RoundRobinPartition) {
+  auto nl = netgen::generate("s444");  // 21 flip-flops
+  Fabric f(nl, 4, PartitionPolicy::RoundRobin);
+  ASSERT_EQ(f.num_chains(), 4u);
+  for (std::uint32_t d = 0; d < nl.num_dffs(); ++d) {
+    EXPECT_EQ(f.chain_of(d), d % 4);
+    EXPECT_EQ(f.pos_of(d), d / 4);
+  }
+}
+
+TEST(Fabric, ContiguousPartitionIsBalanced) {
+  auto nl = netgen::generate("s444");  // 21 flip-flops -> 6,5,5,5
+  Fabric f(nl, 4, PartitionPolicy::Contiguous);
+  ASSERT_EQ(nl.num_dffs(), 21u);
+  EXPECT_EQ(f.chain_length(0), 6u);
+  EXPECT_EQ(f.chain_length(1), 5u);
+  EXPECT_EQ(f.chain_length(2), 5u);
+  EXPECT_EQ(f.chain_length(3), 5u);
+  // Consecutive dff indices, in order.
+  std::uint32_t expect = 0;
+  for (std::size_t c = 0; c < 4; ++c) {
+    for (std::size_t p = 0; p < f.chain_length(c); ++p) {
+      EXPECT_EQ(f.dff_at(c, p), expect++);
+    }
+  }
+  EXPECT_EQ(f.chain_offset(0), 0u);
+  EXPECT_EQ(f.chain_offset(3), 16u);
+}
+
+TEST(Fabric, EveryPolicyIsAPermutation) {
+  auto nl = netgen::generate("s526");
+  for (auto p : {PartitionPolicy::RoundRobin, PartitionPolicy::Contiguous,
+                 PartitionPolicy::SeededRandom}) {
+    for (std::size_t n : {1u, 2u, 3u, 7u}) {
+      Fabric f(nl, n, p, 1234);
+      std::vector<int> seen(nl.num_dffs(), 0);
+      for (std::size_t fp = 0; fp < f.total_length(); ++fp) {
+        seen[f.dff_at_flat(fp)] += 1;
+      }
+      for (int s : seen) EXPECT_EQ(s, 1);
+      // flat_of inverts dff_at_flat.
+      for (std::size_t fp = 0; fp < f.total_length(); ++fp) {
+        EXPECT_EQ(f.flat_of(f.dff_at_flat(fp)), fp);
+      }
+    }
+  }
+}
+
+TEST(Fabric, SeededRandomIsDeterministicPerSeed) {
+  auto nl = netgen::generate("s444");
+  Fabric a(nl, 3, PartitionPolicy::SeededRandom, 7);
+  Fabric b(nl, 3, PartitionPolicy::SeededRandom, 7);
+  Fabric c(nl, 3, PartitionPolicy::SeededRandom, 8);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Fabric, ExplicitOrdersValidated) {
+  auto nl = netgen::example_circuit();  // 3 flip-flops
+  EXPECT_NO_THROW(Fabric(nl, {{2u, 0u}, {1u}}));
+  EXPECT_THROW(Fabric(nl, {{0u, 0u}, {1u}}), vcomp::ContractError);
+  EXPECT_THROW(Fabric(nl, {{0u, 1u}}), vcomp::ContractError);
+  EXPECT_THROW(Fabric(nl, {{0u, 1u, 2u}, {}}), vcomp::ContractError);
+}
+
+TEST(Fabric, ChainCountValidated) {
+  auto nl = netgen::example_circuit();  // 3 flip-flops
+  EXPECT_NO_THROW(Fabric(nl, 3));
+  EXPECT_THROW(Fabric(nl, 0), vcomp::ContractError);
+  EXPECT_THROW(Fabric(nl, 4), vcomp::ContractError);
+}
+
+TEST(Fabric, PlanForApportionsProportionally) {
+  auto nl = netgen::generate("s526");
+  for (auto p : {PartitionPolicy::RoundRobin, PartitionPolicy::Contiguous,
+                 PartitionPolicy::SeededRandom}) {
+    for (std::size_t n : {1u, 2u, 3u, 5u}) {
+      Fabric f(nl, n, p, 99);
+      for (std::size_t s = 0; s <= f.total_length(); ++s) {
+        const ShiftPlan plan = f.plan_for(s);
+        ASSERT_EQ(plan.size(), n);
+        std::size_t total = 0;
+        for (std::size_t c = 0; c < n; ++c) {
+          EXPECT_LE(plan[c], f.chain_length(c));
+          total += plan[c];
+        }
+        EXPECT_EQ(total, s);
+        EXPECT_EQ(Fabric::plan_total(plan), s);
+        EXPECT_LE(f.plan_cycles(plan), f.max_chain_length());
+      }
+      // A full shift fills every chain exactly.
+      const ShiftPlan full = f.plan_for(f.total_length());
+      for (std::size_t c = 0; c < n; ++c) {
+        EXPECT_EQ(full[c], f.chain_length(c));
+      }
+    }
+  }
+}
+
+TEST(Fabric, PlanForSingleChainIsScalar) {
+  auto nl = netgen::generate("s444");
+  Fabric f(nl);
+  for (std::size_t s = 0; s <= f.total_length(); ++s) {
+    EXPECT_EQ(f.plan_for(s), (ShiftPlan{s}));
+  }
+  EXPECT_THROW(f.plan_for(f.total_length() + 1), vcomp::ContractError);
+}
+
+TEST(Fabric, PlanForBalancedChainsNearlyEqual) {
+  // Equal-length chains must get shares within one bit of each other
+  // (largest remainder never inverts an ordering).
+  auto nl = netgen::generate("s526");  // 21 flip-flops
+  Fabric f(nl, 3, PartitionPolicy::RoundRobin);  // 7,7,7
+  for (std::size_t s = 0; s <= f.total_length(); ++s) {
+    const ShiftPlan plan = f.plan_for(s);
+    const auto [mn, mx] = std::minmax_element(plan.begin(), plan.end());
+    EXPECT_LE(*mx - *mn, 1u);
+  }
+}
+
+TEST(FabricOut, DirectAndHxorPerChain) {
+  auto nl = netgen::generate("s444");  // 21 flip-flops
+  Fabric f(nl, 4, PartitionPolicy::RoundRobin);  // 6,5,5,5
+  const auto direct = FabricOut::direct(f);
+  ASSERT_EQ(direct.chains.size(), 4u);
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(direct.chains[c].taps,
+              (std::vector<std::uint32_t>{
+                  static_cast<std::uint32_t>(f.chain_length(c) - 1)}));
+  }
+  const auto hx = FabricOut::hxor(f, 3);
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(hx.chains[c].taps.size(), 3u);
+  }
+  // Tap counts above the chain length clamp instead of throwing.
+  const auto wide = FabricOut::hxor(f, 64);
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(wide.chains[c].taps.size(), f.chain_length(c));
+  }
+}
+
+// N=1 degeneracy: every FabricState operation must be bit-identical to the
+// single ChainState it wraps.
+TEST(FabricState, SingleChainMatchesChainState) {
+  auto nl = netgen::generate("s444");
+  Fabric f(nl);
+  const std::size_t L = f.total_length();
+  Rng rng(11);
+  for (int trial = 0; trial < 16; ++trial) {
+    FabricState fs(f);
+    ChainState cs(L);
+    const Bits init = random_bits(rng, L);
+    fs.load(init);
+    cs.load(init);
+
+    const std::size_t s = 1 + rng.below(L);
+    const Bits in = random_bits(rng, s);
+    const auto out = FabricOut::hxor(f, 3);
+    const auto single = ScanOutModel::hxor(L, 3);
+    Bits obs_f, obs_c;
+    fs.shift(f.plan_for(s), in, out, obs_f);
+    cs.shift(in, single, obs_c);
+    EXPECT_EQ(obs_f, obs_c);
+    EXPECT_EQ(fs.chain(0), cs);
+
+    const Bits next = random_bits(rng, L);
+    fs.capture(next, CaptureMode::VXor);
+    cs.capture(next, CaptureMode::VXor);
+    EXPECT_EQ(fs.chain(0), cs);
+
+    Bits flat;
+    fs.flat_bits(flat);
+    EXPECT_EQ(flat, cs.bits());
+    for (std::size_t p = 0; p < L; ++p) {
+      EXPECT_EQ(fs.at_flat(p), cs.at(p));
+    }
+  }
+}
+
+// Chains are independent machines: shifting/capturing the fabric must act
+// on each chain exactly as the equivalent standalone ChainState.
+TEST(FabricState, ChainsShiftIndependently) {
+  auto nl = netgen::generate("s526");
+  Rng rng(23);
+  for (auto policy : {PartitionPolicy::RoundRobin, PartitionPolicy::SeededRandom}) {
+    Fabric f(nl, 4, policy, 17);
+    FabricState fs(f);
+    const Bits init = random_bits(rng, f.total_length());
+    fs.load(init);
+
+    std::vector<ChainState> solo;
+    for (std::size_t c = 0; c < 4; ++c) {
+      solo.emplace_back(f.chain_length(c));
+      solo[c].load(std::span<const std::uint8_t>(init).subspan(
+          f.chain_offset(c), f.chain_length(c)));
+    }
+
+    const std::size_t s = 1 + rng.below(f.total_length());
+    const ShiftPlan plan = f.plan_for(s);
+    const Bits in = random_bits(rng, s);
+    const auto out = FabricOut::hxor(f, 2);
+    Bits obs;
+    fs.shift(plan, in, out, obs);
+
+    std::size_t off = 0;
+    Bits expect_obs;
+    for (std::size_t c = 0; c < 4; ++c) {
+      Bits chain_in(in.begin() + static_cast<std::ptrdiff_t>(off),
+                    in.begin() + static_cast<std::ptrdiff_t>(off + plan[c]));
+      Bits chain_obs;
+      solo[c].shift(chain_in, out.chains[c], chain_obs);
+      expect_obs.insert(expect_obs.end(), chain_obs.begin(), chain_obs.end());
+      EXPECT_EQ(fs.chain(c), solo[c]) << "chain " << c;
+      off += plan[c];
+    }
+    EXPECT_EQ(obs, expect_obs);
+  }
+}
+
+TEST(FabricState, ValueSemanticsAndEquality) {
+  auto nl = netgen::example_circuit();
+  Fabric f(nl, 2, PartitionPolicy::RoundRobin);
+  FabricState a(f);
+  a.load(Bits{1, 0, 1});
+  FabricState b = a;
+  EXPECT_EQ(a, b);
+  Bits obs;
+  b.shift(f.plan_for(1), Bits{0}, FabricOut::direct(f), obs);
+  EXPECT_NE(a, b);
+}
+
+TEST(FabricState, ShiftValidatesSizes) {
+  auto nl = netgen::example_circuit();  // 3 flip-flops
+  Fabric f(nl, 2, PartitionPolicy::RoundRobin);  // lengths 2, 1
+  FabricState fs(f);
+  Bits obs;
+  const auto out = FabricOut::direct(f);
+  // Plan exceeding a chain's length.
+  EXPECT_THROW(fs.shift(ShiftPlan{2, 2}, Bits{0, 0, 0, 0}, out, obs),
+               vcomp::ContractError);
+  // Stream size not matching the plan total.
+  EXPECT_THROW(fs.shift(f.plan_for(2), Bits{0}, out, obs),
+               vcomp::ContractError);
+  // Wrong plan arity.
+  EXPECT_THROW(fs.shift(ShiftPlan{1}, Bits{0}, out, obs),
+               vcomp::ContractError);
+}
+
+}  // namespace
+}  // namespace vcomp::scan

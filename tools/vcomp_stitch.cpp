@@ -10,6 +10,14 @@
 //     --out <file>        write the stitched test program
 //     --shift <n>         fixed shift size (default: variable policy)
 //     --info <r>          fixed shift at info point r in (0,1]
+//     --chains <n>        split the scan fabric into n parallel chains
+//                         (default 1: the classic single-chain flow)
+//     --partition <p>     round-robin (default) | contiguous | random
+//                         DFF→chain assignment; VCOMP_PARTITION sets the
+//                         default when the flag is absent
+//     --partition-seed <n> seed for --partition random
+//     --full-scale        lift the netgen gate-budget cap on gen:s38417 /
+//                         gen:s38584 (original gate counts; slower)
 //     --selection <s>     random | hardness | most-faults (default)
 //     --capture <c>       normal (default) | vxor
 //     --hxor <taps>       horizontal-XOR scan-out with <taps> taps
@@ -38,6 +46,7 @@
 #include "vcomp/netlist/bench_io.hpp"
 #include "vcomp/netlist/verilog_io.hpp"
 #include "vcomp/obs/obs.hpp"
+#include "vcomp/scan/fabric.hpp"
 #include "vcomp/util/parallel.hpp"
 
 using namespace vcomp;
@@ -48,6 +57,9 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <netlist.bench|gen:profile> [--out f]\n"
                "       [--shift n | --info r]\n"
+               "       [--chains n] [--partition round-robin|contiguous|"
+               "random]\n"
+               "       [--partition-seed n] [--full-scale]\n"
                "       [--selection random|hardness|most-faults]\n"
                "       [--capture normal|vxor] [--hxor taps] [--seed n]\n"
                "       [--threads n] [--profile] [--metrics f] [--trace f]\n",
@@ -87,6 +99,14 @@ int main(int argc, char** argv) {
   core::StitchOptions opts;
   double info = 0.0;
   bool profile = false;
+  bool full_scale = false;
+
+  try {
+    opts.partition = scan::partition_from_env();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
 
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
@@ -104,6 +124,13 @@ int main(int argc, char** argv) {
     else if (a == "--threads")
       util::ThreadPool::instance().configure(std::stoul(need("--threads")));
     else if (a == "--hxor") opts.hxor_taps = std::stoul(need("--hxor"));
+    else if (a == "--chains") opts.num_chains = std::stoul(need("--chains"));
+    else if (a == "--partition") {
+      if (!scan::partition_from_string(need("--partition"), opts.partition))
+        return usage(argv[0]);
+    } else if (a == "--partition-seed")
+      opts.partition_seed = std::stoull(need("--partition-seed"));
+    else if (a == "--full-scale") full_scale = true;
     else if (a == "--profile") profile = true;
     else if (a == "--metrics") metrics_path = need("--metrics");
     else if (a == "--trace") trace_path = need("--trace");
@@ -135,13 +162,24 @@ int main(int argc, char** argv) {
                          (path.rfind(".v") == path.size() - 2 ||
                           (path.size() > 3 &&
                            path.rfind(".sv") == path.size() - 3));
-    auto nl = generated ? netgen::generate(path.substr(4))
+    if (full_scale && !generated) {
+      std::fprintf(stderr, "--full-scale only applies to gen:<profile>\n");
+      return 2;
+    }
+    auto nl = generated
+                  ? netgen::generate(full_scale
+                                         ? netgen::full_scale_profile(
+                                               path.substr(4))
+                                         : netgen::profile(path.substr(4)))
               : verilog ? netlist::read_verilog_file(path)
                         : netlist::read_bench_file(path);
     std::printf("netlist: %zu PIs, %zu POs, %zu scan cells, %zu gates  "
                 "(%zu threads)\n",
                 nl.num_inputs(), nl.num_outputs(), nl.num_dffs(),
                 nl.num_comb_gates(), util::parallelism());
+    if (opts.num_chains > 1)
+      std::printf("fabric: %zu chains, %s partition\n", opts.num_chains,
+                  scan::to_string(opts.partition));
     core::CircuitLab lab(path, std::move(nl));
     if (info > 0.0 &&
         !core::apply_info_ratio(opts, lab.netlist(), info)) {
