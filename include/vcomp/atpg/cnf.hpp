@@ -1,0 +1,142 @@
+#pragma once
+
+/// \file cnf.hpp
+/// Tseitin CNF encoding of a single stuck-at fault's output cone.
+///
+/// The SAT backend does not encode the whole circuit.  Detection of a
+/// stuck-at fault is decided entirely inside the fault's *output cone*
+/// (every gate reachable forward from the fault site) plus the cone's
+/// *support* (every source feeding the cone): values outside the support
+/// cannot change any observation point of the cone.  So the encoder
+/// builds, per generate() call:
+///
+///  * one "good" variable per support gate, with Tseitin clauses for every
+///    combinational support gate — the fault-free circuit;
+///  * one "bad" variable per cone gate — the faulty copy.  Off-cone fanins
+///    of a cone gate are shared with the good circuit (they cannot differ);
+///  * an activation unit: good(site) = ¬stuck — sound and complete for a
+///    single stuck-at fault, which is only ever excited by the opposite
+///    value (branch faults activate on the driving stem's good value);
+///  * PPI constraint units on the good variables of pinned scan cells that
+///    lie in the support (pins outside the support are recorded but need
+///    no clause — they cannot affect detection);
+///  * a detection clause: OR over per-observation-point difference
+///    variables d_g with d_g -> (good_g XOR bad_g), where the observation
+///    points are the cone gates that are primary outputs or feed a DFF
+///    data pin — exactly PODEM's is_obs set, so both engines argue about
+///    the same single-cycle detection semantics.
+///
+/// Special cases mirror Podem::compute_cone:
+///  * a branch fault on a DFF data pin has an empty cone; detection
+///    degenerates to the activation unit alone (the wrong value is
+///    captured directly);
+///  * a stem fault on a PI/PPI that is itself observable contributes its
+///    own good-polarity literal to the detection clause.
+///
+/// Variable 0 is reserved as constant TRUE (asserted by a unit clause) so
+/// stuck values appear as plain literals.  Variable numbering follows the
+/// deterministic cone/support discovery order, which makes the whole
+/// CNF — and therefore the CDCL run — reproducible.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "vcomp/atpg/podem.hpp"
+#include "vcomp/fault/fault.hpp"
+#include "vcomp/sim/eval_graph.hpp"
+
+namespace vcomp::atpg {
+
+/// Literal: variable << 1 | sign (sign 1 = negated), MiniSat-style.
+using SatLit = std::uint32_t;
+
+inline constexpr SatLit sat_lit(std::uint32_t var, bool neg = false) {
+  return (var << 1) | static_cast<std::uint32_t>(neg);
+}
+inline constexpr std::uint32_t sat_var(SatLit l) { return l >> 1; }
+inline constexpr bool sat_sign(SatLit l) { return (l & 1u) != 0; }
+inline constexpr SatLit sat_neg(SatLit l) { return l ^ 1u; }
+
+/// Flat clause database (CSR layout: lits + clause offsets).
+struct Cnf {
+  std::uint32_t num_vars = 0;
+  std::vector<SatLit> lits;
+  std::vector<std::uint32_t> clause_off{0};
+
+  std::uint32_t new_var() { return num_vars++; }
+
+  void add(std::span<const SatLit> clause) {
+    lits.insert(lits.end(), clause.begin(), clause.end());
+    clause_off.push_back(static_cast<std::uint32_t>(lits.size()));
+  }
+  void add(std::initializer_list<SatLit> clause) {
+    add(std::span<const SatLit>(clause.begin(), clause.size()));
+  }
+
+  std::size_t num_clauses() const { return clause_off.size() - 1; }
+  std::span<const SatLit> clause(std::size_t i) const {
+    return {lits.data() + clause_off[i], clause_off[i + 1] - clause_off[i]};
+  }
+
+  void clear() {
+    num_vars = 0;
+    lits.clear();
+    clause_off.assign(1, 0);
+  }
+};
+
+/// Per-netlist fault-cone CNF encoder.  Reusable across calls; scratch is
+/// O(gates) and reset lazily through the collected cone/support lists.
+/// Not thread-safe — one instance per thread.
+class CnfEncoder {
+ public:
+  static constexpr std::uint32_t kNoVar = ~0u;
+
+  explicit CnfEncoder(sim::EvalGraph::Ref graph);
+
+  /// Encodes "some input assignment honouring \p constraints detects
+  /// \p f" into \p cnf (cleared first).  The formula is satisfiable iff
+  /// the fault is testable under the constraints; an empty detection
+  /// clause (fault cone sees no observation point) is emitted as-is and
+  /// the solver reports Unsat immediately.
+  void encode(const fault::Fault& f, const PpiConstraints* constraints,
+              Cnf& cnf);
+
+  /// Good-circuit variable of primary input \p i after encode(), or
+  /// kNoVar when the input is outside the fault's support (its value is
+  /// irrelevant to detection).
+  std::uint32_t pi_var(std::size_t i) const { return pi_var_[i]; }
+
+  /// Good-circuit variable of scan cell (DFF) \p i after encode(), or
+  /// kNoVar when outside the support.
+  std::uint32_t ppi_var(std::size_t i) const { return ppi_var_[i]; }
+
+  /// Gates in the encoded fault cone (diagnostic / test visibility).
+  std::size_t cone_size() const { return cone_.size(); }
+  std::size_t support_size() const { return support_.size(); }
+
+ private:
+  void compute_cone(const fault::Fault& f);
+  void collect_support();
+  void emit_gate(Cnf& cnf, netlist::GateType type, SatLit out,
+                 std::span<const SatLit> in);
+
+  sim::EvalGraph::Ref eg_;
+  const netlist::Netlist* nl_;
+
+  std::vector<std::uint8_t> is_obs_;   // PO or feeds a DFF data pin
+  std::vector<std::uint8_t> in_cone_;  // epoch-free: cleared via cone_
+  std::vector<std::uint8_t> in_support_;
+  std::vector<std::uint32_t> cone_;     // discovery order
+  std::vector<std::uint32_t> support_;  // discovery order (includes cone)
+  std::vector<std::uint32_t> cone_obs_;
+  std::vector<std::uint32_t> good_var_;  // per gate, kNoVar outside support
+  std::vector<std::uint32_t> bad_var_;   // per gate, kNoVar outside cone
+  std::vector<std::uint32_t> pi_var_;    // per PI index
+  std::vector<std::uint32_t> ppi_var_;   // per DFF index
+  std::vector<std::uint32_t> queue_;     // BFS scratch
+  std::vector<SatLit> lit_scratch_;
+};
+
+}  // namespace vcomp::atpg

@@ -1,0 +1,139 @@
+#pragma once
+
+/// \file sat.hpp
+/// Small built-in CDCL SAT solver for the fault-cone CNFs of cnf.hpp.
+///
+/// A deliberately compact MiniSat-shaped core:
+///  * two-watched-literal propagation with blocker literals;
+///  * first-UIP conflict analysis with clause learning and non-chronological
+///    backjumping;
+///  * VSIDS-lite branching: exponentially decayed activity bumped on
+///    analysis, ties broken by *variable index* so the decision sequence is
+///    a pure function of the clause database — the determinism contract of
+///    the whole codebase extends into the solver;
+///  * phase saving (initial phase: false);
+///  * Luby restarts;
+///  * a conflict budget: exceeding it yields Unknown, which the SAT engine
+///    maps to Aborted — the solver never claims anything it has not proved.
+///
+/// The solver is reset per call (the fault-cone formulas are small and
+/// disjoint), so there is no incremental interface and no clause-database
+/// reduction; learned clauses live until the next reset.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "vcomp/atpg/cnf.hpp"
+
+namespace vcomp::atpg {
+
+enum class SatResult : std::uint8_t { Sat, Unsat, Unknown };
+
+/// Deterministic CDCL solver.  Not thread-safe; one instance per thread.
+class CdclSolver {
+ public:
+  struct Options {
+    std::uint64_t max_conflicts = 1u << 20;  ///< Unknown beyond this
+    double var_decay = 0.95;                 ///< VSIDS activity decay
+    std::uint32_t restart_base = 128;        ///< Luby restart unit
+  };
+
+  struct Stats {
+    std::uint64_t decisions = 0;
+    std::uint64_t propagations = 0;
+    std::uint64_t conflicts = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t learned = 0;
+  };
+
+  /// Clears all state and sizes the solver for \p num_vars variables.
+  void reset(std::uint32_t num_vars);
+
+  /// Adds one clause (duplicate literals removed, tautologies dropped).
+  /// Returns false when the formula is already trivially unsatisfiable
+  /// (empty clause, or conflicting units); solve() then returns Unsat.
+  bool add_clause(std::span<const SatLit> lits);
+
+  /// Loads every clause of \p cnf (after reset(cnf.num_vars)).
+  void load(const Cnf& cnf);
+
+  SatResult solve(const Options& options);
+  SatResult solve();  // default Options (defined below the class)
+
+  /// Model value of \p var after Sat.
+  bool model_value(std::uint32_t var) const { return model_[var] != 0; }
+
+  const Stats& stats() const { return stats_; }
+
+  /// Decision literals of the last solve() in order — pinned by the
+  /// determinism test; any heuristic change must be deliberate.
+  const std::vector<SatLit>& decision_log() const { return decision_log_; }
+
+ private:
+  struct Clause {
+    std::uint32_t off = 0;  ///< into arena_
+    std::uint32_t size = 0;
+  };
+  struct Watch {
+    std::uint32_t clause = 0;
+    SatLit blocker = 0;
+  };
+
+  enum : std::int8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
+
+  std::int8_t lit_value(SatLit l) const {
+    const std::int8_t v = value_[sat_var(l)];
+    if (v == kUndef) return kUndef;
+    return static_cast<std::int8_t>(v ^ static_cast<std::int8_t>(l & 1u));
+  }
+
+  void enqueue(SatLit l, std::int32_t reason);
+  std::int32_t propagate();  // conflicting clause index, or -1
+  void analyze(std::int32_t confl, std::vector<SatLit>& learnt,
+               std::uint32_t& backjump_level);
+  void backtrack(std::uint32_t level);
+  void bump(std::uint32_t var);
+  std::uint32_t pick_branch_var();  // kNoVarIdx when all assigned
+  std::uint32_t attach_clause(std::span<const SatLit> lits);
+
+  // Order heap keyed by (activity desc, var asc).
+  bool heap_less(std::uint32_t a, std::uint32_t b) const;
+  void heap_insert(std::uint32_t var);
+  void heap_sift_up(std::uint32_t i);
+  void heap_sift_down(std::uint32_t i);
+  std::uint32_t heap_pop();
+
+  static constexpr std::uint32_t kNoVarIdx = ~0u;
+
+  std::uint32_t num_vars_ = 0;
+  bool ok_ = true;
+
+  std::vector<SatLit> arena_;
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<Watch>> watches_;  // per literal
+
+  std::vector<std::int8_t> value_;    // per var
+  std::vector<std::uint8_t> phase_;   // saved phase per var
+  std::vector<std::uint32_t> level_;  // per var
+  std::vector<std::int32_t> reason_;  // clause index per var, -1 = decision
+  std::vector<SatLit> trail_;
+  std::vector<std::uint32_t> trail_lim_;
+  std::size_t qhead_ = 0;
+
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  std::vector<std::uint32_t> heap_;
+  std::vector<std::uint32_t> heap_pos_;  // kNoVarIdx when not in heap
+
+  std::vector<std::uint8_t> seen_;
+  std::vector<SatLit> clause_scratch_;
+
+  std::vector<std::uint8_t> model_;
+  std::vector<SatLit> decision_log_;
+  Stats stats_;
+};
+
+inline SatResult CdclSolver::solve() { return solve(Options{}); }
+
+}  // namespace vcomp::atpg

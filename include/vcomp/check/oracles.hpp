@@ -24,6 +24,13 @@
 ///    per-chain reference, and partially-shifted fabrics are checked to
 ///    slide — never corrupt — each chain's retained region (the 2-D
 ///    stitching invariant);
+///  * the ATPG engine oracle — PODEM and the built-in CDCL SAT backend are
+///    asked for a cube for the same fault under the same random PPI
+///    constraints; any Success cube must honour the pins and detect the
+///    fault under the reference fault simulator for random completions of
+///    its X positions, and an Untestable proof from one engine must never
+///    coexist with a verified cube from the other (Aborted claims
+///    nothing);
 ///  * the tracker oracle — a StitchTracker is driven through the case's
 ///    stitched schedule and its per-cycle CycleStats, final fault states,
 ///    catch cycles and surviving hidden-fabric contents are compared
@@ -45,8 +52,8 @@ namespace vcomp::check {
 struct Failure {
   std::string oracle;  ///< "word-sim", "ternary-sim", "diff-sim",
                        ///< "lane-sim", "compact", "simd-dispatch",
-                       ///< "flush", "tracker", "thread-identity",
-                       ///< "exception"
+                       ///< "flush", "atpg", "tracker",
+                       ///< "thread-identity", "exception"
   std::string detail;  ///< human-readable mismatch description
 };
 
@@ -69,6 +76,13 @@ std::optional<Failure> check_compaction(const Case& c,
 /// random partial plan.
 std::optional<Failure> check_flush(const Case& c, std::uint64_t flush_seed,
                                    std::size_t rounds);
+
+/// ATPG engine oracle on \p rounds rounds: PODEM vs the CDCL SAT backend
+/// on sampled faults under shared random PPI constraints.  Success cubes
+/// are re-verified against the reference fault simulator; definitive
+/// verdicts must never contradict.
+std::optional<Failure> check_atpg(const Case& c, std::uint64_t seed,
+                                  std::size_t rounds);
 
 /// Tracker oracle: stitched tracker vs brute-force reference over the
 /// case's schedule (including the terminal observation).

@@ -25,6 +25,7 @@
 #include <optional>
 #include <vector>
 
+#include "vcomp/atpg/engine.hpp"
 #include "vcomp/atpg/test_set.hpp"
 #include "vcomp/core/selection.hpp"
 #include "vcomp/core/shift_policy.hpp"
@@ -72,6 +73,13 @@ struct StitchOptions {
 
   std::uint64_t seed = 1;
   atpg::PodemOptions podem{.max_backtracks = 128};
+  /// SAT backend conflict budget (Sat and Race engines).
+  atpg::SatOptions sat{};
+  /// Constrained-ATPG engine answering per-cycle cube queries.  Auto
+  /// resolves through VCOMP_ATPG (unset = podem).  Race runs PODEM under
+  /// its backtrack budget and falls through to SAT on Aborted — routing by
+  /// status, never wall-clock, so determinism is preserved.
+  atpg::EngineKind atpg_engine = atpg::EngineKind::Auto;
   tmeas::HardnessOptions hardness{};
   /// Hard cap on stitched cycles (0 = 6·aTV + 64).
   std::size_t max_cycles = 0;
@@ -129,12 +137,20 @@ struct PhaseProfile {
   std::size_t podem_backtracks = 0;   ///< backtracks across those calls
   std::size_t cubes_found = 0;        ///< successful cubes collected
   std::size_t candidates_scored = 0;  ///< MostFaults completions scored
+  std::size_t aborted = 0;            ///< generate() calls ending Aborted
+  std::size_t aborted_faults = 0;     ///< distinct faults ever Aborted
+  std::size_t sat_calls = 0;          ///< SAT solver invocations
+  std::size_t sat_conflicts = 0;      ///< CDCL conflicts across those calls
 
   /// Deterministic view for comparisons and bench JSON: the work counters
   /// without the wall-clock fields (which vary run to run and machine to
   /// machine).  Byte-identical across VCOMP_THREADS values.
   obs::CounterSet counters_only() const {
     obs::CounterSet cs;
+    cs.values.emplace_back("atpg.aborted_faults", aborted_faults);
+    cs.values.emplace_back("atpg.sat_calls", sat_calls);
+    cs.values.emplace_back("atpg.sat_conflicts", sat_conflicts);
+    cs.values.emplace_back("stitch.aborted", aborted);
     cs.values.emplace_back("stitch.candidates_scored", candidates_scored);
     cs.values.emplace_back("stitch.cubes_found", cubes_found);
     cs.values.emplace_back("stitch.podem_backtracks", podem_backtracks);
@@ -207,7 +223,7 @@ class StitchEngine {
   scan::FabricOut out_model_;
   sim::EvalGraph::Ref eg_;     // one compiled graph under every engine below
   tmeas::Scoap scoap_;
-  atpg::Podem podem_;
+  std::unique_ptr<atpg::Engine> engine_;  // constrained-ATPG backend
   fault::DiffSimShards ssims_; // per-shard clones: candidate scoring + the
                                // ex-phase fault-dropping scans
   Rng rng_;
@@ -228,9 +244,18 @@ class StitchEngine {
   std::size_t podem_backtracks_ = 0;
   std::size_t cubes_found_ = 0;
   std::size_t candidates_scored_ = 0;
+  std::size_t aborted_ = 0;
+  std::size_t sat_calls_ = 0;
+  std::size_t sat_conflicts_ = 0;
 
   std::vector<std::size_t> order_;       // target walk order
   std::vector<std::uint8_t> targetable_; // baseline-detected faults
+  // Per-fault Aborted stamps (distinct-fault counter for the profile).
+  std::vector<std::uint8_t> aborted_fault_;
+  // Cached unconstrained Untestable verdicts: combinational redundancy is
+  // schedule-independent, so a fault proven redundant with no pinned scan
+  // cells can be skipped in every later cycle.  Never invalidated.
+  std::vector<std::uint8_t> redundant_;
   std::size_t cursor_ = 0;               // rotating start for MostFaults
   // Per-generation-call failure stamps: lets the wide failure scan skip
   // targets the greedy phase already tried under the same constraints.

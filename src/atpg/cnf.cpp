@@ -1,0 +1,288 @@
+#include "vcomp/atpg/cnf.hpp"
+
+#include <algorithm>
+
+#include "vcomp/util/assert.hpp"
+
+namespace vcomp::atpg {
+
+using fault::Fault;
+using netlist::GateId;
+using netlist::GateType;
+using sim::Trit;
+
+namespace {
+
+bool is_source(GateType t) {
+  return t == GateType::Input || t == GateType::Dff;
+}
+
+bool is_dff_pin_fault(const netlist::Netlist& nl, const Fault& f) {
+  return !f.is_stem() && nl.gate(f.gate).type == GateType::Dff;
+}
+
+}  // namespace
+
+CnfEncoder::CnfEncoder(sim::EvalGraph::Ref graph)
+    : eg_(std::move(graph)), nl_(&eg_->netlist()) {
+  const std::size_t n = eg_->num_gates();
+  is_obs_.assign(n, 0);
+  for (GateId g : eg_->outputs()) is_obs_[g] = 1;
+  for (std::size_t i = 0; i < eg_->num_dffs(); ++i)
+    is_obs_[eg_->dff_input(i)] = 1;
+  in_cone_.assign(n, 0);
+  in_support_.assign(n, 0);
+  good_var_.assign(n, kNoVar);
+  bad_var_.assign(n, kNoVar);
+  pi_var_.assign(nl_->num_inputs(), kNoVar);
+  ppi_var_.assign(nl_->num_dffs(), kNoVar);
+}
+
+// Mirrors Podem::compute_cone so both engines argue about the same
+// observation semantics: the cone is the forward closure of combinational
+// gates from the fault site; PI/PPI stems keep the stem itself as an
+// observation point when it feeds a DFF data pin or PO directly.
+void CnfEncoder::compute_cone(const Fault& f) {
+  for (GateId g : cone_) in_cone_[g] = 0;
+  cone_.clear();
+  cone_obs_.clear();
+
+  queue_.clear();
+  auto push = [&](GateId g) {
+    if (is_source(eg_->type(g))) return;
+    if (in_cone_[g]) return;
+    in_cone_[g] = 1;
+    cone_.push_back(g);
+    if (is_obs_[g]) cone_obs_.push_back(g);
+    queue_.push_back(g);
+  };
+  if (f.is_stem()) {
+    if (!is_source(eg_->type(f.gate))) {
+      push(f.gate);
+    } else {
+      for (GateId s : eg_->fanout(f.gate)) push(s);
+      if (is_obs_[f.gate]) cone_obs_.push_back(f.gate);
+    }
+  } else if (!is_dff_pin_fault(*nl_, f)) {
+    push(f.gate);
+  }
+  while (!queue_.empty()) {
+    const GateId u = queue_.back();
+    queue_.pop_back();
+    for (GateId s : eg_->fanout(u)) push(s);
+  }
+}
+
+// Fanin closure of the cone (plus the fault source): every gate whose good
+// value can reach a cone observation point.  Sources are not expanded —
+// the encoding is single-frame, PIs and PPIs are free variables.
+void CnfEncoder::collect_support() {
+  for (GateId g : support_) in_support_[g] = 0;
+  support_.clear();
+
+  queue_.clear();
+  auto push = [&](GateId g) {
+    if (in_support_[g]) return;
+    in_support_[g] = 1;
+    support_.push_back(g);
+    if (!is_source(eg_->type(g))) queue_.push_back(g);
+  };
+  for (GateId g : cone_) push(g);
+  while (!queue_.empty()) {
+    const GateId u = queue_.back();
+    queue_.pop_back();
+    for (GateId w : eg_->fanin(u)) push(w);
+  }
+}
+
+// out <-> gate(in...), with `out` and every input a literal (so inverted
+// outputs — Nand/Nor/Xnor — and constant stuck pins fall out for free).
+void CnfEncoder::emit_gate(Cnf& cnf, GateType type, SatLit out,
+                           std::span<const SatLit> in) {
+  auto& wide = lit_scratch_;
+  switch (type) {
+    case GateType::Buf:
+      cnf.add({sat_neg(out), in[0]});
+      cnf.add({out, sat_neg(in[0])});
+      return;
+    case GateType::Not:
+      cnf.add({sat_neg(out), sat_neg(in[0])});
+      cnf.add({out, in[0]});
+      return;
+    case GateType::And:
+    case GateType::Nand: {
+      const SatLit o = type == GateType::Nand ? sat_neg(out) : out;
+      wide.clear();
+      wide.push_back(o);
+      for (SatLit x : in) {
+        cnf.add({sat_neg(o), x});
+        wide.push_back(sat_neg(x));
+      }
+      cnf.add(std::span<const SatLit>(wide));
+      return;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      const SatLit o = type == GateType::Nor ? sat_neg(out) : out;
+      wide.clear();
+      wide.push_back(sat_neg(o));
+      for (SatLit x : in) {
+        cnf.add({o, sat_neg(x)});
+        wide.push_back(x);
+      }
+      cnf.add(std::span<const SatLit>(wide));
+      return;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      const SatLit o = type == GateType::Xnor ? sat_neg(out) : out;
+      auto emit_xor_eq = [&](SatLit z, SatLit x, SatLit y) {
+        cnf.add({sat_neg(z), x, y});
+        cnf.add({sat_neg(z), sat_neg(x), sat_neg(y)});
+        cnf.add({z, x, sat_neg(y)});
+        cnf.add({z, sat_neg(x), y});
+      };
+      if (in.size() == 1) {
+        // Degenerate single-pin XOR is a buffer (matches trit_eval_fused).
+        cnf.add({sat_neg(o), in[0]});
+        cnf.add({o, sat_neg(in[0])});
+        return;
+      }
+      SatLit cur = in[0];
+      for (std::size_t k = 1; k + 1 < in.size(); ++k) {
+        const SatLit t = sat_lit(cnf.new_var());
+        emit_xor_eq(t, cur, in[k]);
+        cur = t;
+      }
+      emit_xor_eq(o, cur, in.back());
+      return;
+    }
+    case GateType::Input:
+    case GateType::Dff:
+      break;
+  }
+  VCOMP_ENSURE(false, "source gate has no CNF clauses");
+}
+
+void CnfEncoder::encode(const Fault& f, const PpiConstraints* constraints,
+                        Cnf& cnf) {
+  cnf.clear();
+  const Trit sv = f.stuck ? Trit::One : Trit::Zero;
+  const GateId src = fault::fault_source(*nl_, f);
+
+  compute_cone(f);
+  collect_support();
+  // A DFF data-pin branch fault has an empty cone; its support is the
+  // fanin closure of the captured signal's driver.
+  if (support_.empty() || !in_support_[src]) {
+    in_support_[src] = 1;
+    support_.push_back(src);
+    queue_.clear();
+    if (!is_source(eg_->type(src))) queue_.push_back(src);
+    while (!queue_.empty()) {
+      const GateId u = queue_.back();
+      queue_.pop_back();
+      for (GateId w : eg_->fanin(u)) {
+        if (in_support_[w]) continue;
+        in_support_[w] = 1;
+        support_.push_back(w);
+        if (!is_source(eg_->type(w))) queue_.push_back(w);
+      }
+    }
+  }
+
+  // Variable 0 is constant TRUE; stuck values become plain literals.
+  const std::uint32_t const_true = cnf.new_var();
+  cnf.add({sat_lit(const_true)});
+  const SatLit stuck_lit = sat_lit(const_true, /*neg=*/sv == Trit::Zero);
+
+  std::fill(pi_var_.begin(), pi_var_.end(), kNoVar);
+  std::fill(ppi_var_.begin(), ppi_var_.end(), kNoVar);
+  for (GateId g : support_) good_var_[g] = cnf.new_var();
+  for (GateId g : cone_) bad_var_[g] = cnf.new_var();
+  for (std::size_t i = 0; i < nl_->num_inputs(); ++i) {
+    const GateId g = nl_->inputs()[i];
+    if (in_support_[g]) pi_var_[i] = good_var_[g];
+  }
+  for (std::size_t i = 0; i < nl_->num_dffs(); ++i) {
+    const GateId g = nl_->dffs()[i];
+    if (in_support_[g]) ppi_var_[i] = good_var_[g];
+  }
+
+  // The faulty copy of signal w as seen by a cone gate's input pin.
+  const bool stem_source_fault = f.is_stem() && is_source(eg_->type(f.gate));
+  auto bad_lit = [&](GateId w) -> SatLit {
+    if (stem_source_fault && w == f.gate) return stuck_lit;
+    if (in_cone_[w]) return sat_lit(bad_var_[w]);
+    return sat_lit(good_var_[w]);
+  };
+
+  // Good circuit over the support; faulty copy over the cone.
+  std::vector<SatLit> ins;
+  for (GateId g : support_) {
+    const GateType t = eg_->type(g);
+    if (is_source(t)) continue;
+    const auto fin = eg_->fanin(g);
+    ins.clear();
+    for (GateId w : fin) ins.push_back(sat_lit(good_var_[w]));
+    emit_gate(cnf, t, sat_lit(good_var_[g]), ins);
+  }
+  for (GateId g : cone_) {
+    const GateType t = eg_->type(g);
+    if (f.is_stem() && g == f.gate) {
+      // Comb stem fault: the faulty output is the stuck constant.
+      cnf.add({sat_lit(bad_var_[g], /*neg=*/sv == Trit::Zero)});
+      continue;
+    }
+    const auto fin = eg_->fanin(g);
+    ins.clear();
+    for (std::size_t k = 0; k < fin.size(); ++k) {
+      const bool forced =
+          !f.is_stem() && g == f.gate && static_cast<std::int16_t>(k) == f.pin;
+      ins.push_back(forced ? stuck_lit : bad_lit(fin[k]));
+    }
+    emit_gate(cnf, t, sat_lit(bad_var_[g]), ins);
+  }
+
+  // Activation: a stuck-at fault only produces a good/bad difference when
+  // the fault-free line carries the opposite value.
+  cnf.add({sat_lit(good_var_[src], /*neg=*/sv == Trit::One)});
+
+  // PPI constraint units (pins outside the support cannot influence any
+  // cone observation point, so they need no clause).
+  if (constraints != nullptr && !constraints->all_free()) {
+    VCOMP_REQUIRE(constraints->fixed.size() == nl_->num_dffs(),
+                  "constraint vector size must equal the number of DFFs");
+    for (std::size_t i = 0; i < nl_->num_dffs(); ++i) {
+      const Trit v = constraints->fixed[i];
+      if (v == Trit::X || ppi_var_[i] == kNoVar) continue;
+      cnf.add({sat_lit(ppi_var_[i], /*neg=*/v == Trit::Zero)});
+    }
+  }
+
+  // Detection: some observation point differs.  For a DFF data-pin branch
+  // the wrong value is captured directly, so activation *is* detection and
+  // the clause above already decides the formula.
+  if (is_dff_pin_fault(*nl_, f)) return;
+  std::vector<SatLit> det;
+  for (GateId g : cone_obs_) {
+    if (!in_cone_[g]) {
+      // Observable PI/PPI stem: it differs exactly when activated.
+      det.push_back(sat_lit(good_var_[g], /*neg=*/sv == Trit::One));
+      continue;
+    }
+    const SatLit d = sat_lit(cnf.new_var());
+    cnf.add({sat_neg(d), sat_lit(good_var_[g]), sat_lit(bad_var_[g])});
+    cnf.add({sat_neg(d), sat_lit(good_var_[g], true),
+             sat_lit(bad_var_[g], true)});
+    det.push_back(d);
+  }
+  // An empty detection clause is the empty clause: no observation point in
+  // the cone means untestable, and the solver reports Unsat immediately.
+  cnf.add(std::span<const SatLit>(det));
+
+  for (GateId g : support_) good_var_[g] = kNoVar;
+  for (GateId g : cone_) bad_var_[g] = kNoVar;
+}
+
+}  // namespace vcomp::atpg

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "vcomp/atpg/engine.hpp"
 #include "vcomp/check/reference.hpp"
 #include "vcomp/core/tracker.hpp"
 #include "vcomp/fault/block_lane_sim.hpp"
@@ -579,6 +580,68 @@ std::string stats_str(const core::CycleStats& st) {
   return os.str();
 }
 
+// ---- ATPG engine oracle ----------------------------------------------------
+
+constexpr std::uint64_t kAtpgSalt = 0xa19ebfa57c0be5ULL;
+
+/// Faults the engine-vs-engine oracle samples per round.
+constexpr std::size_t kAtpgFaultSample = 12;
+
+/// Reference fault-sim evaluations per Success cube.  Each evaluation
+/// checks 64 random completions at once (one per bit lane).
+constexpr std::size_t kCubeEvals = 2;
+
+/// Verifies one Success cube: every pinned scan cell must carry its pin,
+/// and every random completion of the X positions must detect the fault at
+/// a primary output or a captured next-state under the naive reference.
+/// Word-parallel: fixed positions become all-0/all-1 words, X positions
+/// random words, so each of the 64 bit lanes is an independent completion
+/// and detection must hold in *every* lane.
+std::optional<std::string> atpg_cube_error(const Netlist& nl, const Fault& f,
+                                           const atpg::Cube& cube,
+                                           const atpg::PpiConstraints& cons,
+                                           Rng& rng) {
+  for (std::size_t i = 0; i < nl.num_dffs(); ++i) {
+    const Trit pin = cons.at(i);
+    if (pin != Trit::X && cube.ppi[i] != pin)
+      return "cube violates pinned scan cell " + std::to_string(i);
+  }
+  for (std::size_t rep = 0; rep < kCubeEvals; ++rep) {
+    std::vector<Word> good(nl.num_gates(), 0);
+    auto completion = [&](Trit t) {
+      return t == Trit::One    ? ~Word{0}
+             : t == Trit::Zero ? Word{0}
+                               : rng.next();
+    };
+    for (std::size_t i = 0; i < nl.num_inputs(); ++i)
+      good[nl.inputs()[i]] = completion(cube.pi[i]);
+    for (std::size_t i = 0; i < nl.num_dffs(); ++i)
+      good[nl.dffs()[i]] = completion(cube.ppi[i]);
+    std::vector<Word> bad = good;
+    ref_word_eval(nl, good);
+    ref_faulty_eval(nl, bad, f);
+    Word detected = 0;
+    for (GateId po : nl.outputs()) detected |= good[po] ^ bad[po];
+    for (std::size_t i = 0; i < nl.num_dffs(); ++i)
+      detected |= ref_next_state(nl, good, nullptr, i) ^
+                  ref_next_state(nl, bad, &f, i);
+    if (detected != ~Word{0})
+      return "a completion of the cube misses detection";
+  }
+  return std::nullopt;
+}
+
+/// Random PPI constraints: half the draws are all-free, the rest pin a
+/// random ~third of the scan cells.
+atpg::PpiConstraints random_constraints(const Netlist& nl, Rng& rng) {
+  atpg::PpiConstraints cons;
+  if (rng.below(2) == 0) return cons;
+  cons.fixed.assign(nl.num_dffs(), Trit::X);
+  for (auto& t : cons.fixed)
+    if (rng.below(3) == 0) t = rng.below(2) != 0 ? Trit::One : Trit::Zero;
+  return cons;
+}
+
 }  // namespace
 
 std::optional<Failure> check_simulators(const Case& c,
@@ -714,6 +777,46 @@ std::optional<Failure> check_flush(const Case& c, std::uint64_t flush_seed,
   return std::nullopt;
 }
 
+std::optional<Failure> check_atpg(const Case& c, std::uint64_t seed,
+                                  std::size_t rounds) {
+  const Netlist& nl = c.netlist;
+  const auto graph = sim::EvalGraph::compile(nl);
+  const tmeas::Scoap scoap(*graph);
+  const auto podem = atpg::make_engine(atpg::EngineKind::Podem, graph, scoap);
+  const auto sat = atpg::make_engine(atpg::EngineKind::Sat, graph, scoap);
+
+  Rng rng(seed);
+  for (std::size_t round = 0; round < rounds; ++round) {
+    const auto cons = random_constraints(nl, rng);
+    const auto sample = sample_faults(c.faults.size(), rng, kAtpgFaultSample);
+    for (std::uint32_t fi : sample) {
+      const Fault& f = c.faults[fi];
+      const auto rp = podem->generate(f, &cons);
+      const auto rs = sat->generate(f, &cons);
+      if (rp.status == atpg::PodemStatus::Success)
+        if (auto err = atpg_cube_error(nl, f, rp.cube, cons, rng))
+          return fail("atpg",
+                      "podem: " + *err + " for " + fault::fault_name(nl, f));
+      if (rs.status == atpg::PodemStatus::Success)
+        if (auto err = atpg_cube_error(nl, f, rs.cube, cons, rng))
+          return fail("atpg",
+                      "sat: " + *err + " for " + fault::fault_name(nl, f));
+      // Definitive verdicts must never contradict; Aborted claims nothing.
+      if (rp.status == atpg::PodemStatus::Untestable &&
+          rs.status == atpg::PodemStatus::Success)
+        return fail("atpg", "podem proves untestable but sat found a cube "
+                            "for " +
+                                fault::fault_name(nl, f));
+      if (rs.status == atpg::PodemStatus::Untestable &&
+          rp.status == atpg::PodemStatus::Success)
+        return fail("atpg", "sat proves untestable but podem found a cube "
+                            "for " +
+                                fault::fault_name(nl, f));
+    }
+  }
+  return std::nullopt;
+}
+
 std::optional<Failure> check_tracker(const Case& c) {
   const TrackerRun got = run_tracker(c);
   const RefTrackerResult want = ref_track(c);
@@ -799,6 +902,9 @@ std::optional<Failure> run_oracles(const Case& c, const Scenario& sc) {
       return f;
     if (auto f = check_flush(c, sc.seed ^ util::splitmix64(kFlushSalt),
                              sc.sim_rounds))
+      return f;
+    if (auto f = check_atpg(c, sc.seed ^ util::splitmix64(kAtpgSalt),
+                            sc.sim_rounds))
       return f;
     return check_tracker(c);
   } catch (const std::exception& e) {

@@ -40,6 +40,8 @@ struct StitchMetrics {
   obs::Counter runs = obs::counter("stitch.runs");
   obs::Counter cubes_found = obs::counter("stitch.cubes_found");
   obs::Counter candidates_scored = obs::counter("stitch.candidates_scored");
+  obs::Counter aborted = obs::counter("stitch.aborted");
+  obs::Counter redundant_skips = obs::counter("stitch.redundant_skips");
   obs::Timer podem_seconds = obs::timer("stitch.podem_seconds");
   obs::Timer scoring_seconds = obs::timer("stitch.scoring_seconds");
   obs::Timer run_seconds = obs::timer("stitch.run_seconds");
@@ -67,7 +69,9 @@ StitchEngine::StitchEngine(const netlist::Netlist& nl,
                      : scan::FabricOut::direct(fabric_)),
       eg_(sim::EvalGraph::compile(nl)),
       scoap_(*eg_),
-      podem_(eg_, scoap_),
+      engine_(atpg::make_engine(
+          atpg::resolve_engine_kind(options.atpg_engine), eg_, scoap_,
+          {.podem = options.podem, .sat = options.sat})),
       ssims_(eg_),
       rng_(options.seed) {
   VCOMP_REQUIRE(nl.num_dffs() > 0, "stitching requires a scan fabric");
@@ -80,6 +84,8 @@ StitchEngine::StitchEngine(const netlist::Netlist& nl,
   targetable_.assign(faults.size(), 0);
   for (std::size_t i = 0; i < faults.size(); ++i)
     if (baseline.classes[i] == atpg::FaultClass::Detected) targetable_[i] = 1;
+  aborted_fault_.assign(faults.size(), 0);
+  redundant_.assign(faults.size(), 0);
 }
 
 std::unique_ptr<ShiftPolicy> StitchEngine::make_policy() const {
@@ -119,10 +125,35 @@ std::optional<StitchEngine::Candidate> StitchEngine::generate(
     bool first_vector, std::size_t cycle) {
   PpiConstraints cons;
   if (!first_vector) cons = constraints_for(state, plan);
+  // Unconstrained queries (no pinned cell) prove *combinational* redundancy
+  // on Untestable — a schedule-independent fact worth caching (below).
+  bool pinned = false;
+  for (Trit t : cons.fixed)
+    if (t != Trit::X) {
+      pinned = true;
+      break;
+    }
   if (tried_this_cycle_.empty())
     tried_this_cycle_.assign(faults_->size(), 0);
   ++cycle_stamp_;
   (void)cycle;
+
+  // Shared per-attempt accounting for both scan loops below.
+  auto attempt = [&](std::size_t idx) {
+    atpg::GenResult res = engine_->generate((*faults_)[idx], &cons);
+    ++podem_calls_;
+    podem_backtracks_ += res.backtracks;
+    sat_calls_ += res.sat_calls;
+    sat_conflicts_ += res.conflicts;
+    if (res.status == PodemStatus::Aborted) {
+      ++aborted_;
+      aborted_fault_[idx] = 1;
+      stitch_metrics().aborted.inc();
+    } else if (res.status == PodemStatus::Untestable && !pinned) {
+      redundant_[idx] = 1;
+    }
+    return res;
+  };
   struct TargetCube {
     Cube cube;
     std::size_t target;
@@ -141,11 +172,13 @@ std::optional<StitchEngine::Candidate> StitchEngine::generate(
     const std::size_t idx = order_[(start + k) % n];
     if (!targetable_[idx] || sets.state(idx) != FaultState::Uncaught)
       continue;
+    if (redundant_[idx]) {
+      stitch_metrics().redundant_skips.inc();
+      continue;
+    }
     ++attempts;
     if (greedy) cursor_ = (start + k + 1) % n;
-    auto res = podem_.generate((*faults_)[idx], &cons, opts_.podem);
-    ++podem_calls_;
-    podem_backtracks_ += res.backtracks;
+    auto res = attempt(idx);
     if (res.status == PodemStatus::Success)
       cubes.push_back({std::move(res.cube), idx});
     else
@@ -163,12 +196,14 @@ std::optional<StitchEngine::Candidate> StitchEngine::generate(
       const std::size_t idx = order_[(start + k) % n];
       if (!targetable_[idx] || sets.state(idx) != FaultState::Uncaught)
         continue;
+      if (redundant_[idx]) {
+        stitch_metrics().redundant_skips.inc();
+        continue;
+      }
       // Phase 1 already tried (and failed) some of these this cycle.
       if (tried_this_cycle_[idx] == cycle_stamp_) continue;
       ++scanned;
-      auto res = podem_.generate((*faults_)[idx], &cons, opts_.podem);
-      ++podem_calls_;
-      podem_backtracks_ += res.backtracks;
+      auto res = attempt(idx);
       if (res.status == PodemStatus::Success) {
         cubes.push_back({std::move(res.cube), idx});
         if (greedy) cursor_ = (start + k + 1) % n;
@@ -549,6 +584,11 @@ StitchResult StitchEngine::run() {
   res.profile.podem_backtracks = podem_backtracks_;
   res.profile.cubes_found = cubes_found_;
   res.profile.candidates_scored = candidates_scored_;
+  res.profile.aborted = aborted_;
+  res.profile.sat_calls = sat_calls_;
+  res.profile.sat_conflicts = sat_conflicts_;
+  for (std::uint8_t a : aborted_fault_)
+    res.profile.aborted_faults += a;
   res.profile.total_seconds = secs_since(t_run);
   {
     const StitchMetrics& m = stitch_metrics();

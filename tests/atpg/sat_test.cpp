@@ -1,0 +1,166 @@
+#include "vcomp/atpg/sat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "vcomp/util/rng.hpp"
+
+namespace vcomp::atpg {
+namespace {
+
+using Clause = std::vector<SatLit>;
+
+void add(CdclSolver& s, const Clause& c) { s.add_clause(c); }
+
+/// PHP(p, h): p pigeons into h holes — unsatisfiable when p > h.  The
+/// classic resolution-hard family; small instances still force genuine
+/// conflict analysis, learning and backjumping.
+void load_pigeonhole(CdclSolver& s, int pigeons, int holes) {
+  s.reset(static_cast<std::uint32_t>(pigeons * holes));
+  auto v = [&](int p, int h) {
+    return static_cast<std::uint32_t>(p * holes + h);
+  };
+  for (int p = 0; p < pigeons; ++p) {
+    Clause cl;
+    for (int h = 0; h < holes; ++h) cl.push_back(sat_lit(v(p, h), false));
+    add(s, cl);
+  }
+  for (int h = 0; h < holes; ++h)
+    for (int p1 = 0; p1 < pigeons; ++p1)
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2)
+        add(s, {sat_lit(v(p1, h), true), sat_lit(v(p2, h), true)});
+}
+
+TEST(CdclSolver, EmptyFormulaIsSat) {
+  CdclSolver s;
+  s.reset(3);
+  EXPECT_EQ(s.solve(), SatResult::Sat);
+  EXPECT_EQ(s.stats().decisions, 3u);  // all free vars decided
+}
+
+TEST(CdclSolver, ConflictingUnitsAreUnsat) {
+  CdclSolver s;
+  s.reset(1);
+  add(s, {sat_lit(0, false)});
+  add(s, {sat_lit(0, true)});
+  EXPECT_EQ(s.solve(), SatResult::Unsat);
+}
+
+TEST(CdclSolver, UnitPropagationNeedsNoDecisions) {
+  // x0; ¬x0∨x1; ¬x1∨x2 — a pure implication chain.
+  CdclSolver s;
+  s.reset(3);
+  add(s, {sat_lit(0, false)});
+  add(s, {sat_lit(0, true), sat_lit(1, false)});
+  add(s, {sat_lit(1, true), sat_lit(2, false)});
+  ASSERT_EQ(s.solve(), SatResult::Sat);
+  EXPECT_TRUE(s.decision_log().empty());
+  EXPECT_TRUE(s.model_value(0));
+  EXPECT_TRUE(s.model_value(1));
+  EXPECT_TRUE(s.model_value(2));
+}
+
+TEST(CdclSolver, DuplicateAndTautologousLiteralsHandled) {
+  CdclSolver s;
+  s.reset(2);
+  add(s, {sat_lit(0, false), sat_lit(0, false)});  // dedupes to unit x0
+  add(s, {sat_lit(1, false), sat_lit(1, true)});   // tautology, dropped
+  ASSERT_EQ(s.solve(), SatResult::Sat);
+  EXPECT_TRUE(s.model_value(0));
+}
+
+TEST(CdclSolver, PigeonholeUnsat) {
+  CdclSolver s;
+  load_pigeonhole(s, 4, 3);
+  EXPECT_EQ(s.solve(), SatResult::Unsat);
+  EXPECT_GT(s.stats().conflicts, 0u);
+  EXPECT_GT(s.stats().learned, 0u);
+}
+
+TEST(CdclSolver, ConflictBudgetYieldsUnknown) {
+  CdclSolver s;
+  load_pigeonhole(s, 6, 5);
+  CdclSolver::Options opts;
+  opts.max_conflicts = 1;
+  EXPECT_EQ(s.solve(opts), SatResult::Unknown);
+}
+
+TEST(CdclSolver, ModelSatisfiesRandomFormulas) {
+  // Random 3-CNF at a satisfiable-leaning density; whenever the solver
+  // answers Sat the model must satisfy every clause.
+  Rng rng(0xdecade);
+  for (int iter = 0; iter < 50; ++iter) {
+    const std::uint32_t vars = 8 + static_cast<std::uint32_t>(rng.below(9));
+    const std::size_t clauses = vars * 3;
+    std::vector<Clause> formula;
+    for (std::size_t i = 0; i < clauses; ++i) {
+      Clause cl;
+      for (int k = 0; k < 3; ++k)
+        cl.push_back(sat_lit(static_cast<std::uint32_t>(rng.below(vars)),
+                             rng.bit()));
+      formula.push_back(cl);
+    }
+    CdclSolver s;
+    s.reset(vars);
+    for (const auto& cl : formula) add(s, cl);
+    if (s.solve() != SatResult::Sat) continue;
+    for (const auto& cl : formula) {
+      bool ok = false;
+      for (SatLit l : cl) ok |= s.model_value(sat_var(l)) != sat_sign(l);
+      EXPECT_TRUE(ok) << "model violates a clause (iter " << iter << ")";
+    }
+  }
+}
+
+// The decision heuristic (VSIDS-lite, index tie-break, phase saving,
+// Luby restarts) is part of the repo's determinism contract: the decision
+// sequence is a pure function of the clause database.  These sequences are
+// pinned — any heuristic change must update them *deliberately*.
+TEST(CdclSolver, PinnedDecisionSequenceSimple) {
+  // (x0 ∨ x1) ∧ (x2 ∨ x3): all activities zero, so the heap yields var 0
+  // then var 2 (index order), each decided false (initial phase), each
+  // propagating the partner literal.
+  CdclSolver s;
+  s.reset(4);
+  add(s, {sat_lit(0, false), sat_lit(1, false)});
+  add(s, {sat_lit(2, false), sat_lit(3, false)});
+  ASSERT_EQ(s.solve(), SatResult::Sat);
+  const std::vector<SatLit> want = {sat_lit(0, true), sat_lit(2, true)};
+  EXPECT_EQ(s.decision_log(), want);
+}
+
+TEST(CdclSolver, PinnedDecisionSequencePigeonhole) {
+  CdclSolver s;
+  load_pigeonhole(s, 4, 3);
+  ASSERT_EQ(s.solve(), SatResult::Unsat);
+  const std::vector<SatLit> want = {1, 3, 7, 9, 13, 14, 19, 21, 6};
+  EXPECT_EQ(s.decision_log(), want);
+  EXPECT_EQ(s.stats().conflicts, 7u);
+}
+
+TEST(CdclSolver, DecisionSequenceIdenticalAcrossInstances) {
+  CdclSolver a, b;
+  load_pigeonhole(a, 5, 4);
+  load_pigeonhole(b, 5, 4);
+  ASSERT_EQ(a.solve(), SatResult::Unsat);
+  ASSERT_EQ(b.solve(), SatResult::Unsat);
+  EXPECT_EQ(a.decision_log(), b.decision_log());
+  EXPECT_EQ(a.stats().conflicts, b.stats().conflicts);
+}
+
+TEST(CdclSolver, ResetClearsLearnedState) {
+  // A solver reused after reset must behave exactly like a fresh one.
+  CdclSolver reused;
+  load_pigeonhole(reused, 4, 3);
+  ASSERT_EQ(reused.solve(), SatResult::Unsat);
+  load_pigeonhole(reused, 4, 3);  // reset() inside
+  ASSERT_EQ(reused.solve(), SatResult::Unsat);
+  CdclSolver fresh;
+  load_pigeonhole(fresh, 4, 3);
+  ASSERT_EQ(fresh.solve(), SatResult::Unsat);
+  EXPECT_EQ(reused.decision_log(), fresh.decision_log());
+}
+
+}  // namespace
+}  // namespace vcomp::atpg

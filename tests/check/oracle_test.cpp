@@ -54,6 +54,19 @@ TEST(Oracles, MutationGuardRestoresCleanliness) {
   EXPECT_FALSE(run_oracles(materialize(sc), sc).has_value());
 }
 
+TEST(Oracles, AtpgEnginesAgreeOnRandomScenarios) {
+  // Direct exercise of the engine-vs-engine oracle (run_oracles covers it
+  // too, but with the default round count): more rounds on fewer cases.
+  for (std::size_t index = 0; index < 10; ++index) {
+    const Scenario sc = random_scenario(case_seed(7, index));
+    const Case c = materialize(sc);
+    const auto failure = check_atpg(c, sc.seed, /*rounds=*/6);
+    ASSERT_FALSE(failure.has_value())
+        << describe(sc) << "\n[" << failure->oracle << "] "
+        << failure->detail;
+  }
+}
+
 TEST(Oracles, TrackerDigestIdenticalAcrossThreadCounts) {
   for (std::size_t index = 0; index < 8; ++index) {
     const Scenario sc = random_scenario(case_seed(5, index));

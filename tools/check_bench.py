@@ -114,12 +114,23 @@ def main():
                     f"{bval:.4g} (-{(1 - ratio) * 100:.0f}%)")
         # Work counters are exact: byte-identical across machines and
         # thread counts, so any drift is a behavior change, not noise.
+        # A counter present on only one side (an older baseline predating
+        # the counter, or a retired one) is treated as an implicit zero:
+        # flagged only when the side that has it is nonzero.
         bcounters = brow.get("counters")
         if isinstance(bcounters, dict):
             fcounters = frow.get("counters") or {}
             for name in sorted(set(bcounters) | set(fcounters)):
                 bval, fval = bcounters.get(name), fcounters.get(name)
-                if bval != fval:
+                if bval is None or fval is None:
+                    present = bval if fval is None else fval
+                    if present:
+                        side = "baseline" if fval is None else "fresh run"
+                        regressions.append(
+                            f"{label} counters.{name}: only in {side} "
+                            f"with value {present} (expected 0 or both "
+                            f"sides)")
+                elif bval != fval:
                     regressions.append(
                         f"{label} counters.{name}: {fval} vs baseline "
                         f"{bval} (exact match required)")

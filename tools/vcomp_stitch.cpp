@@ -19,6 +19,10 @@
 //     --full-scale        lift the netgen gate-budget cap on gen:s38417 /
 //                         gen:s38584 (original gate counts; slower)
 //     --selection <s>     random | hardness | most-faults (default)
+//     --atpg <e>          podem | sat | race constrained-ATPG engine
+//                         (default: VCOMP_ATPG, else podem; race runs
+//                         PODEM first and falls through to the built-in
+//                         CDCL SAT backend on Aborted)
 //     --capture <c>       normal (default) | vxor
 //     --hxor <taps>       horizontal-XOR scan-out with <taps> taps
 //     --seed <n>          run seed
@@ -61,6 +65,7 @@ int usage(const char* argv0) {
                "random]\n"
                "       [--partition-seed n] [--full-scale]\n"
                "       [--selection random|hardness|most-faults]\n"
+               "       [--atpg podem|sat|race]\n"
                "       [--capture normal|vxor] [--hxor taps] [--seed n]\n"
                "       [--threads n] [--profile] [--metrics f] [--trace f]\n",
                argv0);
@@ -138,6 +143,9 @@ int main(int argc, char** argv) {
       const std::string c = need("--capture");
       if (c == "vxor") opts.capture = scan::CaptureMode::VXor;
       else if (c != "normal") return usage(argv[0]);
+    } else if (a == "--atpg") {
+      if (!atpg::engine_kind_from_string(need("--atpg"), opts.atpg_engine))
+        return usage(argv[0]);
     } else if (a == "--selection") {
       const std::string s = need("--selection");
       if (s == "random") opts.selection = core::SelectionPolicy::Random;
@@ -180,6 +188,9 @@ int main(int argc, char** argv) {
     if (opts.num_chains > 1)
       std::printf("fabric: %zu chains, %s partition\n", opts.num_chains,
                   scan::to_string(opts.partition));
+    const auto engine_kind = atpg::resolve_engine_kind(opts.atpg_engine);
+    if (engine_kind != atpg::EngineKind::Podem)
+      std::printf("atpg engine: %s\n", atpg::to_string(engine_kind));
     core::CircuitLab lab(path, std::move(nl));
     if (info > 0.0 &&
         !core::apply_info_ratio(opts, lab.netlist(), info)) {
