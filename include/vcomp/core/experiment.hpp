@@ -32,6 +32,11 @@ class CircuitLab {
   const netlist::Netlist& netlist() const { return nl_; }
   const fault::CollapsedFaults& faults() const { return faults_; }
   const atpg::TestSetResult& baseline() const { return baseline_; }
+  /// Shared immutable derivations (graph / SCOAP / compact model), built
+  /// once at construction and aliased by every run() — and, through the
+  /// serve artifact registry, by every concurrent job on this circuit.
+  const CircuitArtifacts& artifacts() const { return artifacts_; }
+  sim::EvalGraph::Ref graph() const { return artifacts_.graph; }
 
   /// Number of baseline (full-shift) test vectors — the paper's aTV.
   std::size_t atv() const { return baseline_.vectors.size(); }
@@ -50,6 +55,7 @@ class CircuitLab {
   std::string name_;
   netlist::Netlist nl_;
   fault::CollapsedFaults faults_;
+  CircuitArtifacts artifacts_;
   atpg::TestSetResult baseline_;
 };
 

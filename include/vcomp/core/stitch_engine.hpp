@@ -21,12 +21,14 @@
 /// full shift also flushes — observes — every fault still hidden.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
 
 #include "vcomp/atpg/engine.hpp"
 #include "vcomp/atpg/test_set.hpp"
+#include "vcomp/core/artifacts.hpp"
 #include "vcomp/core/selection.hpp"
 #include "vcomp/core/shift_policy.hpp"
 #include "vcomp/core/tracker.hpp"
@@ -94,6 +96,14 @@ struct StitchOptions {
   /// full-shift-vector equivalents, the stitched phase is losing to the
   /// traditional scheme and terminates (0 disables the guard).
   std::size_t marginal_window = 12;
+
+  /// Observation-only progress hook, invoked after every applied cycle
+  /// with (cycles applied so far, that cycle's stats).  Runs on the thread
+  /// executing run(); it must not mutate engine state and its cost is not
+  /// part of any determinism contract (results are identical with or
+  /// without it).  The serve daemon streams these as per-job progress
+  /// events; empty (the default) disables the callbacks entirely.
+  std::function<void(std::size_t, const CycleStats&)> on_cycle;
 };
 
 /// The deliverable test program of a stitched run: what the ATE applies.
@@ -196,6 +206,16 @@ class StitchEngine {
                const atpg::TestSetResult& baseline,
                const StitchOptions& options = {});
 
+  /// Same flow over pre-built shared artifacts (graph / SCOAP / compact
+  /// model for exactly this nl + faults pair): skips the per-run setup
+  /// cost and lets concurrent runs alias one copy.  Results are
+  /// byte-identical to the compiling constructor.
+  StitchEngine(const netlist::Netlist& nl,
+               const fault::CollapsedFaults& faults,
+               const atpg::TestSetResult& baseline,
+               const CircuitArtifacts& artifacts,
+               const StitchOptions& options = {});
+
   /// Runs the full flow and returns the result summary.
   StitchResult run();
 
@@ -222,7 +242,8 @@ class StitchEngine {
   scan::Fabric fabric_;
   scan::FabricOut out_model_;
   sim::EvalGraph::Ref eg_;     // one compiled graph under every engine below
-  tmeas::Scoap scoap_;
+  std::shared_ptr<const tmeas::Scoap> scoap_;      // shared, immutable
+  std::shared_ptr<const fault::CompactModel> compact_;  // handed to tracker
   std::unique_ptr<atpg::Engine> engine_;  // constrained-ATPG backend
   fault::DiffSimShards ssims_; // per-shard clones: candidate scoring + the
                                // ex-phase fault-dropping scans

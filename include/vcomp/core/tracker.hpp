@@ -86,12 +86,16 @@ class StitchTracker {
  public:
   /// \p track marks the faults to follow (e.g. everything but proven
   /// redundancies); empty means "track all".  All internal simulators
-  /// share the given pre-compiled evaluation graph.
+  /// share the given pre-compiled evaluation graph.  \p model optionally
+  /// supplies a pre-built compacted simulation model for (\p graph,
+  /// \p faults) — the model depends only on those plus VCOMP_COMPACT, so
+  /// concurrent trackers may alias one copy; nullptr builds a private one.
   StitchTracker(sim::EvalGraph::Ref graph,
                 const fault::CollapsedFaults& faults,
                 scan::CaptureMode capture, scan::Fabric fabric,
                 scan::FabricOut out_model,
-                std::vector<std::uint8_t> track = {});
+                std::vector<std::uint8_t> track = {},
+                std::shared_ptr<const fault::CompactModel> model = nullptr);
   /// Convenience: compiles a private graph for \p nl.
   StitchTracker(const netlist::Netlist& nl,
                 const fault::CollapsedFaults& faults,
@@ -177,11 +181,12 @@ class StitchTracker {
   FaultSets sets_;
   scan::FabricState state_;
   /// Compacted simulation graph + per-fault site mappings.  Every internal
-  /// simulator below runs on model_.graph(); reported netlist()/chain
+  /// simulator below runs on model_->graph(); reported netlist()/chain
   /// positions stay in original ids (the model preserves input / dff / po
   /// order, so index-based readouts need no translation).  VCOMP_COMPACT=0
   /// turns the model into the identity and restores the original graph.
-  fault::CompactModel model_;
+  /// Shared (and immutable) so concurrent runs on one circuit build it once.
+  std::shared_ptr<const fault::CompactModel> model_;
   fault::DiffSimShards ssims_;  // per-shard classification engines
   fault::DiffSim* sim0_;        // shard 0: also the good-machine readout
   fault::BlockLaneSim lanes_;

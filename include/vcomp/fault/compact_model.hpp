@@ -35,6 +35,12 @@
 
 namespace vcomp::fault {
 
+/// The VCOMP_COMPACT kill switch: "0" disables graph compaction (debug /
+/// A-B comparison); anything else — including unset — leaves it on.  Every
+/// layer that builds a CompactModel resolves the flag through this one
+/// reader so shared and privately-built models always agree.
+bool compact_enabled_from_env();
+
 /// One force site of a mapped fault, in compacted-graph ids.
 struct MappedSite {
   netlist::GateId gate = netlist::kNoGate;

@@ -192,6 +192,28 @@ class Registry {
   /// concurrent updates are in flight (quiescent point between runs).
   void reset();
 
+  /// \name Scoped snapshots
+  /// Metric updates are attributed to the calling thread's task token
+  /// (util::task_token(), propagated to pool workers), so a logical task
+  /// tree — e.g. one serve job — can be snapshotted in isolation while the
+  /// plain snapshot() keeps reporting process-wide totals.
+  ///
+  /// Lifecycle: begin_scope(t) activates retention for token t BEFORE any
+  /// update runs under it; snapshot_scope(t) may be taken once the scope's
+  /// work has quiesced; end_scope(t) folds the scope's totals into the
+  /// process-wide ones and frees its retention state.  Tokens must not be
+  /// reused after end_scope (use monotonically increasing ids).
+  ///
+  /// Determinism: a scope's snapshot merges the same multiset of updates
+  /// regardless of which threads carried them, so — by the engine's
+  /// thread-invariance contract — a job's counter snapshot is
+  /// byte-identical to the same run executed alone in a fresh process.
+  /// @{
+  void begin_scope(std::uint64_t token);
+  Snapshot snapshot_scope(std::uint64_t token) const;
+  void end_scope(std::uint64_t token);
+  /// @}
+
  private:
   Registry();
   ~Registry() = delete;  // leaked singleton: outlives thread-exit hooks

@@ -1,0 +1,102 @@
+#pragma once
+
+/// \file json.hpp
+/// Minimal JSON value type for the serve wire protocol.
+///
+/// The daemon speaks line-delimited JSON (NDJSON): one request or event
+/// object per line, no embedded newlines.  This parser/writer covers
+/// exactly what that needs — objects, arrays, strings, numbers, booleans,
+/// null — with two properties the protocol relies on:
+///
+///  * integers round-trip exactly (stored as int64 when the literal has
+///    no fraction/exponent), so job ids and counter values never pass
+///    through a double;
+///  * writing is deterministic: object members keep insertion order and
+///    doubles print with a fixed "%.6f" format, so two processes emitting
+///    the same logical row produce byte-identical lines (the serve
+///    determinism contract diffs them literally).
+///
+/// No external dependency — the container ships no JSON library and the
+/// build must not add one.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace vcomp::serve {
+
+/// Appends \p s to \p out as a quoted JSON string (escaping ", \, control).
+void append_json_string(std::string& out, std::string_view s);
+
+/// Appends \p v with the protocol's fixed "%.6f" format.
+void append_json_double(std::string& out, double v);
+
+class Json {
+ public:
+  enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+
+  Json() = default;
+  static Json null() { return Json(); }
+  static Json boolean(bool b);
+  static Json integer(std::int64_t i);
+  static Json number(double d);
+  static Json string(std::string s);
+  static Json array();
+  static Json object();
+
+  /// Parses one JSON document (surrounding whitespace allowed, trailing
+  /// garbage rejected).  Returns nullopt on any syntax error.
+  static std::optional<Json> parse(std::string_view text);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_bool() const { return kind_ == Kind::Bool; }
+  bool is_number() const {
+    return kind_ == Kind::Int || kind_ == Kind::Double;
+  }
+  bool is_string() const { return kind_ == Kind::String; }
+  bool is_array() const { return kind_ == Kind::Array; }
+  bool is_object() const { return kind_ == Kind::Object; }
+
+  bool as_bool() const { return bool_; }
+  std::int64_t as_int() const {
+    return kind_ == Kind::Int ? int_ : static_cast<std::int64_t>(double_);
+  }
+  double as_double() const {
+    return kind_ == Kind::Int ? static_cast<double>(int_) : double_;
+  }
+  const std::string& as_string() const { return str_; }
+
+  const std::vector<Json>& items() const { return arr_; }
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return obj_;
+  }
+
+  /// Member lookup (objects only); nullptr when absent.
+  const Json* find(std::string_view key) const;
+
+  /// Builder helpers (no-ops on the wrong kind are contract errors the
+  /// call sites never hit; kept unchecked for brevity).
+  void push_back(Json v) { arr_.push_back(std::move(v)); }
+  void set(std::string key, Json v) {
+    obj_.emplace_back(std::move(key), std::move(v));
+  }
+
+  /// Serializes compactly (no whitespace), deterministically.
+  void write(std::string& out) const;
+  std::string dump() const;
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+}  // namespace vcomp::serve

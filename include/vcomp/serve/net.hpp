@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file net.hpp
+/// Transports for the serve daemon: a stdin/stdout pipe loop and a
+/// minimal single-client TCP listener.
+///
+/// Both speak the same NDJSON protocol (protocol.hpp) through the same
+/// Server — the transport only moves lines.  The pipe loop is what the CI
+/// smoke and the tests drive; the TCP listener serves one client at a
+/// time (sequential accept) which is all a job daemon behind a submit
+/// script needs — job concurrency lives inside the Server, not in the
+/// socket layer.
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "vcomp/serve/server.hpp"
+
+namespace vcomp::serve {
+
+/// Reads request lines from \p in, writes event lines to \p out (flushed
+/// per line — events stream while jobs run).  Returns when a shutdown
+/// request arrives or \p in reaches EOF; drains the server before
+/// returning.  Returns 0 on shutdown/EOF.
+int serve_stdio(Server& server, std::istream& in, std::ostream& out);
+
+/// TCP listener on 127.0.0.1:\p port (0 = pick an ephemeral port; the
+/// bound port is available from port() before serve() blocks, so tests
+/// and scripts can connect without racing a log line).
+class TcpListener {
+ public:
+  /// Binds and listens; throws std::runtime_error on failure.
+  explicit TcpListener(std::uint16_t port);
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Accepts clients one at a time and pumps their lines through
+  /// \p server until one of them sends shutdown.  Drains the server
+  /// before returning.
+  void serve(Server& server);
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace vcomp::serve

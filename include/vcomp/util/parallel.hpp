@@ -22,6 +22,7 @@
 /// from inside a pool worker run inline on that worker, so nesting can
 /// never deadlock.
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -40,6 +41,64 @@ namespace vcomp::util {
 /// SplitMix64 finalizer: the standard cheap mix for deriving independent
 /// per-shard seeds (`seed ^ splitmix64(shard)`) without stream correlation.
 std::uint64_t splitmix64(std::uint64_t x);
+
+/// \name Task context
+/// A small per-thread context — an opaque scope token plus an optional
+/// dynamic parallelism ceiling — that `run_on_pool` copies onto every pool
+/// worker for the duration of the tasks it executes on the submitter's
+/// behalf.  Token 0 is the default (process) scope.
+///
+/// The token lets cross-cutting layers attribute work to a logical task
+/// tree: the obs metrics registry keys per-scope counter sinks by it (see
+/// obs::Registry::snapshot_scope), and the serve job daemon assigns one
+/// token per job so concurrent jobs keep separable, deterministic counter
+/// snapshots.
+///
+/// The cap is the *malleable* part: it points at an atomic owned by a
+/// scheduler, and every parallel primitive reads it at loop entry, so the
+/// owner can grow or shrink a running task tree's parallelism between
+/// loops without synchronisation.  Because results are byte-identical for
+/// every thread count (the standing determinism contract), reallocation
+/// points are unobservable in any computed value.
+/// @{
+
+struct TaskContext {
+  std::uint64_t token = 0;
+  /// Dynamic parallelism ceiling (loaded relaxed at every loop entry;
+  /// values < 1 read as 1).  nullptr = uncapped.
+  const std::atomic<std::size_t>* cap = nullptr;
+};
+
+/// Allocates a fresh, process-unique scope token (monotonic, never
+/// reused).  Every scoped-metrics window (serve jobs, `vcomp_stitch
+/// --row`) must draw its token here: per-thread metric sinks fold lazily
+/// on token *change*, so reusing a token while an idle pool worker still
+/// carries counts tagged with it would leak them into the new scope's
+/// snapshot.
+std::uint64_t new_task_token();
+
+/// The calling thread's current task context.
+TaskContext task_context();
+/// Current scope token only (hot-path accessor for the obs layer).
+std::uint64_t task_token();
+void set_task_context(const TaskContext& ctx);
+
+/// RAII context override restoring the previous context on destruction.
+class ScopedTaskContext {
+ public:
+  explicit ScopedTaskContext(const TaskContext& ctx)
+      : prev_(task_context()) {
+    set_task_context(ctx);
+  }
+  ~ScopedTaskContext() { set_task_context(prev_); }
+  ScopedTaskContext(const ScopedTaskContext&) = delete;
+  ScopedTaskContext& operator=(const ScopedTaskContext&) = delete;
+
+ private:
+  TaskContext prev_;
+};
+
+/// @}
 
 class ThreadPool {
  public:
@@ -82,6 +141,17 @@ class ThreadPool {
 /// Current degree of parallelism (1 = serial).
 inline std::size_t parallelism() { return ThreadPool::instance().parallelism(); }
 
+/// Pool parallelism clamped by the calling task's malleable cap (see
+/// TaskContext).  Every parallel primitive reads this at loop entry, so a
+/// scheduler can retune a running task tree between loops.
+inline std::size_t effective_parallelism() {
+  const std::size_t p = ThreadPool::instance().parallelism();
+  const TaskContext ctx = task_context();
+  if (ctx.cap == nullptr) return p;
+  const std::size_t cap = ctx.cap->load(std::memory_order_relaxed);
+  return std::min(p, cap > 0 ? cap : std::size_t{1});
+}
+
 /// RAII parallelism override: reconfigures the pool to \p threads and
 /// restores the previous size on destruction.  Used by the determinism
 /// tests and by CLI `--threads` flags.
@@ -110,8 +180,7 @@ void run_on_pool(std::size_t helpers, const std::function<void()>& body);
 template <typename Fn>
 void parallel_for(std::size_t n, Fn&& fn, std::size_t grain = 1) {
   if (n == 0) return;
-  auto& pool = ThreadPool::instance();
-  const std::size_t p = pool.parallelism();
+  const std::size_t p = effective_parallelism();
   if (p <= 1 || ThreadPool::on_worker() || n <= grain) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
@@ -138,8 +207,7 @@ void parallel_for(std::size_t n, Fn&& fn, std::size_t grain = 1) {
 template <typename Fn>
 void parallel_for_shards(std::size_t n, std::size_t max_shards, Fn&& fn) {
   if (n == 0) return;
-  auto& pool = ThreadPool::instance();
-  std::size_t shards = std::min(pool.parallelism(), max_shards);
+  std::size_t shards = std::min(effective_parallelism(), max_shards);
   shards = std::min(shards, n);
   if (shards <= 1 || ThreadPool::on_worker()) {
     fn(std::size_t{0}, std::size_t{0}, n);

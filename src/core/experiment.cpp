@@ -10,6 +10,7 @@ CircuitLab::CircuitLab(const netgen::CircuitProfile& profile,
     : name_(profile.name),
       nl_(netgen::generate(profile)),
       faults_(fault::collapsed_fault_list(nl_)),
+      artifacts_(CircuitArtifacts::build(nl_, faults_)),
       baseline_(atpg::generate_full_scan_tests(nl_, faults_.faults(),
                                                baseline_options)) {}
 
@@ -18,11 +19,12 @@ CircuitLab::CircuitLab(std::string name, netlist::Netlist nl,
     : name_(std::move(name)),
       nl_(std::move(nl)),
       faults_(fault::collapsed_fault_list(nl_)),
+      artifacts_(CircuitArtifacts::build(nl_, faults_)),
       baseline_(atpg::generate_full_scan_tests(nl_, faults_.faults(),
                                                baseline_options)) {}
 
 StitchResult CircuitLab::run(const StitchOptions& options) const {
-  StitchEngine engine(nl_, faults_, baseline_, options);
+  StitchEngine engine(nl_, faults_, baseline_, artifacts_, options);
   return engine.run();
 }
 

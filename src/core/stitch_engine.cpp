@@ -58,6 +58,14 @@ StitchEngine::StitchEngine(const netlist::Netlist& nl,
                            const fault::CollapsedFaults& faults,
                            const atpg::TestSetResult& baseline,
                            const StitchOptions& options)
+    : StitchEngine(nl, faults, baseline, CircuitArtifacts::build(nl, faults),
+                   options) {}
+
+StitchEngine::StitchEngine(const netlist::Netlist& nl,
+                           const fault::CollapsedFaults& faults,
+                           const atpg::TestSetResult& baseline,
+                           const CircuitArtifacts& artifacts,
+                           const StitchOptions& options)
     : nl_(&nl),
       faults_(&faults),
       baseline_(&baseline),
@@ -67,13 +75,18 @@ StitchEngine::StitchEngine(const netlist::Netlist& nl,
       out_model_(options.hxor_taps > 0
                      ? scan::FabricOut::hxor(fabric_, options.hxor_taps)
                      : scan::FabricOut::direct(fabric_)),
-      eg_(sim::EvalGraph::compile(nl)),
-      scoap_(*eg_),
+      eg_(artifacts.graph),
+      scoap_(artifacts.scoap),
+      compact_(artifacts.compact),
       engine_(atpg::make_engine(
-          atpg::resolve_engine_kind(options.atpg_engine), eg_, scoap_,
+          atpg::resolve_engine_kind(options.atpg_engine), eg_, *scoap_,
           {.podem = options.podem, .sat = options.sat})),
       ssims_(eg_),
       rng_(options.seed) {
+  VCOMP_REQUIRE(eg_ != nullptr && scoap_ != nullptr && compact_ != nullptr,
+                "incomplete artifact set");
+  VCOMP_REQUIRE(&eg_->netlist() == &nl,
+                "artifacts were built for a different netlist");
   VCOMP_REQUIRE(nl.num_dffs() > 0, "stitching requires a scan fabric");
   VCOMP_REQUIRE(baseline.classes.size() == faults.size(),
                 "baseline classification does not match fault list");
@@ -376,7 +389,7 @@ StitchResult StitchEngine::run() {
   for (std::size_t i = 0; i < faults_->size(); ++i)
     if (baseline_->classes[i] == atpg::FaultClass::Redundant) track[i] = 0;
   StitchTracker tracker(eg_, *faults_, opts_.capture, fabric_, out_model_,
-                        std::move(track));
+                        std::move(track), compact_);
   // O(1) loop-termination predicate: the sets maintain the count of
   // targetable faults still in f_u across state transitions.
   tracker.mutable_sets().set_targetable(targetable_);
@@ -449,6 +462,7 @@ StitchResult StitchEngine::run() {
       note_cycle(st);
       res.hidden_peak = std::max(res.hidden_peak, st.hidden_after);
       res.cycles.push_back(st);
+      if (opts_.on_cycle) opts_.on_cycle(tracker.cycle(), st);
       continue;
     }
 
@@ -473,6 +487,7 @@ StitchResult StitchEngine::run() {
     note_cycle(st);
     res.hidden_peak = std::max(res.hidden_peak, st.hidden_after);
     res.cycles.push_back(st);
+    if (opts_.on_cycle) opts_.on_cycle(tracker.cycle(), st);
   }
   res.vectors_applied = tracker.cycle();
 

@@ -17,14 +17,6 @@ using sim::Word;
 
 namespace {
 
-/// VCOMP_COMPACT=0 disables graph compaction (debug / A-B comparison);
-/// anything else — including unset — leaves it on.
-bool compact_enabled() {
-  const char* e = std::getenv("VCOMP_COMPACT");
-  if (e == nullptr || *e == '\0') return true;
-  return !(e[0] == '0' && e[1] == '\0');
-}
-
 using Clock = std::chrono::steady_clock;
 
 double secs_since(Clock::time_point t0) {
@@ -59,7 +51,8 @@ StitchTracker::StitchTracker(sim::EvalGraph::Ref graph,
                              const fault::CollapsedFaults& faults,
                              scan::CaptureMode capture, scan::Fabric fabric,
                              scan::FabricOut out_model,
-                             std::vector<std::uint8_t> track)
+                             std::vector<std::uint8_t> track,
+                             std::shared_ptr<const fault::CompactModel> model)
     : nl_(&graph->netlist()),
       faults_(&faults),
       capture_(capture),
@@ -68,11 +61,17 @@ StitchTracker::StitchTracker(sim::EvalGraph::Ref graph,
       track_(std::move(track)),
       sets_(faults.size()),
       state_(fabric_),
-      model_(graph, faults.faults(), compact_enabled()),
-      ssims_(model_.graph()),
+      model_(model != nullptr
+                 ? std::move(model)
+                 : std::make_shared<const fault::CompactModel>(
+                       graph, faults.faults(),
+                       fault::compact_enabled_from_env())),
+      ssims_(model_->graph()),
       sim0_(&ssims_.at(0)),
-      lanes_(model_.graph()),
+      lanes_(model_->graph()),
       sf_state_(fabric_) {
+  VCOMP_REQUIRE(model_->num_faults() == faults.size(),
+                "shared compact model does not cover the fault list");
   VCOMP_REQUIRE(nl_->num_dffs() > 0, "tracker requires a scan fabric");
   VCOMP_REQUIRE(&fabric_.netlist() == nl_,
                 "fabric must partition the tracked netlist");
@@ -242,7 +241,7 @@ CycleStats StitchTracker::apply(const TestVector& v,
           Verdict& vd = verdicts_[n];
           vd.kind = 0;
           vd.flips.clear();
-          const auto eff = sim.simulate_mapped(model_.mapped(classify_[n]));
+          const auto eff = sim.simulate_mapped(model_->mapped(classify_[n]));
           if (eff.po_any & 1) {
             vd.kind = 1;
             continue;
@@ -308,7 +307,7 @@ CycleStats StitchTracker::apply(const TestVector& v,
         for (std::size_t p = 0; p < bits.size(); ++p)
           state_blocks_[base_p + p].w[k / 64] |= Word{bits[p]} << (k % 64);
       }
-      lanes_.inject_mapped(static_cast<int>(k), model_.mapped(batch_[k]));
+      lanes_.inject_mapped(static_cast<int>(k), model_->mapped(batch_[k]));
     }
     for (std::size_t pi = 0; pi < npi; ++pi)
       lanes_.set_pi_all(pi, v.pi[pi] != 0);

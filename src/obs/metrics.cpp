@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "vcomp/util/parallel.hpp"
+
 namespace vcomp::obs {
 
 namespace {
@@ -156,11 +158,18 @@ struct HistCell {
 // owning thread appends, so lock-free updates to existing slots can run
 // concurrently with growth (growth itself takes the registry mutex to
 // exclude snapshot/reset readers).
+//
+// Each sink is tagged with the task-scope token its values belong to
+// (util::task_token()).  When the owning thread starts writing under a
+// different token it folds the sink into the matching retired bucket under
+// the mutex and retags it, so one sink per thread suffices for any number
+// of scopes and per-scope attribution is exact.
 struct ThreadSink {
   std::deque<std::atomic<std::uint64_t>> counters;
   std::deque<std::atomic<std::uint64_t>> gauges;  // merged by max
   std::deque<HistCell> hists;
   std::deque<std::atomic<double>> timers;
+  std::uint64_t token = 0;  // guarded by the state mutex
 };
 
 struct State {
@@ -170,7 +179,23 @@ struct State {
       hist_ids, timer_ids;
   std::vector<ThreadSink*> sinks;  // live threads, registration order
   ThreadSink retired;              // accumulated totals of exited threads
+  /// Per-active-scope retirement buckets: totals folded out of live sinks
+  /// that moved on to another token (or exited) while the scope was still
+  /// active.  end_scope folds the bucket into `retired` so process-wide
+  /// totals are preserved.
+  std::map<std::uint64_t, ThreadSink> scoped_retired;
 };
+
+/// Retirement destination for a sink tagged \p token (call under the
+/// mutex): active scopes keep their own bucket; everything else — token 0
+/// and scopes already ended — folds into the process-wide totals.
+ThreadSink& retired_for(State& s, std::uint64_t token) {
+  if (token != 0) {
+    auto it = s.scoped_retired.find(token);
+    if (it != s.scoped_retired.end()) return it->second;
+  }
+  return s.retired;
+}
 
 // Leaked: thread-exit destructors (SinkHolder below) may run arbitrarily
 // late, after static destruction would have torn a non-leaked State down.
@@ -231,44 +256,6 @@ void merge_into(ThreadSink& dst, const ThreadSink& src) {
   }
 }
 
-// Registered in `sinks` on first metric update from a thread; on thread
-// exit the sink's totals fold into `retired` so no data is lost.
-struct SinkHolder {
-  ThreadSink* sink = nullptr;
-  ~SinkHolder() {
-    if (!sink) return;
-    State& s = state();
-    const std::lock_guard<std::mutex> lk(s.m);
-    merge_into(s.retired, *sink);
-    std::erase(s.sinks, sink);
-    delete sink;
-    sink = nullptr;
-  }
-};
-
-thread_local SinkHolder t_holder;
-
-ThreadSink& local_sink() {
-  if (!t_holder.sink) {
-    auto* sink = new ThreadSink;
-    State& s = state();
-    const std::lock_guard<std::mutex> lk(s.m);
-    s.sinks.push_back(sink);
-    t_holder.sink = sink;
-  }
-  return *t_holder.sink;
-}
-
-// Only the owning thread grows its sink, so the unlocked size check is
-// safe; the growth itself is mutex-guarded against snapshot()/reset().
-template <class Deque>
-void ensure_slot(Deque& d, std::uint32_t slot) {
-  if (slot < d.size()) return;
-  State& s = state();
-  const std::lock_guard<std::mutex> lk(s.m);
-  grow_to(d, static_cast<std::size_t>(slot) + 1);
-}
-
 void reset_sink(ThreadSink& sink) {
   for (auto& c : sink.counters) c.store(0, std::memory_order_relaxed);
   for (auto& g : sink.gauges) g.store(0, std::memory_order_relaxed);
@@ -280,6 +267,57 @@ void reset_sink(ThreadSink& sink) {
     for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
   }
   for (auto& t : sink.timers) t.store(0.0, std::memory_order_relaxed);
+}
+
+// Registered in `sinks` on first metric update from a thread; on thread
+// exit the sink's totals fold into the retirement bucket of the token it
+// last wrote under, so no data is lost.
+struct SinkHolder {
+  ThreadSink* sink = nullptr;
+  ~SinkHolder() {
+    if (!sink) return;
+    State& s = state();
+    const std::lock_guard<std::mutex> lk(s.m);
+    merge_into(retired_for(s, sink->token), *sink);
+    std::erase(s.sinks, sink);
+    delete sink;
+    sink = nullptr;
+  }
+};
+
+thread_local SinkHolder t_holder;
+
+ThreadSink& local_sink() {
+  const std::uint64_t token = util::task_token();
+  ThreadSink* sink = t_holder.sink;
+  if (sink == nullptr) {
+    sink = new ThreadSink;
+    sink->token = token;
+    State& s = state();
+    const std::lock_guard<std::mutex> lk(s.m);
+    s.sinks.push_back(sink);
+    t_holder.sink = sink;
+  } else if (sink->token != token) {
+    // The thread moved to another task scope: fold the accumulated values
+    // into the old scope's retirement bucket and retag.  Only the owning
+    // thread ever writes this sink, so the fold cannot race an update.
+    State& s = state();
+    const std::lock_guard<std::mutex> lk(s.m);
+    merge_into(retired_for(s, sink->token), *sink);
+    reset_sink(*sink);
+    sink->token = token;
+  }
+  return *sink;
+}
+
+// Only the owning thread grows its sink, so the unlocked size check is
+// safe; the growth itself is mutex-guarded against snapshot()/reset().
+template <class Deque>
+void ensure_slot(Deque& d, std::uint32_t slot) {
+  if (slot < d.size()) return;
+  State& s = state();
+  const std::lock_guard<std::mutex> lk(s.m);
+  grow_to(d, static_cast<std::size_t>(slot) + 1);
 }
 
 }  // namespace
@@ -384,9 +422,13 @@ Timer Registry::timer(std::string_view name) {
   return Timer(register_named(name, s.timer_names, s.timer_ids));
 }
 
-Snapshot Registry::snapshot() const {
-  State& s = state();
-  const std::lock_guard<std::mutex> lk(s.m);
+namespace {
+
+// Merge the given sink parts into one name-sorted snapshot.  Called under
+// the state mutex; which parts go in decides the view (process-wide vs one
+// scope), the assembly is identical either way.
+Snapshot build_snapshot(const State& s,
+                        const std::vector<const ThreadSink*>& parts) {
   Snapshot out;
 
   auto slot_u64 = [](const std::deque<std::atomic<std::uint64_t>>& d,
@@ -396,15 +438,15 @@ Snapshot Registry::snapshot() const {
 
   out.counters.reserve(s.counter_names.size());
   for (std::size_t i = 0; i < s.counter_names.size(); ++i) {
-    std::uint64_t total = slot_u64(s.retired.counters, i);
-    for (const ThreadSink* sink : s.sinks) total += slot_u64(sink->counters, i);
+    std::uint64_t total = 0;
+    for (const ThreadSink* sink : parts) total += slot_u64(sink->counters, i);
     out.counters.emplace_back(s.counter_names[i], total);
   }
 
   out.gauges.reserve(s.gauge_names.size());
   for (std::size_t i = 0; i < s.gauge_names.size(); ++i) {
-    std::uint64_t hi = slot_u64(s.retired.gauges, i);
-    for (const ThreadSink* sink : s.sinks) {
+    std::uint64_t hi = 0;
+    for (const ThreadSink* sink : parts) {
       hi = std::max(hi, slot_u64(sink->gauges, i));
     }
     out.gauges.emplace_back(s.gauge_names[i], hi);
@@ -416,9 +458,9 @@ Snapshot Registry::snapshot() const {
     hs.name = s.hist_names[i];
     std::uint64_t mn = kNoMin;
     std::vector<std::uint64_t> buckets(kHistBuckets, 0);
-    auto fold = [&](const ThreadSink& sink) {
-      if (i >= sink.hists.size()) return;
-      const HistCell& h = sink.hists[i];
+    for (const ThreadSink* sink : parts) {
+      if (i >= sink->hists.size()) continue;
+      const HistCell& h = sink->hists[i];
       hs.count += h.count.load(std::memory_order_relaxed);
       hs.sum += h.sum.load(std::memory_order_relaxed);
       mn = std::min(mn, h.min.load(std::memory_order_relaxed));
@@ -426,9 +468,7 @@ Snapshot Registry::snapshot() const {
       for (std::size_t b = 0; b < kHistBuckets; ++b) {
         buckets[b] += h.buckets[b].load(std::memory_order_relaxed);
       }
-    };
-    fold(s.retired);
-    for (const ThreadSink* sink : s.sinks) fold(*sink);
+    }
     hs.min = hs.count == 0 ? 0 : mn;
     while (!buckets.empty() && buckets.back() == 0) buckets.pop_back();
     hs.buckets = std::move(buckets);
@@ -437,10 +477,8 @@ Snapshot Registry::snapshot() const {
 
   out.timings.reserve(s.timer_names.size());
   for (std::size_t i = 0; i < s.timer_names.size(); ++i) {
-    double total = i < s.retired.timers.size()
-                       ? s.retired.timers[i].load(std::memory_order_relaxed)
-                       : 0.0;
-    for (const ThreadSink* sink : s.sinks) {
+    double total = 0.0;
+    for (const ThreadSink* sink : parts) {
       if (i < sink->timers.size()) {
         total += sink->timers[i].load(std::memory_order_relaxed);
       }
@@ -457,11 +495,54 @@ Snapshot Registry::snapshot() const {
   return out;
 }
 
+}  // namespace
+
+Snapshot Registry::snapshot() const {
+  State& s = state();
+  const std::lock_guard<std::mutex> lk(s.m);
+  std::vector<const ThreadSink*> parts;
+  parts.reserve(1 + s.scoped_retired.size() + s.sinks.size());
+  parts.push_back(&s.retired);
+  for (const auto& [token, bucket] : s.scoped_retired) parts.push_back(&bucket);
+  for (const ThreadSink* sink : s.sinks) parts.push_back(sink);
+  return build_snapshot(s, parts);
+}
+
 void Registry::reset() {
   State& s = state();
   const std::lock_guard<std::mutex> lk(s.m);
   reset_sink(s.retired);
+  for (auto& [token, bucket] : s.scoped_retired) reset_sink(bucket);
   for (ThreadSink* sink : s.sinks) reset_sink(*sink);
+}
+
+void Registry::begin_scope(std::uint64_t token) {
+  if (token == 0) return;  // token 0 is the ambient process scope
+  State& s = state();
+  const std::lock_guard<std::mutex> lk(s.m);
+  s.scoped_retired.try_emplace(token);
+}
+
+Snapshot Registry::snapshot_scope(std::uint64_t token) const {
+  State& s = state();
+  const std::lock_guard<std::mutex> lk(s.m);
+  std::vector<const ThreadSink*> parts;
+  parts.reserve(1 + s.sinks.size());
+  const auto it = s.scoped_retired.find(token);
+  if (it != s.scoped_retired.end()) parts.push_back(&it->second);
+  for (const ThreadSink* sink : s.sinks) {
+    if (sink->token == token) parts.push_back(sink);
+  }
+  return build_snapshot(s, parts);
+}
+
+void Registry::end_scope(std::uint64_t token) {
+  State& s = state();
+  const std::lock_guard<std::mutex> lk(s.m);
+  const auto it = s.scoped_retired.find(token);
+  if (it == s.scoped_retired.end()) return;
+  merge_into(s.retired, it->second);
+  s.scoped_retired.erase(it);
 }
 
 #else  // VCOMP_OBS_DISABLED
@@ -488,6 +569,10 @@ Timer Registry::timer(std::string_view) { return Timer{}; }
 
 Snapshot Registry::snapshot() const { return Snapshot{}; }
 void Registry::reset() {}
+
+void Registry::begin_scope(std::uint64_t) {}
+Snapshot Registry::snapshot_scope(std::uint64_t) const { return Snapshot{}; }
+void Registry::end_scope(std::uint64_t) {}
 
 #endif  // VCOMP_OBS_DISABLED
 

@@ -8,6 +8,8 @@
 #include <ostream>
 #include <vector>
 
+#include "vcomp/util/parallel.hpp"
+
 namespace vcomp::obs {
 
 #ifndef VCOMP_OBS_DISABLED
@@ -21,6 +23,9 @@ struct TraceEvent {
   double ts_us;
   double dur_us;
   int tid;
+  // Task-scope token at record time (util::task_token()); emitted as the
+  // Chrome-trace "pid" so each serve job renders as its own process row.
+  std::uint64_t scope;
 };
 
 struct TraceState {
@@ -99,7 +104,8 @@ double trace_now_us() { return trace_enabled() ? now_us() : 0.0; }
 void trace_complete(const char* name, double start_us, double dur_seconds) {
   if (!trace_enabled()) return;
   TraceState& t = tstate();
-  const TraceEvent ev{name, start_us, dur_seconds * 1e6, thread_tid()};
+  const TraceEvent ev{name, start_us, dur_seconds * 1e6, thread_tid(),
+                      util::task_token()};
   const std::lock_guard<std::mutex> lk(t.m);
   t.events.push_back(ev);
 }
@@ -125,7 +131,8 @@ void write_chrome_trace(std::ostream& os) {
     write_double(os, ev.ts_us);
     os << ", \"dur\": ";
     write_double(os, ev.dur_us);
-    os << ", \"pid\": 1, \"tid\": " << ev.tid << "}";
+    os << ", \"pid\": " << (ev.scope == 0 ? 1 : ev.scope)
+       << ", \"tid\": " << ev.tid << "}";
     first = false;
   }
   os << (first ? "]}" : "\n]}") << '\n';

@@ -1,0 +1,307 @@
+#include "vcomp/serve/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vcomp::serve {
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+void append_json_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  out += buf;
+}
+
+Json Json::boolean(bool b) {
+  Json j;
+  j.kind_ = Kind::Bool;
+  j.bool_ = b;
+  return j;
+}
+
+Json Json::integer(std::int64_t i) {
+  Json j;
+  j.kind_ = Kind::Int;
+  j.int_ = i;
+  return j;
+}
+
+Json Json::number(double d) {
+  Json j;
+  j.kind_ = Kind::Double;
+  j.double_ = d;
+  return j;
+}
+
+Json Json::string(std::string s) {
+  Json j;
+  j.kind_ = Kind::String;
+  j.str_ = std::move(s);
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::Array;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::Object;
+  return j;
+}
+
+const Json* Json::find(std::string_view key) const {
+  for (const auto& [k, v] : obj_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+namespace {
+
+struct Parser {
+  std::string_view s;
+  std::size_t i = 0;
+
+  void skip_ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                            s[i] == '\r'))
+      ++i;
+  }
+  bool eat(char c) {
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!eat('"')) return false;
+    out.clear();
+    while (i < s.size()) {
+      const char c = s[i++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (i >= s.size()) return false;
+        const char e = s[i++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (i + 4 > s.size()) return false;
+            unsigned v = 0;
+            for (int k = 0; k < 4; ++k) {
+              const char h = s[i++];
+              v <<= 4;
+              if (h >= '0' && h <= '9') v |= unsigned(h - '0');
+              else if (h >= 'a' && h <= 'f') v |= unsigned(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') v |= unsigned(h - 'A' + 10);
+              else return false;
+            }
+            // The protocol is ASCII; encode BMP code points as UTF-8.
+            if (v < 0x80) {
+              out += char(v);
+            } else if (v < 0x800) {
+              out += char(0xC0 | (v >> 6));
+              out += char(0x80 | (v & 0x3F));
+            } else {
+              out += char(0xE0 | (v >> 12));
+              out += char(0x80 | ((v >> 6) & 0x3F));
+              out += char(0x80 | (v & 0x3F));
+            }
+            break;
+          }
+          default: return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control character inside a string
+      } else {
+        out += c;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_value(Json& out, int depth) {
+    if (depth > 64) return false;
+    skip_ws();
+    if (i >= s.size()) return false;
+    const char c = s[i];
+    if (c == '{') {
+      ++i;
+      out = Json::object();
+      skip_ws();
+      if (eat('}')) return true;
+      for (;;) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(key)) return false;
+        skip_ws();
+        if (!eat(':')) return false;
+        Json v;
+        if (!parse_value(v, depth + 1)) return false;
+        out.set(std::move(key), std::move(v));
+        skip_ws();
+        if (eat(',')) continue;
+        return eat('}');
+      }
+    }
+    if (c == '[') {
+      ++i;
+      out = Json::array();
+      skip_ws();
+      if (eat(']')) return true;
+      for (;;) {
+        Json v;
+        if (!parse_value(v, depth + 1)) return false;
+        out.push_back(std::move(v));
+        skip_ws();
+        if (eat(',')) continue;
+        return eat(']');
+      }
+    }
+    if (c == '"') {
+      std::string v;
+      if (!parse_string(v)) return false;
+      out = Json::string(std::move(v));
+      return true;
+    }
+    if (s.compare(i, 4, "true") == 0) {
+      i += 4;
+      out = Json::boolean(true);
+      return true;
+    }
+    if (s.compare(i, 5, "false") == 0) {
+      i += 5;
+      out = Json::boolean(false);
+      return true;
+    }
+    if (s.compare(i, 4, "null") == 0) {
+      i += 4;
+      out = Json::null();
+      return true;
+    }
+    // Number.
+    const std::size_t start = i;
+    if (i < s.size() && s[i] == '-') ++i;
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i])))
+      ++i;
+    bool integral = true;
+    if (i < s.size() && s[i] == '.') {
+      integral = false;
+      ++i;
+      while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i])))
+        ++i;
+    }
+    if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+      integral = false;
+      ++i;
+      if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+      while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i])))
+        ++i;
+    }
+    if (i == start || (i == start + 1 && s[start] == '-')) return false;
+    const std::string lit(s.substr(start, i - start));
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(lit.c_str(), &end, 10);
+      if (errno != 0 || end == nullptr || *end != '\0') return false;
+      out = Json::integer(v);
+    } else {
+      char* end = nullptr;
+      const double v = std::strtod(lit.c_str(), &end);
+      if (end == nullptr || *end != '\0') return false;
+      out = Json::number(v);
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+std::optional<Json> Json::parse(std::string_view text) {
+  Parser p{text};
+  Json out;
+  if (!p.parse_value(out, 0)) return std::nullopt;
+  p.skip_ws();
+  if (p.i != text.size()) return std::nullopt;
+  return out;
+}
+
+void Json::write(std::string& out) const {
+  switch (kind_) {
+    case Kind::Null:
+      out += "null";
+      break;
+    case Kind::Bool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::Int:
+      out += std::to_string(int_);
+      break;
+    case Kind::Double:
+      append_json_double(out, double_);
+      break;
+    case Kind::String:
+      append_json_string(out, str_);
+      break;
+    case Kind::Array: {
+      out += '[';
+      bool first = true;
+      for (const Json& v : arr_) {
+        if (!first) out += ',';
+        v.write(out);
+        first = false;
+      }
+      out += ']';
+      break;
+    }
+    case Kind::Object: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) out += ',';
+        append_json_string(out, k);
+        out += ':';
+        v.write(out);
+        first = false;
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  write(out);
+  return out;
+}
+
+}  // namespace vcomp::serve

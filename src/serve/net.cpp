@@ -1,0 +1,103 @@
+#include "vcomp/serve/net.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace vcomp::serve {
+
+int serve_stdio(Server& server, std::istream& in, std::ostream& out) {
+  // The sink runs under the server's emit lock, so concurrent jobs
+  // interleave whole lines on the stream, never partial writes.
+  const Server::Sink sink = [&out](const std::string& line) {
+    out << line << '\n';
+    out.flush();
+  };
+  std::string line;
+  bool running = true;
+  while (running && std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    running = server.handle_line(line, sink);
+  }
+  server.drain();
+  return 0;
+}
+
+TcpListener::TcpListener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("socket() failed");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(fd_, 8) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("cannot bind 127.0.0.1:" + std::to_string(port));
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0)
+    port_ = ntohs(addr.sin_port);
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+namespace {
+
+/// Writes the whole buffer, retrying short writes; false on error.
+bool send_all(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::send(fd, data, n, 0);
+    if (w <= 0) return false;
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+void TcpListener::serve(Server& server) {
+  bool running = true;
+  while (running) {
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client < 0) break;
+    const Server::Sink sink = [client](const std::string& line) {
+      const std::string out = line + '\n';
+      send_all(client, out.data(), out.size());  // client gone: drop event
+    };
+    std::string buf;
+    char chunk[4096];
+    bool connected = true;
+    while (running && connected) {
+      const ssize_t r = ::recv(client, chunk, sizeof chunk, 0);
+      if (r <= 0) break;
+      buf.append(chunk, static_cast<std::size_t>(r));
+      std::size_t nl;
+      while (running && (nl = buf.find('\n')) != std::string::npos) {
+        std::string line = buf.substr(0, nl);
+        buf.erase(0, nl + 1);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        running = server.handle_line(line, sink);
+      }
+      connected = running;
+    }
+    // Jobs submitted by this client may still be running; their events
+    // must not land on the next client's socket, so wait them out here.
+    server.drain();
+    ::close(client);
+  }
+}
+
+}  // namespace vcomp::serve

@@ -1,0 +1,194 @@
+#include "vcomp/serve/protocol.hpp"
+
+#include <cstdio>
+
+#include "vcomp/scan/fabric.hpp"
+
+namespace vcomp::serve {
+
+namespace {
+
+bool fail(std::string& error, std::string msg) {
+  error = std::move(msg);
+  return false;
+}
+
+bool to_size(const Json& v, std::size_t& out) {
+  if (v.kind() != Json::Kind::Int || v.as_int() < 0) return false;
+  out = static_cast<std::size_t>(v.as_int());
+  return true;
+}
+
+bool to_u64(const Json& v, std::uint64_t& out) {
+  if (v.kind() != Json::Kind::Int || v.as_int() < 0) return false;
+  out = static_cast<std::uint64_t>(v.as_int());
+  return true;
+}
+
+}  // namespace
+
+bool apply_config(const Json& config, JobSpec& spec, std::string& error) {
+  if (!config.is_object()) return fail(error, "config must be an object");
+  for (const auto& [key, v] : config.members()) {
+    if (key == "chains") {
+      if (!to_size(v, spec.options.num_chains) ||
+          spec.options.num_chains == 0)
+        return fail(error, "chains must be a positive integer");
+    } else if (key == "partition") {
+      if (!v.is_string() ||
+          !scan::partition_from_string(v.as_string(),
+                                       spec.options.partition))
+        return fail(error,
+                    "partition must be round-robin | contiguous | random");
+    } else if (key == "partition_seed") {
+      if (!to_u64(v, spec.options.partition_seed))
+        return fail(error, "partition_seed must be a non-negative integer");
+    } else if (key == "shift") {
+      if (!to_size(v, spec.options.fixed_shift))
+        return fail(error, "shift must be a non-negative integer");
+    } else if (key == "info") {
+      if (!v.is_number() || v.as_double() <= 0.0 || v.as_double() > 1.0)
+        return fail(error, "info must be a number in (0,1]");
+      spec.info = v.as_double();
+    } else if (key == "selection") {
+      if (!v.is_string()) return fail(error, "selection must be a string");
+      const std::string& s = v.as_string();
+      if (s == "random") spec.options.selection = core::SelectionPolicy::Random;
+      else if (s == "hardness")
+        spec.options.selection = core::SelectionPolicy::Hardness;
+      else if (s == "most-faults")
+        spec.options.selection = core::SelectionPolicy::MostFaults;
+      else
+        return fail(error, "selection must be random | hardness | most-faults");
+    } else if (key == "atpg") {
+      if (!v.is_string() ||
+          !atpg::engine_kind_from_string(v.as_string(),
+                                         spec.options.atpg_engine))
+        return fail(error, "atpg must be podem | sat | race");
+    } else if (key == "capture") {
+      if (!v.is_string()) return fail(error, "capture must be a string");
+      const std::string& c = v.as_string();
+      if (c == "vxor") spec.options.capture = scan::CaptureMode::VXor;
+      else if (c == "normal") spec.options.capture = scan::CaptureMode::Normal;
+      else return fail(error, "capture must be normal | vxor");
+    } else if (key == "hxor") {
+      if (!to_size(v, spec.options.hxor_taps))
+        return fail(error, "hxor must be a non-negative integer");
+    } else if (key == "seed") {
+      if (!to_u64(v, spec.options.seed))
+        return fail(error, "seed must be a non-negative integer");
+    } else if (key == "max_cycles") {
+      if (!to_size(v, spec.options.max_cycles))
+        return fail(error, "max_cycles must be a non-negative integer");
+    } else if (key == "full_scale") {
+      if (!v.is_bool()) return fail(error, "full_scale must be a boolean");
+      spec.full_scale = v.as_bool();
+    } else if (key == "progress_every") {
+      if (!to_size(v, spec.progress_every))
+        return fail(error, "progress_every must be a non-negative integer");
+    } else {
+      return fail(error, "unknown config key: " + key);
+    }
+  }
+  return true;
+}
+
+std::optional<Request> parse_request(const std::string& line,
+                                     std::string& error) {
+  const std::optional<Json> doc = Json::parse(line);
+  if (!doc || !doc->is_object()) {
+    error = "request is not a JSON object";
+    return std::nullopt;
+  }
+  const Json* op = doc->find("op");
+  if (op == nullptr || !op->is_string()) {
+    error = "missing \"op\"";
+    return std::nullopt;
+  }
+  Request req;
+  const std::string& o = op->as_string();
+  if (o == "status") {
+    req.op = Request::Op::Status;
+    return req;
+  }
+  if (o == "ping") {
+    req.op = Request::Op::Ping;
+    return req;
+  }
+  if (o == "shutdown") {
+    req.op = Request::Op::Shutdown;
+    return req;
+  }
+  if (o != "submit") {
+    error = "unknown op: " + o;
+    return std::nullopt;
+  }
+  req.op = Request::Op::Submit;
+  const Json* id = doc->find("id");
+  if (id == nullptr || !id->is_string() || id->as_string().empty()) {
+    error = "submit requires a non-empty string \"id\"";
+    return std::nullopt;
+  }
+  req.job.id = id->as_string();
+  const Json* circuit = doc->find("circuit");
+  if (circuit == nullptr || !circuit->is_string() ||
+      circuit->as_string().empty()) {
+    error = "submit requires a non-empty string \"circuit\"";
+    return std::nullopt;
+  }
+  req.job.circuit = circuit->as_string();
+  if (const Json* config = doc->find("config"))
+    if (!apply_config(*config, req.job, error)) return std::nullopt;
+  return req;
+}
+
+std::string circuit_label(const std::string& circuit, bool full_scale) {
+  return full_scale ? circuit + "#full" : circuit;
+}
+
+std::string result_row(const std::string& label, const core::StitchResult& r,
+                       const obs::CounterSet& counters) {
+  // Built by direct string appends (not via Json) so the byte layout is
+  // pinned by this function alone; keys in fixed order, doubles as %.6f.
+  std::string out = "{\"circuit\":";
+  append_json_string(out, label);
+  auto field_u = [&out](const char* key, std::uint64_t v) {
+    out += ",\"";
+    out += key;
+    out += "\":";
+    out += std::to_string(v);
+  };
+  auto field_d = [&out](const char* key, double v) {
+    out += ",\"";
+    out += key;
+    out += "\":";
+    append_json_double(out, v);
+  };
+  field_u("tv", r.vectors_applied);
+  field_u("ex", r.extra_full_vectors);
+  field_u("atv", r.baseline_vectors);
+  field_d("t", r.time_ratio);
+  field_d("m", r.memory_ratio);
+  field_u("shift_cycles", r.cost.shift_cycles);
+  field_u("memory_bits", r.cost.memory_bits());
+  field_u("targets", r.targets);
+  field_u("caught_stitched", r.caught_stitched);
+  field_u("caught_flush", r.caught_flush);
+  field_u("caught_extra", r.caught_extra);
+  field_u("uncovered", r.uncovered);
+  field_u("hidden_peak", r.hidden_peak);
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters.values) {
+    if (value == 0) continue;  // zero-valued registrations are ambient noise
+    if (!first) out += ',';
+    append_json_string(out, name);
+    out += ':';
+    out += std::to_string(value);
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace vcomp::serve

@@ -9,6 +9,7 @@ namespace vcomp::util {
 namespace {
 
 thread_local bool t_on_worker = false;
+thread_local TaskContext t_task_ctx;
 
 std::size_t env_parallelism() {
   if (const char* v = std::getenv("VCOMP_THREADS")) {
@@ -22,6 +23,17 @@ std::size_t env_parallelism() {
 }
 
 }  // namespace
+
+TaskContext task_context() { return t_task_ctx; }
+
+std::uint64_t task_token() { return t_task_ctx.token; }
+
+void set_task_context(const TaskContext& ctx) { t_task_ctx = ctx; }
+
+std::uint64_t new_task_token() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
 
 std::uint64_t splitmix64(std::uint64_t x) {
   x += 0x9e3779b97f4a7c15ULL;
@@ -124,8 +136,13 @@ void run_on_pool(std::size_t helpers, const std::function<void()>& body) {
   Sync sync;
   sync.pending = helpers;
   auto& pool = ThreadPool::instance();
+  // Workers execute the body under the submitter's task context, so scope
+  // tokens (obs per-scope counters) and the malleable parallelism cap
+  // follow the task tree across threads.
+  const TaskContext ctx = task_context();
   for (std::size_t h = 0; h < helpers; ++h) {
-    pool.submit([&sync, &body] {
+    pool.submit([&sync, &body, ctx] {
+      const ScopedTaskContext scope(ctx);
       try {
         body();
       } catch (...) {

@@ -1,0 +1,76 @@
+#include "vcomp/serve/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vcomp::serve {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(Json::parse("null")->is_null());
+  EXPECT_TRUE(Json::parse("true")->as_bool());
+  EXPECT_FALSE(Json::parse("false")->as_bool());
+  EXPECT_EQ(Json::parse("42")->as_int(), 42);
+  EXPECT_EQ(Json::parse("-7")->as_int(), -7);
+  EXPECT_DOUBLE_EQ(Json::parse("2.5")->as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(Json::parse("1e3")->as_double(), 1000.0);
+  EXPECT_EQ(Json::parse("\"hi\"")->as_string(), "hi");
+}
+
+TEST(Json, Int64RoundTripsExactly) {
+  // Large job seeds must not pass through a double.
+  const auto j = Json::parse("9007199254740993");  // 2^53 + 1
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->kind(), Json::Kind::Int);
+  EXPECT_EQ(j->as_int(), 9007199254740993LL);
+  EXPECT_EQ(j->dump(), "9007199254740993");
+}
+
+TEST(Json, ParsesNestedStructure) {
+  const auto j = Json::parse(
+      R"({"op":"submit","config":{"chains":4,"x":[1,2,3]},"ok":true})");
+  ASSERT_TRUE(j.has_value());
+  const Json* config = j->find("config");
+  ASSERT_NE(config, nullptr);
+  EXPECT_EQ(config->find("chains")->as_int(), 4);
+  EXPECT_EQ(config->find("x")->items().size(), 3u);
+  EXPECT_EQ(j->find("missing"), nullptr);
+}
+
+TEST(Json, StringEscapes) {
+  const auto j = Json::parse(R"("a\"b\\c\nA")");
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->as_string(), "a\"b\\c\nA");
+  // Writing re-escapes deterministically (control chars as \u00xx).
+  std::string out;
+  append_json_string(out, "a\"b\\c\n");
+  EXPECT_EQ(out, "\"a\\\"b\\\\c\\u000a\"");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_FALSE(Json::parse("").has_value());
+  EXPECT_FALSE(Json::parse("{").has_value());
+  EXPECT_FALSE(Json::parse("{\"a\":}").has_value());
+  EXPECT_FALSE(Json::parse("[1,]").has_value());
+  EXPECT_FALSE(Json::parse("\"unterminated").has_value());
+  EXPECT_FALSE(Json::parse("tru").has_value());
+  EXPECT_FALSE(Json::parse("1 2").has_value());  // trailing garbage
+  EXPECT_FALSE(Json::parse("-").has_value());
+}
+
+TEST(Json, RejectsRunawayNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(Json::parse(deep).has_value());
+}
+
+TEST(Json, DumpIsDeterministic) {
+  // Objects keep insertion order; doubles use the fixed %.6f format.
+  Json obj = Json::object();
+  obj.set("b", Json::integer(1));
+  obj.set("a", Json::number(0.5));
+  EXPECT_EQ(obj.dump(), "{\"b\":1,\"a\":0.500000}");
+  EXPECT_EQ(obj.dump(), Json::parse(obj.dump())->dump());
+}
+
+}  // namespace
+}  // namespace vcomp::serve

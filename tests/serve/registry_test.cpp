@@ -1,0 +1,119 @@
+#include "vcomp/serve/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vcomp/netgen/example_circuit.hpp"
+#include "vcomp/netlist/netlist.hpp"
+
+namespace vcomp::serve {
+namespace {
+
+using netlist::GateType;
+
+/// Tiny scan circuit with two independent comb gates whose declaration
+/// order is swappable without changing the structure.
+netlist::Netlist tiny(bool reorder, bool tweak = false) {
+  netlist::Netlist nl;
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  const auto d = nl.add_dff("d");
+  netlist::GateId g1, g2;
+  if (!reorder) {
+    g1 = nl.add_gate(GateType::And, "g1", {a, b});
+    g2 = nl.add_gate(tweak ? GateType::Or : GateType::Xor, "g2", {a, d});
+  } else {
+    g2 = nl.add_gate(tweak ? GateType::Or : GateType::Xor, "g2", {a, d});
+    g1 = nl.add_gate(GateType::And, "g1", {a, b});
+  }
+  const auto g3 = nl.add_gate(GateType::Or, "g3", {g1, g2});
+  nl.set_dff_input(d, g3);
+  nl.mark_output(g3);
+  nl.finalize();
+  return nl;
+}
+
+TEST(NetlistHash, StableAcrossCombDeclarationOrder) {
+  const NetlistHash h1 = canonical_netlist_hash(tiny(false));
+  const NetlistHash h2 = canonical_netlist_hash(tiny(true));
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(h1.hex(), h2.hex());
+  EXPECT_EQ(h1.hex().size(), 32u);
+}
+
+TEST(NetlistHash, SensitiveToStructure) {
+  EXPECT_NE(canonical_netlist_hash(tiny(false)),
+            canonical_netlist_hash(tiny(false, /*tweak=*/true)));
+}
+
+TEST(NetlistHash, SensitiveToInterfaceOrder) {
+  // PI declaration order is semantic (vector layouts): swapping it must
+  // change the hash even though the gate structure is isomorphic.
+  netlist::Netlist nl;
+  const auto b = nl.add_input("b");
+  const auto a = nl.add_input("a");
+  const auto d = nl.add_dff("d");
+  const auto g1 = nl.add_gate(GateType::And, "g1", {a, b});
+  const auto g2 = nl.add_gate(GateType::Xor, "g2", {a, d});
+  const auto g3 = nl.add_gate(GateType::Or, "g3", {g1, g2});
+  nl.set_dff_input(d, g3);
+  nl.mark_output(g3);
+  nl.finalize();
+  EXPECT_NE(canonical_netlist_hash(nl), canonical_netlist_hash(tiny(false)));
+}
+
+TEST(ArtifactRegistry, SharesOneLabAcrossEquivalentNetlists) {
+  ArtifactRegistry reg;
+  const auto lab1 = reg.lab_for_netlist("t1", tiny(false));
+  const auto lab2 = reg.lab_for_netlist("t2", tiny(true));  // reordered
+  // Pointer identity: the second request aliases the first build, so the
+  // compiled graph / SCOAP / compact model exist exactly once.
+  EXPECT_EQ(lab1.get(), lab2.get());
+  EXPECT_EQ(lab1->artifacts().graph.get(), lab2->artifacts().graph.get());
+  EXPECT_EQ(reg.stats().hits, 1u);
+  EXPECT_EQ(reg.stats().misses, 1u);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(ArtifactRegistry, SpecMemoAvoidsResynthesis) {
+  ArtifactRegistry reg;
+  const auto lab1 = reg.lab_for_spec("gen:s444", false);
+  const auto lab2 = reg.lab_for_spec("gen:s444", false);
+  EXPECT_EQ(lab1.get(), lab2.get());
+  EXPECT_EQ(reg.stats().misses, 1u);
+  EXPECT_EQ(reg.stats().hits, 1u);
+}
+
+TEST(ArtifactRegistry, RejectsFullScaleOnFiles) {
+  ArtifactRegistry reg;
+  EXPECT_THROW(reg.lab_for_spec("circuit.bench", true), std::exception);
+}
+
+TEST(ArtifactRegistry, DeterministicLruEviction) {
+  auto run = [](ArtifactRegistry& reg) {
+    netlist::Netlist variant = tiny(false, /*tweak=*/true);
+    // Three distinct circuits through a budget of two: C's insert evicts
+    // A (LRU), so re-requesting A misses and evicts B, then B misses.
+    reg.lab_for_netlist("A", tiny(false));
+    reg.lab_for_netlist("B", std::move(variant));
+    reg.lab_for_netlist("C", netgen::example_circuit());
+    EXPECT_EQ(reg.stats().evictions, 1u);
+    reg.lab_for_netlist("A", tiny(false));
+    EXPECT_EQ(reg.stats().evictions, 2u);
+    netlist::Netlist variant2 = tiny(false, /*tweak=*/true);
+    reg.lab_for_netlist("B", std::move(variant2));
+    return reg.stats();
+  };
+  ArtifactRegistry r1(2), r2(2);
+  const auto s1 = run(r1);
+  const auto s2 = run(r2);
+  // Replaying the byte-identical request sequence evicts identically.
+  EXPECT_EQ(s1.hits, s2.hits);
+  EXPECT_EQ(s1.misses, s2.misses);
+  EXPECT_EQ(s1.evictions, s2.evictions);
+  EXPECT_EQ(s1.misses, 5u);
+  EXPECT_EQ(s1.evictions, 3u);
+  EXPECT_EQ(r1.size(), 2u);
+}
+
+}  // namespace
+}  // namespace vcomp::serve

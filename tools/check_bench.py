@@ -39,7 +39,8 @@ def load_rows(doc):
     """Returns (row_dict, key_fields) for either bench JSON shape."""
     for array_key, keys in (("circuits", ("circuit",)),
                             ("configs", ("circuit", "config")),
-                            ("kernels", ("circuit", "dispatch"))):
+                            ("kernels", ("circuit", "dispatch")),
+                            ("jobs", ("circuit", "config"))):
         if array_key in doc:
             rows = {}
             for row in doc[array_key]:
@@ -112,6 +113,16 @@ def main():
                 regressions.append(
                     f"{label} {field}: {fval:.4g} vs baseline "
                     f"{bval:.4g} (-{(1 - ratio) * 100:.0f}%)")
+        # The serve bench's canonical result row is a determinism
+        # artifact, not a timing: byte-identical across machines, thread
+        # counts, concurrency and arrival order, so it is compared
+        # literally (any drift is a behavior change).
+        brow_str, frow_str = brow.get("row"), frow.get("row")
+        if isinstance(brow_str, str) and isinstance(frow_str, str) \
+                and brow_str != frow_str:
+            regressions.append(
+                f"{label} row: result row differs from baseline "
+                f"(byte comparison; determinism contract)")
         # Work counters are exact: byte-identical across machines and
         # thread counts, so any drift is a behavior change, not noise.
         # A counter present on only one side (an older baseline predating

@@ -32,6 +32,10 @@
 //     --profile           print the per-phase wall-clock breakdown of the
 //                         stitched run (PODEM, scoring, shift, classify,
 //                         hidden advance, terminal) with throughput
+//     --row <file>        write the canonical single-line result row ("-"
+//                         for stdout): Table-2 quantities plus the run's
+//                         scoped obs counters, byte-identical to the row
+//                         the vcomp_serve daemon emits for the same job
 //     --metrics <file>    write the merged obs metrics snapshot (counters,
 //                         gauges, histograms, timings) as JSON
 //     --trace <file>      capture scoped spans and write Chrome-trace JSON
@@ -51,6 +55,7 @@
 #include "vcomp/netlist/verilog_io.hpp"
 #include "vcomp/obs/obs.hpp"
 #include "vcomp/scan/fabric.hpp"
+#include "vcomp/serve/protocol.hpp"
 #include "vcomp/util/parallel.hpp"
 
 using namespace vcomp;
@@ -100,7 +105,7 @@ void print_profile(const core::PhaseProfile& p) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage(argv[0]);
   const std::string path = argv[1];
-  std::string out_path, metrics_path, trace_path;
+  std::string out_path, metrics_path, trace_path, row_path;
   core::StitchOptions opts;
   double info = 0.0;
   bool profile = false;
@@ -137,6 +142,7 @@ int main(int argc, char** argv) {
       opts.partition_seed = std::stoull(need("--partition-seed"));
     else if (a == "--full-scale") full_scale = true;
     else if (a == "--profile") profile = true;
+    else if (a == "--row") row_path = need("--row");
     else if (a == "--metrics") metrics_path = need("--metrics");
     else if (a == "--trace") trace_path = need("--trace");
     else if (a == "--capture") {
@@ -205,11 +211,40 @@ int main(int argc, char** argv) {
                 lab.atv(), 100.0 * base.coverage(), base.num_redundant,
                 base.num_aborted);
 
-    const auto r = lab.run(opts);
+    // Run under a scoped obs window exactly like a serve job: --row
+    // counters come from the window, so the row is byte-identical to the
+    // daemon's for the same job.  Lab construction above stays in the
+    // ambient scope, mirroring the daemon's artifact registry.
+    const bool want_row = !row_path.empty();
+    const std::uint64_t token = want_row ? util::new_task_token() : 0;
+    if (want_row) obs::Registry::instance().begin_scope(token);
+    core::StitchResult r;
+    {
+      const util::ScopedTaskContext scope(util::TaskContext{token, nullptr});
+      r = lab.run(opts);
+    }
     std::printf("stitched: TV=%zu ex=%zu  t=%.3f m=%.3f  coverage %s\n",
                 r.vectors_applied, r.extra_full_vectors, r.time_ratio,
                 r.memory_ratio, r.uncovered == 0 ? "preserved" : "LOST");
     if (profile) print_profile(r.profile);
+
+    if (want_row) {
+      const obs::CounterSet counters =
+          obs::Registry::instance().snapshot_scope(token).counters_only();
+      obs::Registry::instance().end_scope(token);
+      const std::string row = serve::result_row(
+          serve::circuit_label(path, full_scale), r, counters);
+      if (row_path == "-") {
+        std::printf("%s\n", row.c_str());
+      } else {
+        std::ofstream out(row_path);
+        if (!out.good()) {
+          std::fprintf(stderr, "cannot write %s\n", row_path.c_str());
+          return 2;
+        }
+        out << row << '\n';
+      }
+    }
 
     if (!out_path.empty()) {
       std::ofstream out(out_path);
