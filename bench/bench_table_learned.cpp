@@ -1,0 +1,130 @@
+// Learned schedules vs the paper's best fixed-shift rows.
+//
+// Two learned rows per circuit, both against the best *fixed* Table-2
+// reference (the strongest schedule a designer could pick without search):
+//  * adi — variable shift with the fault list in ascending Accidental
+//    Detection Index order (rarely-accidentally-detected faults first);
+//  * ga  — a per-cycle shift schedule evolved by core::evolve_schedule
+//    (quick-fitness search, seed pinned), then re-run at full strength.
+//
+// Each row runs under a scoped obs window, so its counters cover the whole
+// learned flow (GA search evals included) and are byte-identical for every
+// VCOMP_THREADS value — tools/check_bench.py gates them exactly, and the
+// committed BENCH_learned.json doubles as a cross-machine determinism
+// artifact for the learned paths.
+//
+// Env: VCOMP_QUICK=1 restricts to s1423; VCOMP_CIRCUITS selects circuits;
+// VCOMP_BENCH_JSON overrides the output path (default BENCH_learned.json).
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hpp"
+#include "vcomp/core/ga_schedule.hpp"
+#include "vcomp/obs/obs.hpp"
+
+using namespace vcomp;
+
+namespace {
+
+// Best fixed-shift m of the paper's Table 2 per circuit (both circuits'
+// best fixed row is the 7/8 shift).  The learned rows carry this as
+// `paper_best_m`; check_bench.py --require-learned-win asserts at least
+// one committed row beats it.
+const std::map<std::string, double> kPaperBestFixedM = {
+    {"s1423", 0.73},
+    {"s5378", 0.77},
+};
+
+/// Runs \p body under a fresh scoped obs window and returns the window's
+/// counters — the same pattern the serve daemon and vcomp_stitch --row use,
+/// so the captured counters are thread-count invariant by the same
+/// contract.
+template <typename Body>
+obs::CounterSet scoped_counters(Body&& body) {
+  const std::uint64_t token = util::new_task_token();
+  obs::Registry::instance().begin_scope(token);
+  {
+    const util::ScopedTaskContext scope(util::TaskContext{token, nullptr});
+    body();
+  }
+  obs::CounterSet counters =
+      obs::Registry::instance().snapshot_scope(token).counters_only();
+  obs::Registry::instance().end_scope(token);
+  return counters;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Learned schedules: ADI ordering and GA shift search vs "
+              "the paper's best fixed rows ===\n\n");
+
+  std::vector<netgen::CircuitProfile> profiles = {netgen::profile("s1423"),
+                                                  netgen::profile("s5378")};
+  profiles = benchutil::select_circuits(std::move(profiles), 1);
+
+  report::Table table(
+      {"circ", "config", "TV", "ex", "m", "t", "paper best fixed m"});
+  benchutil::BenchJson json("learned", "BENCH_learned.json");
+
+  const auto labs = core::make_labs(profiles);  // parallel baselines
+  for (const auto& lab_ptr : labs) {
+    const auto& lab = *lab_ptr;
+    const double paper_best = kPaperBestFixedM.at(lab.name());
+    auto emit = [&](const char* config, const benchutil::TimedResult& tr,
+                    obs::CounterSet counters) {
+      json.add(lab.name(), config, tr, std::move(counters),
+               {{"paper_best_m", paper_best}});
+      table.add_row({lab.name(), config,
+                     report::Table::num(tr.result.vectors_applied),
+                     report::Table::num(tr.result.extra_full_vectors),
+                     report::Table::ratio(tr.result.memory_ratio),
+                     report::Table::ratio(tr.result.time_ratio),
+                     benchutil::ref_str(paper_best)});
+    };
+
+    // Row 1: ADI-ordered targeting under the variable shift policy.
+    {
+      core::StitchOptions opts;
+      opts.selection = core::SelectionPolicy::Adi;
+      benchutil::Stopwatch sw;
+      benchutil::TimedResult tr;
+      const obs::CounterSet counters =
+          scoped_counters([&] { tr.result = lab.run(opts); });
+      tr.seconds = sw.seconds();
+      emit("adi", tr, counters);
+      std::fprintf(stderr, "[learned] %s adi done in %.1fs\n",
+                   lab.name().c_str(), tr.seconds);
+    }
+
+    // Row 2: GA-evolved shift schedule (budgets sized for a laptop-scale
+    // run; the pinned seed makes the whole search reproducible).
+    {
+      core::StitchOptions opts;  // most-faults selection, chromosome shifts
+      core::GaOptions gopts;
+      gopts.population = 6;
+      gopts.generations = 3;
+      gopts.genes = 8;
+      benchutil::Stopwatch sw;
+      benchutil::TimedResult tr;
+      core::GaResult gr;
+      const obs::CounterSet counters = scoped_counters([&] {
+        gr = core::evolve_schedule(lab, opts, gopts);
+        tr.result = lab.run(core::apply_ga_schedule(opts, gr));
+      });
+      tr.seconds = sw.seconds();
+      emit("ga", tr, counters);
+      std::fprintf(stderr,
+                   "[learned] %s ga done in %.1fs (%zu evals, quick m "
+                   "trajectory %.3f -> %.3f)\n",
+                   lab.name().c_str(), tr.seconds, gr.evals,
+                   gr.trajectory.front(), gr.trajectory.back());
+    }
+  }
+
+  std::printf("%s", table.to_string().c_str());
+  const std::string path = json.write();
+  if (!path.empty()) std::printf("bench JSON written to %s\n", path.c_str());
+  return 0;
+}

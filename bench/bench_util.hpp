@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "vcomp/core/experiment.hpp"
@@ -156,10 +157,25 @@ inline std::vector<TimedResult> run_timed(
 /// directory (each bench binary overwrites it with its own run).
 class BenchJson {
  public:
-  explicit BenchJson(std::string bench) : bench_(std::move(bench)) {}
+  explicit BenchJson(std::string bench,
+                     std::string default_path = "BENCH_stitch.json")
+      : bench_(std::move(bench)), default_path_(std::move(default_path)) {}
 
   void add(const std::string& circuit, const std::string& config,
            const TimedResult& tr) {
+    // Run-local work counters (no wall-clock fields): byte-identical across
+    // thread counts, so tools/check_bench.py gates them exactly.
+    add(circuit, config, tr, tr.result.profile.counters_only());
+  }
+
+  /// Full-control overload: \p counters replaces the profile counters (a
+  /// scoped obs window that also covers pre-run search work, say) and
+  /// \p extras appends named numeric fields to the row.  Extra fields ride
+  /// outside check_bench.py's gated set unless named like a time/rate
+  /// field, so reference values (paper numbers) are safe here.
+  void add(const std::string& circuit, const std::string& config,
+           const TimedResult& tr, obs::CounterSet counters,
+           std::vector<std::pair<std::string, double>> extras = {}) {
     Row r;
     r.circuit = circuit;
     r.config = config;
@@ -168,16 +184,15 @@ class BenchJson {
     r.t = tr.result.time_ratio;
     r.tv = tr.result.vectors_applied;
     r.ex = tr.result.extra_full_vectors;
-    // Run-local work counters (no wall-clock fields): byte-identical across
-    // thread counts, so tools/check_bench.py gates them exactly.
-    r.counters = tr.result.profile.counters_only();
+    r.counters = std::move(counters);
+    r.extras = std::move(extras);
     rows_.push_back(std::move(r));
   }
 
   /// Writes the collected records; returns the path (empty on failure).
   std::string write() const {
     const char* env = std::getenv("VCOMP_BENCH_JSON");
-    const std::string path = env != nullptr ? env : "BENCH_stitch.json";
+    const std::string path = env != nullptr ? env : default_path_;
     std::ofstream out(path);
     if (!out.good()) return {};
     out << "{\n"
@@ -191,7 +206,10 @@ class BenchJson {
       out << "    {\"circuit\": \"" << r.circuit << "\", \"config\": \""
           << r.config << "\", \"seconds\": " << r.seconds
           << ", \"m\": " << r.m << ", \"t\": " << r.t << ", \"tv\": " << r.tv
-          << ", \"ex\": " << r.ex << ", \"counters\": {";
+          << ", \"ex\": " << r.ex;
+      for (const auto& [name, value] : r.extras)
+        out << ", \"" << name << "\": " << value;
+      out << ", \"counters\": {";
       for (std::size_t c = 0; c < r.counters.values.size(); ++c)
         out << (c > 0 ? ", " : "") << "\"" << r.counters.values[c].first
             << "\": " << r.counters.values[c].second;
@@ -207,8 +225,10 @@ class BenchJson {
     double seconds = 0, m = 0, t = 0;
     std::size_t tv = 0, ex = 0;
     obs::CounterSet counters;
+    std::vector<std::pair<std::string, double>> extras;
   };
   std::string bench_;
+  std::string default_path_;
   Stopwatch total_;
   std::vector<Row> rows_;
 };

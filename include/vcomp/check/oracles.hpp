@@ -52,7 +52,7 @@ namespace vcomp::check {
 struct Failure {
   std::string oracle;  ///< "word-sim", "ternary-sim", "diff-sim",
                        ///< "lane-sim", "compact", "simd-dispatch",
-                       ///< "flush", "atpg", "tracker",
+                       ///< "flush", "atpg", "adi", "tracker",
                        ///< "thread-identity", "exception"
   std::string detail;  ///< human-readable mismatch description
 };
@@ -83,6 +83,16 @@ std::optional<Failure> check_flush(const Case& c, std::uint64_t flush_seed,
 /// verdicts must never contradict.
 std::optional<Failure> check_atpg(const Case& c, std::uint64_t seed,
                                   std::size_t rounds);
+
+/// ADI oracle: the word-parallel Accidental Detection Index computation
+/// (core::adi_counts, 64 vectors per pattern-parallel pass, sharded over
+/// the thread pool) vs a naive O(vectors × faults) reference that runs one
+/// ref_word_eval / ref_faulty_eval pass per (vector, fault) pair.  The
+/// vector pool is the case's schedule (full load, stitched vectors, extra
+/// full vectors) plus \p rounds random vectors drawn from \p seed; every
+/// tracked fault's count must match exactly.
+std::optional<Failure> check_adi(const Case& c, std::uint64_t seed,
+                                 std::size_t rounds);
 
 /// Tracker oracle: stitched tracker vs brute-force reference over the
 /// case's schedule (including the terminal observation).

@@ -6,6 +6,7 @@
 ///
 ///     # vcomp stitched test program
 ///     chain 21
+///     kind ga+adi                              (optional schedule kind)
 ///     chains 4 round-robin 0                   (multi-chain fabrics only)
 ///     pis 3
 ///     vector <shift> <pi bits> <scan bits>     (one per applied vector)
@@ -20,6 +21,13 @@
 /// fabric shape (count, partition policy, partition seed) on the `chains`
 /// line and write <shift> as the per-chain plan, comma separated
 /// (e.g. `vector 3,2,3,2 ...`); the master shift size is the sum.
+///
+/// The optional `kind` line records which shift policy + selection produced
+/// the schedule ("<policy>+<selection>" slug, e.g. "fixed+most-faults",
+/// "ga+adi").  It is descriptive metadata: replay never branches on it.
+/// Schedules with an empty kind (all files written before the field
+/// existed, and hand-built ones) omit the line, so the historical format
+/// still round-trips byte-identically.
 
 #include <iosfwd>
 #include <string>

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace vcomp::core {
 
@@ -75,6 +76,29 @@ class VariableShift final : public ShiftPolicy {
   std::size_t size_;
   std::size_t decay_after_;
   std::size_t streak_ = 0;
+};
+
+/// Plays back an explicit per-cycle shift schedule — the policy face of the
+/// GA-evolved chromosomes (core/ga_schedule.hpp), equally usable for any
+/// hand-written cyclic schedule.  The schedule is cyclic: each on_success /
+/// on_failure advances to the next entry and wraps at the end.  The engine
+/// calls on_success once for the initial full load, so entry 0 is consumed
+/// there and the first *stitched* cycle shifts schedule[1 % size].  Gives
+/// up (on_failure returns false) after a full lap of consecutive failures:
+/// every scheduled size has then been rejected against the current fabric
+/// state.  Entries are clamped into [1, chain_length] at construction.
+class ScheduleShift final : public ShiftPolicy {
+ public:
+  ScheduleShift(std::vector<std::size_t> schedule, std::size_t chain_length);
+  std::size_t current() const override { return schedule_[pos_]; }
+  bool on_failure() override;
+  void on_success() override;
+  std::string name() const override;
+
+ private:
+  std::vector<std::size_t> schedule_;
+  std::size_t pos_ = 0;
+  std::size_t consecutive_failures_ = 0;
 };
 
 }  // namespace vcomp::core

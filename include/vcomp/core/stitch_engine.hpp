@@ -46,6 +46,16 @@ struct StitchOptions {
   /// Variable policy: success streak that halves the size back toward the
   /// start (0 disables decay — escalation becomes monotonic).
   std::size_t variable_decay_after = 4;
+  /// Explicit per-cycle shift schedule (master sizes, cyclic).  Non-empty
+  /// selects the ScheduleShift playback policy and overrides fixed_shift /
+  /// the variable policy — this is how a GA-evolved chromosome
+  /// (core/ga_schedule.hpp) is handed to the engine.
+  std::vector<std::size_t> shift_schedule;
+  /// Overrides the schedule-kind token recorded on the emitted
+  /// StitchedSchedule (empty = derive from the shift policy + selection,
+  /// e.g. "variable+most-faults").  The GA driver stamps "ga+<selection>"
+  /// so a written schedule file names the search that produced it.
+  std::string schedule_label;
 
   scan::CaptureMode capture = scan::CaptureMode::Normal;
   /// 0 = direct scan-out; >0 = horizontal XOR with this many taps (per
@@ -127,6 +137,13 @@ struct StitchedSchedule {
   std::size_t num_chains = 1;
   scan::PartitionPolicy partition = scan::PartitionPolicy::RoundRobin;
   std::uint64_t partition_seed = 0;
+  /// Schedule-kind token: "<shift-policy>+<selection>" as produced by the
+  /// engine (e.g. "fixed+most-faults", "ga+adi" via
+  /// StitchOptions::schedule_label).  Serialized by schedule_io as the
+  /// optional `kind` header line; empty (the legacy default) writes no
+  /// line, so hand-built and historical schedules round-trip byte-
+  /// identically.  Descriptive only: replay never branches on it.
+  std::string kind;
 };
 
 /// Per-phase wall-clock breakdown of one stitched run (monotonic clock).

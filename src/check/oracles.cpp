@@ -7,6 +7,7 @@
 
 #include "vcomp/atpg/engine.hpp"
 #include "vcomp/check/reference.hpp"
+#include "vcomp/core/selection.hpp"
 #include "vcomp/core/tracker.hpp"
 #include "vcomp/fault/block_lane_sim.hpp"
 #include "vcomp/fault/compact_model.hpp"
@@ -31,6 +32,7 @@ namespace {
 
 constexpr std::uint64_t kStimulusSalt = 0x0bace5a17ed5eedULL;
 constexpr std::uint64_t kFlushSalt = 0xf1a5b5eedc0ffeeULL;
+constexpr std::uint64_t kAdiSalt = 0xad1de7ec7ab1e5ULL;
 
 /// Faults the simulator oracles sample per stimulus round.
 constexpr std::size_t kSimFaultSample = 48;
@@ -866,6 +868,83 @@ std::optional<Failure> check_tracker(const Case& c) {
   return std::nullopt;
 }
 
+// ---- ADI oracle -----------------------------------------------------------
+
+namespace {
+
+/// Naive O(vectors × faults) Accidental Detection Index: one reference
+/// evaluation per (vector, fault) pair, single-pattern words, no graph, no
+/// shards, no pattern packing.  The independent half of check_adi.
+std::vector<std::uint32_t> ref_adi_counts(
+    const Netlist& nl, const std::vector<Fault>& faults,
+    const std::vector<atpg::TestVector>& vectors) {
+  std::vector<std::uint32_t> counts(faults.size(), 0);
+  for (const auto& v : vectors) {
+    std::vector<Word> src(nl.num_gates(), 0);
+    for (std::size_t i = 0; i < nl.num_inputs(); ++i)
+      src[nl.inputs()[i]] = v.pi[i] ? ~Word{0} : Word{0};
+    for (std::size_t i = 0; i < nl.num_dffs(); ++i)
+      src[nl.dffs()[i]] = v.ppi[i] ? ~Word{0} : Word{0};
+    std::vector<Word> good = src;
+    ref_word_eval(nl, good);
+    for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+      const Fault& f = faults[fi];
+      std::vector<Word> bad = src;
+      ref_faulty_eval(nl, bad, f);
+      bool detected = false;
+      for (GateId po : nl.outputs())
+        if (good[po] != bad[po]) {
+          detected = true;
+          break;
+        }
+      for (std::size_t i = 0; !detected && i < nl.num_dffs(); ++i)
+        if (ref_next_state(nl, good, nullptr, i) !=
+            ref_next_state(nl, bad, &f, i))
+          detected = true;
+      if (detected) ++counts[fi];
+    }
+  }
+  return counts;
+}
+
+}  // namespace
+
+std::optional<Failure> check_adi(const Case& c, std::uint64_t seed,
+                                 std::size_t rounds) {
+  const Netlist& nl = c.netlist;
+  Rng rng(seed);
+  // Vector pool: every stimulus of the case's schedule plus a few random
+  // vectors, so the counts exercise both structured and arbitrary states.
+  std::vector<atpg::TestVector> vectors = c.schedule.vectors;
+  vectors.insert(vectors.end(), c.schedule.extra.begin(),
+                 c.schedule.extra.end());
+  for (std::size_t r = 0; r < rounds; ++r) {
+    atpg::TestVector v;
+    v.pi.resize(nl.num_inputs());
+    for (auto& b : v.pi) b = rng.bit();
+    v.ppi.resize(nl.num_dffs());
+    for (auto& b : v.ppi) b = rng.bit();
+    vectors.push_back(std::move(v));
+  }
+  // The tracked subset keeps the naive reference affordable on big cases.
+  const std::vector<std::uint32_t> idx = tracked_indices(c);
+  std::vector<Fault> subset;
+  subset.reserve(idx.size());
+  for (std::uint32_t i : idx) subset.push_back(c.faults[i]);
+
+  const auto fast =
+      core::adi_counts(sim::EvalGraph::compile(nl), subset, vectors);
+  const auto ref = ref_adi_counts(nl, subset, vectors);
+  for (std::size_t k = 0; k < subset.size(); ++k)
+    if (fast[k] != ref[k])
+      return fail("adi",
+                  "fault " + fault::fault_name(nl, subset[k]) + " adi " +
+                      std::to_string(fast[k]) + " vs reference " +
+                      std::to_string(ref[k]) + " over " +
+                      std::to_string(vectors.size()) + " vectors");
+  return std::nullopt;
+}
+
 std::string tracker_digest(const Case& c) {
   const TrackerRun run = run_tracker(c);
   std::ostringstream os;
@@ -905,6 +984,9 @@ std::optional<Failure> run_oracles(const Case& c, const Scenario& sc) {
       return f;
     if (auto f = check_atpg(c, sc.seed ^ util::splitmix64(kAtpgSalt),
                             sc.sim_rounds))
+      return f;
+    if (auto f = check_adi(c, sc.seed ^ util::splitmix64(kAdiSalt),
+                           sc.sim_rounds))
       return f;
     return check_tracker(c);
   } catch (const std::exception& e) {

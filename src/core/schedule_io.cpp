@@ -60,6 +60,17 @@ void parse_shift_field(const std::string& tok, std::size_t& shift,
   }
 }
 
+/// Schedule-kind tokens are lower-case slugs: policy and selection names
+/// joined with '+' (e.g. "ga+adi", "variable+most-faults").
+bool valid_kind(const std::string& kind) {
+  if (kind.empty()) return false;
+  for (char c : kind)
+    if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '+' ||
+          c == '-'))
+      return false;
+  return true;
+}
+
 }  // namespace
 
 void write_schedule(std::ostream& out, const StitchedSchedule& schedule) {
@@ -75,6 +86,11 @@ void write_schedule(std::ostream& out, const StitchedSchedule& schedule) {
   const std::size_t pis =
       schedule.vectors.empty() ? 0 : schedule.vectors[0].pi.size();
   out << "chain " << chain << "\n";
+  if (!schedule.kind.empty()) {
+    VCOMP_REQUIRE(valid_kind(schedule.kind),
+                  "schedule kind must be [a-z0-9+-]: " + schedule.kind);
+    out << "kind " << schedule.kind << "\n";
+  }
   if (multi)
     out << "chains " << schedule.num_chains << " "
         << scan::to_string(schedule.partition) << " "
@@ -118,6 +134,10 @@ StitchedSchedule read_schedule(std::istream& in) {
     if (kw == "chain") {
       ls >> chain;
       have_chain = true;
+    } else if (kw == "kind") {
+      ls >> sched.kind;
+      VCOMP_REQUIRE(!ls.fail() && valid_kind(sched.kind),
+                    "malformed kind line in schedule");
     } else if (kw == "chains") {
       std::string policy;
       ls >> sched.num_chains >> policy >> sched.partition_seed;

@@ -38,4 +38,27 @@ void VariableShift::on_success() {
   }
 }
 
+ScheduleShift::ScheduleShift(std::vector<std::size_t> schedule,
+                             std::size_t chain_length)
+    : schedule_(std::move(schedule)) {
+  VCOMP_REQUIRE(chain_length >= 1, "chain length must be positive");
+  VCOMP_REQUIRE(!schedule_.empty(), "shift schedule must not be empty");
+  for (std::size_t& s : schedule_)
+    s = std::clamp<std::size_t>(s, 1, chain_length);
+}
+
+bool ScheduleShift::on_failure() {
+  pos_ = (pos_ + 1) % schedule_.size();
+  return ++consecutive_failures_ < schedule_.size();
+}
+
+void ScheduleShift::on_success() {
+  consecutive_failures_ = 0;
+  pos_ = (pos_ + 1) % schedule_.size();
+}
+
+std::string ScheduleShift::name() const {
+  return "schedule(" + std::to_string(schedule_.size()) + ")";
+}
+
 }  // namespace vcomp::core

@@ -91,7 +91,7 @@ StitchEngine::StitchEngine(const netlist::Netlist& nl,
   VCOMP_REQUIRE(baseline.classes.size() == faults.size(),
                 "baseline classification does not match fault list");
   order_ = target_order(opts_.selection, eg_, faults.faults(), opts_.hardness,
-                        rng_);
+                        rng_, &baseline.vectors);
   scored_.reserve(faults.size());
   shard_scores_.resize(ssims_.max_shards());
   targetable_.assign(faults.size(), 0);
@@ -102,6 +102,9 @@ StitchEngine::StitchEngine(const netlist::Netlist& nl,
 }
 
 std::unique_ptr<ShiftPolicy> StitchEngine::make_policy() const {
+  if (!opts_.shift_schedule.empty())
+    return std::make_unique<ScheduleShift>(opts_.shift_schedule,
+                                           nl_->num_dffs());
   if (opts_.fixed_shift > 0)
     return std::make_unique<FixedShift>(opts_.fixed_shift);
   return std::make_unique<VariableShift>(nl_->num_dffs(),
@@ -382,6 +385,13 @@ StitchResult StitchEngine::run() {
   res.schedule.num_chains = fabric_.num_chains();
   res.schedule.partition = fabric_.policy();
   res.schedule.partition_seed = fabric_.seed();
+  res.schedule.kind =
+      !opts_.schedule_label.empty()
+          ? opts_.schedule_label
+          : (opts_.shift_schedule.empty()
+                 ? (opts_.fixed_shift > 0 ? "fixed" : "variable")
+                 : "schedule") +
+                ("+" + to_string(opts_.selection));
 
   // Track everything except proven redundancies (which no vector can ever
   // differentiate).

@@ -101,6 +101,13 @@ Netlist generate(const CircuitProfile& p) {
       if (t != GateType::Not && t != GateType::Buf) {
         arity = 2;
         while (arity < p.max_arity && rng.chance(1, 4)) ++arity;
+        // The duplicate-pin reject below needs `arity` distinct candidates,
+        // and the pool for gate i is sources + the i gates built so far: a
+        // tiny profile (say 1 PI + 2 FFs with max_arity 4) has only 3
+        // distinct signals for gate 0, so an unclamped arity spins forever.
+        // The clamp binds exactly when the old loop could not terminate, so
+        // every previously-terminating seed is unchanged.
+        arity = std::min(arity, sources.size() + comb.size());
       }
       fanin.clear();
       while (fanin.size() < arity) {

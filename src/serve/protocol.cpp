@@ -58,8 +58,11 @@ bool apply_config(const Json& config, JobSpec& spec, std::string& error) {
         spec.options.selection = core::SelectionPolicy::Hardness;
       else if (s == "most-faults")
         spec.options.selection = core::SelectionPolicy::MostFaults;
+      else if (s == "adi")
+        spec.options.selection = core::SelectionPolicy::Adi;
       else
-        return fail(error, "selection must be random | hardness | most-faults");
+        return fail(error,
+                    "selection must be random | hardness | most-faults | adi");
     } else if (key == "atpg") {
       if (!v.is_string() ||
           !atpg::engine_kind_from_string(v.as_string(),

@@ -54,6 +54,39 @@ TEST(Oracles, MutationGuardRestoresCleanliness) {
   EXPECT_FALSE(run_oracles(materialize(sc), sc).has_value());
 }
 
+TEST(Oracles, AdiAgreesOnRandomScenarios) {
+  // Direct exercise of the ADI oracle (run_oracles covers it too, but
+  // with the scenario's default round count): more random vectors on
+  // fewer cases, so partial 64-vector word batches are hit.
+  for (std::size_t index = 0; index < 10; ++index) {
+    const Scenario sc = random_scenario(case_seed(11, index));
+    const Case c = materialize(sc);
+    const auto failure = check_adi(c, sc.seed, /*rounds=*/70);
+    ASSERT_FALSE(failure.has_value())
+        << describe(sc) << "\n[" << failure->oracle << "] "
+        << failure->detail;
+  }
+}
+
+// Detection-power self-check for the ADI oracle alone: the mutated NAND
+// truth table skews the reference evaluators' detection verdicts, so the
+// naive ADI counts must diverge from the word-parallel computation (which
+// does not route through the mutable reference kernels).
+TEST(Oracles, AdiDetectsInjectedKernelMutation) {
+  ScopedMutation guard(Mutation::NandTruthTable);
+  std::size_t detected_at = 0;
+  for (std::size_t index = 1; index <= 200; ++index) {
+    const Scenario sc = random_scenario(case_seed(13, index - 1));
+    const Case c = materialize(sc);
+    if (check_adi(c, sc.seed, /*rounds=*/8)) {
+      detected_at = index;
+      break;
+    }
+  }
+  EXPECT_GT(detected_at, 0u) << "mutated NAND kernel survived the ADI "
+                                "oracle for 200 cases";
+}
+
 TEST(Oracles, AtpgEnginesAgreeOnRandomScenarios) {
   // Direct exercise of the engine-vs-engine oracle (run_oracles covers it
   // too, but with the default round count): more rounds on fewer cases.

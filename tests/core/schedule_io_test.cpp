@@ -150,6 +150,57 @@ TEST(ScheduleIo, MultiChainEngineScheduleRoundTrips) {
     EXPECT_EQ(parsed.vectors[i], run.schedule.vectors[i]);
 }
 
+TEST(ScheduleIo, KindRoundTrip) {
+  StitchedSchedule s = sample();
+  s.kind = "ga+adi";
+  const auto text = write_schedule_string(s);
+  EXPECT_NE(text.find("kind ga+adi\n"), std::string::npos);
+  const auto parsed = read_schedule_string(text);
+  EXPECT_EQ(parsed.kind, "ga+adi");
+  EXPECT_EQ(parsed.shifts, s.shifts);
+  // Second round trip textually stable.
+  EXPECT_EQ(write_schedule_string(parsed), text);
+}
+
+TEST(ScheduleIo, EmptyKindWritesNoLine) {
+  // Hand-built schedules (kind empty) keep the historical byte layout —
+  // SingleChainBackwardCompatible pins the exact text; this guards the
+  // header from the other side.
+  EXPECT_EQ(write_schedule_string(sample()).find("kind"), std::string::npos);
+  const auto parsed = read_schedule_string(write_schedule_string(sample()));
+  EXPECT_TRUE(parsed.kind.empty());
+}
+
+TEST(ScheduleIo, RejectsMalformedKind) {
+  // Missing token.
+  EXPECT_THROW(read_schedule_string("chain 3\n"
+                                    "kind\n"
+                                    "pis 0\n"
+                                    "vector 2 - 110\n"),
+               vcomp::ContractError);
+  // Charset is [a-z0-9+-]: uppercase rejected.
+  EXPECT_THROW(read_schedule_string("chain 3\n"
+                                    "kind GA+ADI\n"
+                                    "pis 0\n"
+                                    "vector 2 - 110\n"),
+               vcomp::ContractError);
+}
+
+TEST(ScheduleIo, EngineStampsKindAndReplayIsIdentical) {
+  CircuitLab lab("fig1", netgen::example_circuit());
+  StitchOptions opts;
+  opts.shift_schedule = {2, 1, 2};
+  opts.selection = SelectionPolicy::Random;
+  const auto run = lab.run(opts);
+  EXPECT_EQ(run.schedule.kind, "schedule+random");
+  const auto parsed =
+      read_schedule_string(write_schedule_string(run.schedule));
+  EXPECT_EQ(parsed.kind, run.schedule.kind);
+  EXPECT_EQ(parsed.shifts, run.schedule.shifts);
+  for (std::size_t i = 0; i < parsed.vectors.size(); ++i)
+    EXPECT_EQ(parsed.vectors[i], run.schedule.vectors[i]);
+}
+
 TEST(ScheduleIo, RejectsGarbage) {
   EXPECT_THROW(read_schedule_string("frobnicate 3\n"), vcomp::ContractError);
   EXPECT_THROW(read_schedule_string("chain 3\npis 0\nvector 2 - 1x1\n"),

@@ -85,5 +85,49 @@ TEST(VariableShift, StartBeyondLengthRejected) {
   EXPECT_THROW(VariableShift(8, 9), vcomp::ContractError);
 }
 
+TEST(ScheduleShift, CyclicPlayback) {
+  // The engine consumes one on_success for the initial full load, so the
+  // first stitched cycle sees schedule[1], and the sequence wraps.
+  ScheduleShift p({3, 5, 2}, 10);
+  EXPECT_EQ(p.current(), 3u);
+  p.on_success();  // full load consumed entry 0
+  EXPECT_EQ(p.current(), 5u);
+  p.on_success();
+  EXPECT_EQ(p.current(), 2u);
+  p.on_success();
+  EXPECT_EQ(p.current(), 3u);  // wrapped
+}
+
+TEST(ScheduleShift, FailureAdvancesAndGivesUpAfterFullLap) {
+  ScheduleShift p({3, 5, 2}, 10);
+  EXPECT_TRUE(p.on_failure());
+  EXPECT_EQ(p.current(), 5u);
+  EXPECT_TRUE(p.on_failure());
+  EXPECT_EQ(p.current(), 2u);
+  EXPECT_FALSE(p.on_failure());  // every entry tried consecutively
+}
+
+TEST(ScheduleShift, SuccessResetsFailureLap) {
+  ScheduleShift p({3, 5}, 10);
+  EXPECT_TRUE(p.on_failure());
+  p.on_success();  // streak cleared
+  EXPECT_TRUE(p.on_failure());
+}
+
+TEST(ScheduleShift, ClampsEntriesToChainLength) {
+  ScheduleShift p({0, 99}, 8);
+  EXPECT_EQ(p.current(), 1u);  // 0 raised to 1
+  p.on_success();
+  EXPECT_EQ(p.current(), 8u);  // 99 capped at the chain length
+}
+
+TEST(ScheduleShift, RejectsEmptySchedule) {
+  EXPECT_THROW(ScheduleShift({}, 8), vcomp::ContractError);
+}
+
+TEST(ScheduleShift, Name) {
+  EXPECT_EQ(ScheduleShift({1, 2, 3}, 8).name(), "schedule(3)");
+}
+
 }  // namespace
 }  // namespace vcomp::core

@@ -1,5 +1,7 @@
 #include "vcomp/netgen/netgen.hpp"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "vcomp/util/assert.hpp"
@@ -80,6 +82,38 @@ TEST(Netgen, LargeProfileGenerates) {
   const auto nl = generate("s13207");
   EXPECT_EQ(nl.num_dffs(), 669u);
   EXPECT_EQ(nl.num_inputs(), 31u);
+}
+
+// Regression: generation must terminate when max_arity exceeds the distinct
+// candidate pool for the first gates (sources + gates built so far).  This
+// exact profile/seed — 1 PI + 2 FFs = 3 sources, arity escalated to 4 —
+// spun forever in the fanin-pick loop before the arity clamp; the ADI
+// differential sweep (case 2182 of its 10000) found it.
+TEST(Netgen, TinyProfileWithWideArityTerminates) {
+  CircuitProfile p;
+  p.name = "tiny";
+  p.num_pi = 1;
+  p.num_po = 3;
+  p.num_ff = 2;
+  p.num_gates = 10;
+  p.max_arity = 4;
+  p.seed = 5862078057191888635ull;
+  const auto nl = generate(p);
+  EXPECT_EQ(nl.num_inputs(), 1u);
+  EXPECT_EQ(nl.num_dffs(), 2u);
+  EXPECT_EQ(nl.outputs().size(), 3u);
+  // Every gate's pins stay within the profile's arity, and are distinct
+  // (the property whose rejection loop used to spin).
+  for (auto id : nl.topo_order()) {
+    const auto& g = nl.gate(id);
+    if (g.type == netlist::GateType::Input ||
+        g.type == netlist::GateType::Dff)
+      continue;
+    EXPECT_LE(g.fanin.size(), p.max_arity);
+    auto pins = g.fanin;
+    std::sort(pins.begin(), pins.end());
+    EXPECT_EQ(std::unique(pins.begin(), pins.end()), pins.end());
+  }
 }
 
 TEST(Netgen, EasinessReducesXorDensity) {

@@ -64,6 +64,11 @@ def main():
     ap.add_argument("--tolerance", type=float, default=0.25)
     ap.add_argument("--strict", action="store_true",
                     help="exit nonzero on regressions")
+    ap.add_argument("--require-learned-win", action="store_true",
+                    help="hard gate (exit 1): the baseline must contain at "
+                         "least one row whose m beats its paper_best_m — "
+                         "the learned-schedule acceptance contract on the "
+                         "committed BENCH_learned.json")
     args = ap.parse_args()
 
     with open(args.fresh) as f:
@@ -151,6 +156,25 @@ def main():
         annotate("warning", f"bench regression: {r}")
     if not regressions:
         print("no regressions beyond tolerance")
+
+    # Learned-schedule win gate: a *hard* requirement on the committed
+    # baseline (quick/filtered fresh runs may not carry the winning
+    # circuit, so the baseline is what is judged), independent of --strict.
+    if args.require_learned_win:
+        wins = [
+            "/".join(str(k) for k in key)
+            for key, row in sorted(base.items())
+            if isinstance(row.get("m"), (int, float))
+            and isinstance(row.get("paper_best_m"), (int, float))
+            and row["m"] < row["paper_best_m"]
+        ]
+        if wins:
+            print(f"learned win: {', '.join(wins)} beat paper_best_m")
+        else:
+            annotate("error", "no baseline row beats its paper_best_m "
+                     "(learned-schedule acceptance gate)")
+            return 1
+
     return 1 if (regressions and args.strict) else 0
 
 

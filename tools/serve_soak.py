@@ -10,9 +10,10 @@ down cleanly and audits the event stream:
   * jobs submitted with identical specs must return byte-identical
     result rows, regardless of arrival time, queueing, or which other
     jobs they shared the pool with (the standing determinism contract);
-  * one `gen:s38417 --full-scale` job rides along to exercise the
-    full-size netgen path under concurrency (submitted first so it has
-    the whole window to finish).
+  * two full-size netgen jobs ride along — `gen:s38417 --full-scale`
+    and `gen:s38584 --full-scale` — to exercise the full-size path
+    under concurrency (submitted first so they have the whole window
+    to finish).
 
 The arrival schedule, job mix, and per-job configs all derive from
 --seed, so a soak failure reproduces with the same seed.  CI seeds this
@@ -34,11 +35,11 @@ import threading
 import time
 
 # Small netgen profiles that stitch in well under a minute each on one
-# core: the randomized churn mix.  The full-scale s38417 job is added
-# separately, once, outside this mix.
+# core: the randomized churn mix.  The full-scale s38417/s38584 jobs are
+# added separately, once each, outside this mix.
 CHURN_PROFILES = ("s444", "s526", "s641", "s953", "s1196", "s1423")
 CHAINS = (1, 2, 4)
-SELECTIONS = ("most-faults", "hardness", "random")
+SELECTIONS = ("most-faults", "hardness", "random", "adi")
 ENGINES = ("podem", "race")
 
 
@@ -71,7 +72,8 @@ def main():
     ap.add_argument("--metrics", default="")
     ap.add_argument("--trace", default="")
     ap.add_argument("--no-big", action="store_true",
-                    help="skip the full-scale s38417 job (quick local runs)")
+                    help="skip the full-scale s38417/s38584 jobs "
+                         "(quick local runs)")
     args = ap.parse_args()
 
     rng = random.Random(args.seed)
@@ -111,12 +113,13 @@ def main():
 
     submitted = {}  # id -> spec key (canonical JSON) for determinism audit
 
-    # The big one goes first: full-scale s38417 gets the whole window.
+    # The big ones go first: the full-scale profiles get the whole window.
     if not args.no_big:
-        big_spec = {"circuit": "gen:s38417", "full_scale": True,
-                    "config": {"chains": 4, "seed": 3}}
-        submit("big-s38417", big_spec)
-        submitted["big-s38417"] = json.dumps(big_spec, sort_keys=True)
+        for name, chains in (("s38417", 4), ("s38584", 2)):
+            big_spec = {"circuit": "gen:" + name, "full_scale": True,
+                        "config": {"chains": chains, "seed": 3}}
+            submit("big-" + name, big_spec)
+            submitted["big-" + name] = json.dumps(big_spec, sort_keys=True)
 
     deadline = time.monotonic() + args.duration
     n = 0

@@ -8,8 +8,16 @@
 // Usage:
 //   vcomp_stitch <netlist.bench | gen:profile> [options]
 //     --out <file>        write the stitched test program
-//     --shift <n>         fixed shift size (default: variable policy)
+//     --shift <n|ga|var>  fixed shift size <n>; "var" = the escalating
+//                         variable policy (the default); "ga" = evolve a
+//                         per-cycle shift schedule with the genetic search
+//                         (core/ga_schedule) and apply the winner.
+//                         VCOMP_SHIFT sets the default when the flag is
+//                         absent
 //     --info <r>          fixed shift at info point r in (0,1]
+//     --ga-pop <n>        GA population size (default 12)
+//     --ga-gens <n>       GA generations (default 8)
+//     --ga-genes <n>      GA chromosome length (default 10)
 //     --chains <n>        split the scan fabric into n parallel chains
 //                         (default 1: the classic single-chain flow)
 //     --partition <p>     round-robin (default) | contiguous | random
@@ -18,7 +26,10 @@
 //     --partition-seed <n> seed for --partition random
 //     --full-scale        lift the netgen gate-budget cap on gen:s38417 /
 //                         gen:s38584 (original gate counts; slower)
-//     --selection <s>     random | hardness | most-faults (default)
+//     --selection <s>     random | hardness | most-faults (default) | adi
+//                         (ascending Accidental Detection Index order);
+//                         VCOMP_SELECTION sets the default when the flag
+//                         is absent
 //     --atpg <e>          podem | sat | race constrained-ATPG engine
 //                         (default: VCOMP_ATPG, else podem; race runs
 //                         PODEM first and falls through to the built-in
@@ -44,11 +55,13 @@
 // Exit code 0 iff coverage is fully preserved.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
 
 #include "vcomp/core/experiment.hpp"
+#include "vcomp/core/ga_schedule.hpp"
 #include "vcomp/core/schedule_io.hpp"
 #include "vcomp/netgen/netgen.hpp"
 #include "vcomp/netlist/bench_io.hpp"
@@ -65,16 +78,48 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <netlist.bench|gen:profile> [--out f]\n"
-               "       [--shift n | --info r]\n"
+               "       [--shift n|ga|var | --info r]\n"
+               "       [--ga-pop n] [--ga-gens n] [--ga-genes n]\n"
                "       [--chains n] [--partition round-robin|contiguous|"
                "random]\n"
                "       [--partition-seed n] [--full-scale]\n"
-               "       [--selection random|hardness|most-faults]\n"
+               "       [--selection random|hardness|most-faults|adi]\n"
                "       [--atpg podem|sat|race]\n"
                "       [--capture normal|vxor] [--hxor taps] [--seed n]\n"
                "       [--threads n] [--profile] [--metrics f] [--trace f]\n",
                argv0);
   return 2;
+}
+
+bool parse_selection(const std::string& s, core::SelectionPolicy& out) {
+  if (s == "random") out = core::SelectionPolicy::Random;
+  else if (s == "hardness") out = core::SelectionPolicy::Hardness;
+  else if (s == "most-faults") out = core::SelectionPolicy::MostFaults;
+  else if (s == "adi") out = core::SelectionPolicy::Adi;
+  else return false;
+  return true;
+}
+
+/// "ga" = GA schedule search, "var" = variable policy, else a fixed shift
+/// size.  Shared by --shift and the VCOMP_SHIFT env default.
+bool parse_shift(const std::string& s, std::size_t& fixed, bool& ga_mode) {
+  if (s == "ga") {
+    ga_mode = true;
+    fixed = 0;
+    return true;
+  }
+  if (s == "var") {
+    ga_mode = false;
+    fixed = 0;
+    return true;
+  }
+  try {
+    fixed = std::stoul(s);
+  } catch (const std::exception&) {
+    return false;
+  }
+  ga_mode = false;
+  return true;
 }
 
 void print_profile(const core::PhaseProfile& p) {
@@ -107,15 +152,31 @@ int main(int argc, char** argv) {
   const std::string path = argv[1];
   std::string out_path, metrics_path, trace_path, row_path;
   core::StitchOptions opts;
+  core::GaOptions gopts;
   double info = 0.0;
   bool profile = false;
   bool full_scale = false;
+  bool ga_mode = false;
 
   try {
     opts.partition = scan::partition_from_env();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
+  }
+  // Env defaults; flags below override them.
+  if (const char* e = std::getenv("VCOMP_SELECTION")) {
+    if (!parse_selection(e, opts.selection)) {
+      std::fprintf(stderr, "VCOMP_SELECTION: unknown policy \"%s\"\n", e);
+      return 2;
+    }
+  }
+  if (const char* e = std::getenv("VCOMP_SHIFT")) {
+    if (!parse_shift(e, opts.fixed_shift, ga_mode)) {
+      std::fprintf(stderr, "VCOMP_SHIFT: expected a number, \"ga\" or "
+                   "\"var\", got \"%s\"\n", e);
+      return 2;
+    }
   }
 
   for (int i = 2; i < argc; ++i) {
@@ -128,7 +189,13 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (a == "--out") out_path = need("--out");
-    else if (a == "--shift") opts.fixed_shift = std::stoul(need("--shift"));
+    else if (a == "--shift") {
+      if (!parse_shift(need("--shift"), opts.fixed_shift, ga_mode))
+        return usage(argv[0]);
+    } else if (a == "--ga-pop") gopts.population = std::stoul(need("--ga-pop"));
+    else if (a == "--ga-gens")
+      gopts.generations = std::stoul(need("--ga-gens"));
+    else if (a == "--ga-genes") gopts.genes = std::stoul(need("--ga-genes"));
     else if (a == "--info") info = std::stod(need("--info"));
     else if (a == "--seed") opts.seed = std::stoull(need("--seed"));
     else if (a == "--threads")
@@ -153,16 +220,16 @@ int main(int argc, char** argv) {
       if (!atpg::engine_kind_from_string(need("--atpg"), opts.atpg_engine))
         return usage(argv[0]);
     } else if (a == "--selection") {
-      const std::string s = need("--selection");
-      if (s == "random") opts.selection = core::SelectionPolicy::Random;
-      else if (s == "hardness")
-        opts.selection = core::SelectionPolicy::Hardness;
-      else if (s == "most-faults")
-        opts.selection = core::SelectionPolicy::MostFaults;
-      else return usage(argv[0]);
+      if (!parse_selection(need("--selection"), opts.selection))
+        return usage(argv[0]);
     } else {
       return usage(argv[0]);
     }
+  }
+
+  if (ga_mode && info > 0.0) {
+    std::fprintf(stderr, "--shift ga and --info are mutually exclusive\n");
+    return 2;
   }
 
   if (!trace_path.empty()) obs::set_trace_enabled(true);
@@ -210,6 +277,17 @@ int main(int argc, char** argv) {
                 "%zu aborted)\n",
                 lab.atv(), 100.0 * base.coverage(), base.num_redundant,
                 base.num_aborted);
+
+    if (ga_mode) {
+      gopts.seed = opts.seed;
+      const core::GaResult gr = core::evolve_schedule(lab, opts, gopts);
+      std::printf("ga: %zu generations, %zu evals, best quick m=%.3f "
+                  "t=%.3f\nga schedule:",
+                  gr.generations, gr.evals, gr.fitness_m, gr.fitness_t);
+      for (const std::size_t s : gr.schedule) std::printf(" %zu", s);
+      std::printf("\n");
+      opts = core::apply_ga_schedule(opts, gr);
+    }
 
     // Run under a scoped obs window exactly like a serve job: --row
     // counters come from the window, so the row is byte-identical to the
